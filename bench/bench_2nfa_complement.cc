@@ -1,0 +1,88 @@
+// E4 (Lemma 4, Vardi 1989): single-exponential 2NFA complementation. Sweeps
+// 2NFA size n and reports the complement NFA's state count against the
+// 2^O(n) bound (here 4^n pair-states before reachability pruning), and
+// compares with the "one-way route" (Shepherdson table DFA, up to
+// 2^(n²+n) states, complemented for free by flipping accepting states).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "twoway/complement.h"
+#include "twoway/random.h"
+#include "twoway/tables.h"
+
+namespace rq {
+namespace {
+
+void BM_VardiComplementSizeSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t built = 0;
+  uint64_t states = 0;
+  uint64_t failures = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    TwoNfa m = RandomTwoNfa(n, 2, 3, seed++);
+    auto comp = VardiComplementNfa(m, 4000000);
+    if (!comp.ok()) {
+      ++failures;
+      continue;
+    }
+    benchmark::DoNotOptimize(comp->num_states());
+    states += comp->num_states();
+    ++built;
+  }
+  if (built > 0) {
+    state.counters["avg_states"] =
+        static_cast<double>(states) / static_cast<double>(built);
+    state.counters["bound_4^n"] = std::pow(4.0, static_cast<double>(n));
+  }
+  state.counters["budget_failures"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_VardiComplementSizeSweep)->DenseRange(2, 7);
+
+void BM_TableDfaRouteSizeSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t built = 0;
+  uint64_t states = 0;
+  uint64_t failures = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    TwoNfa m = RandomTwoNfa(n, 2, 3, seed++);
+    auto dfa = MaterializeTableDfa(m, 4000000);
+    if (!dfa.ok()) {
+      ++failures;
+      continue;
+    }
+    // Complementing a DFA is free; the cost is the determinization itself.
+    benchmark::DoNotOptimize(dfa->Complemented().num_states());
+    states += dfa->num_states();
+    ++built;
+  }
+  if (built > 0) {
+    state.counters["avg_states"] =
+        static_cast<double>(states) / static_cast<double>(built);
+  }
+  state.counters["budget_failures"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_TableDfaRouteSizeSweep)->DenseRange(2, 7);
+
+// Membership through the complement (how usable the artifacts are).
+void BM_VardiComplementMembership(benchmark::State& state) {
+  TwoNfa m = RandomTwoNfa(4, 2, 3, 99);
+  auto comp = VardiComplementNfa(m, 4000000);
+  if (!comp.ok()) {
+    state.SkipWithError("complement over budget");
+    return;
+  }
+  std::vector<Symbol> word;
+  for (int i = 0; i < 8; ++i) word.push_back(i % 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp->Accepts(word));
+  }
+}
+BENCHMARK(BM_VardiComplementMembership);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

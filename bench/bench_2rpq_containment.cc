@@ -1,0 +1,92 @@
+// E2 + E5 (§3.2, Lemma 2 / Theorem 5): the full 2RPQ containment pipeline —
+// NFA → fold-2NFA (Lemma 3) → lazily determinized complement → on-the-fly
+// product emptiness. Sweeps query size and measures explored product
+// states; also times the paper's worked example p ⊑ p p⁻ p.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pathquery/containment.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+Alphabet MakeAlphabet(size_t labels) {
+  Alphabet alphabet;
+  for (size_t i = 0; i < labels; ++i) {
+    alphabet.InternLabel("l" + std::to_string(i));
+  }
+  return alphabet;
+}
+
+void BM_PaperExamplePContainedInPPInvP(benchmark::State& state) {
+  Alphabet alphabet;
+  alphabet.InternLabel("p");
+  RegexPtr q1 = ParseRegex("p", &alphabet).value();
+  RegexPtr q2 = ParseRegex("p p- p", &alphabet).value();
+  for (auto _ : state) {
+    PathContainmentResult result =
+        CheckPathQueryContainment(*q1, *q2, alphabet);
+    benchmark::DoNotOptimize(result.contained);
+  }
+}
+BENCHMARK(BM_PaperExamplePContainedInPPInvP);
+
+void BM_TwoRpqContainmentSizeSweep(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(2);
+  Rng rng(20160626);
+  uint64_t explored = 0;
+  uint64_t checks = 0;
+  uint64_t contained = 0;
+  for (auto _ : state) {
+    RegexPtr r1 = RandomRegex(alphabet, depth, /*allow_inverse=*/true, rng);
+    RegexPtr noise = RandomRegex(alphabet, depth, /*allow_inverse=*/true,
+                                 rng);
+    RegexPtr r2 = rng.Chance(0.5) ? Regex::Union({r1, noise}) : noise;
+    PathContainmentResult result =
+        CheckPathQueryContainment(*r1, *r2, alphabet);
+    benchmark::DoNotOptimize(result.contained);
+    explored += result.explored_states;
+    contained += result.contained ? 1 : 0;
+    ++checks;
+  }
+  state.counters["explored/check"] =
+      static_cast<double>(explored) / static_cast<double>(checks);
+  state.counters["contained%"] =
+      100.0 * static_cast<double>(contained) / static_cast<double>(checks);
+}
+BENCHMARK(BM_TwoRpqContainmentSizeSweep)->DenseRange(1, 4);
+
+// The cost of two-wayness: the same one-way query pair decided by Lemma 1
+// versus pushed through the fold pipeline.
+void BM_OneWayViaLemma1(benchmark::State& state) {
+  Alphabet alphabet = MakeAlphabet(2);
+  Rng rng(5);
+  for (auto _ : state) {
+    RegexPtr r1 = RandomRegex(alphabet, 3, /*allow_inverse=*/false, rng);
+    RegexPtr r2 = RandomRegex(alphabet, 3, /*allow_inverse=*/false, rng);
+    PathContainmentResult result =
+        CheckPathQueryContainment(*r1, *r2, alphabet);
+    benchmark::DoNotOptimize(result.contained);
+  }
+}
+BENCHMARK(BM_OneWayViaLemma1);
+
+void BM_OneWayViaFoldPipeline(benchmark::State& state) {
+  Alphabet alphabet = MakeAlphabet(2);
+  Rng rng(5);
+  for (auto _ : state) {
+    RegexPtr r1 = RandomRegex(alphabet, 3, /*allow_inverse=*/false, rng);
+    RegexPtr r2 = RandomRegex(alphabet, 3, /*allow_inverse=*/false, rng);
+    PathContainmentResult result =
+        CheckTwoWayContainment(*r1, *r2, alphabet);
+    benchmark::DoNotOptimize(result.contained);
+  }
+}
+BENCHMARK(BM_OneWayViaFoldPipeline);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   * antichain subsumption pruning in the on-the-fly containment search
+//     (vs the plain memoized search),
+//   * the greedy most-constrained-first join order in the conjunction
+//     matcher (vs left-to-right order).
+#include <benchmark/benchmark.h>
+
+#include "automata/containment.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+#include "relational/cq.h"
+
+namespace rq {
+namespace {
+
+Alphabet MakeAlphabet(size_t labels) {
+  Alphabet alphabet;
+  for (size_t i = 0; i < labels; ++i) {
+    alphabet.InternLabel("l" + std::to_string(i));
+  }
+  return alphabet;
+}
+
+void RunContainment(benchmark::State& state, bool antichain) {
+  const int depth = static_cast<int>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(3);
+  Rng rng(1234);
+  uint64_t explored = 0;
+  uint64_t checks = 0;
+  for (auto _ : state) {
+    RegexPtr r1 = RandomRegex(alphabet, depth, false, rng);
+    RegexPtr noise = RandomRegex(alphabet, depth, false, rng);
+    RegexPtr r2 = rng.Chance(0.5) ? Regex::Union({r1, noise}) : noise;
+    Nfa n1 = r1->ToNfa(6);
+    Nfa n2 = r2->ToNfa(6);
+    LanguageContainmentResult result =
+        antichain ? CheckLanguageContainmentAntichain(n1, n2)
+                  : CheckLanguageContainment(n1, n2);
+    benchmark::DoNotOptimize(result.contained);
+    explored += result.explored_states;
+    ++checks;
+  }
+  state.counters["explored/check"] =
+      static_cast<double>(explored) / static_cast<double>(checks);
+}
+
+void BM_ContainmentPlainSearch(benchmark::State& state) {
+  RunContainment(state, /*antichain=*/false);
+}
+BENCHMARK(BM_ContainmentPlainSearch)->DenseRange(3, 6);
+
+void BM_ContainmentAntichainSearch(benchmark::State& state) {
+  RunContainment(state, /*antichain=*/true);
+}
+BENCHMARK(BM_ContainmentAntichainSearch)->DenseRange(3, 6);
+
+void RunMatcher(benchmark::State& state, bool greedy) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Database db;
+  // Skewed relation sizes: a big relation first penalizes naive order.
+  Relation* big = db.GetOrCreate("p0", 2).value();
+  Relation* small = db.GetOrCreate("p1", 2).value();
+  for (int i = 0; i < 2000; ++i) {
+    big->Insert({rng.Below(200), rng.Below(200)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    small->Insert({rng.Below(200), rng.Below(200)});
+  }
+  // Chain: p0(x0,x1), p1(x1,x2), p0(x2,x3), p1(x3,x4), ...
+  std::vector<MatchAtom> chain;
+  for (size_t i = 0; i < atoms; ++i) {
+    chain.push_back({i % 2 == 0 ? big : small,
+                     {static_cast<VarId>(i), static_cast<VarId>(i + 1)}});
+  }
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    size_t n =
+        greedy
+            ? MatchConjunction(chain, static_cast<uint32_t>(atoms + 1),
+                               [](const std::vector<Value>&) { return true; })
+            : MatchConjunctionInOrder(
+                  chain, static_cast<uint32_t>(atoms + 1),
+                  [](const std::vector<Value>&) { return true; });
+    benchmark::DoNotOptimize(n);
+    matches = n;
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+void BM_MatcherGreedyOrder(benchmark::State& state) {
+  RunMatcher(state, /*greedy=*/true);
+}
+BENCHMARK(BM_MatcherGreedyOrder)->DenseRange(2, 5);
+
+void BM_MatcherLeftToRightOrder(benchmark::State& state) {
+  RunMatcher(state, /*greedy=*/false);
+}
+BENCHMARK(BM_MatcherLeftToRightOrder)->DenseRange(2, 5);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

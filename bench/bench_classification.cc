@@ -1,0 +1,114 @@
+// E13 (§2.2/§2.3/§4.1): structural analysis of Datalog programs —
+// recursion/monadic/linear classification, GRQ recognition, and the
+// nonrecursive-unfolding blow-up the paper mentions ("a nonrecursive
+// program can be expressed as a finite union of conjunctive queries",
+// possibly exponentially many).
+#include <benchmark/benchmark.h>
+
+#include "datalog/unfold.h"
+#include "rq/from_datalog.h"
+
+namespace rq {
+namespace {
+
+// A layered nonrecursive program: each level joins two copies of the
+// previous level, and the base has two rules — 2^depth disjuncts.
+DatalogProgram DoublingProgram(size_t depth) {
+  std::string text = "l0(X, Y) :- e(X, Y).\nl0(X, Y) :- f(X, Y).\n";
+  for (size_t i = 1; i <= depth; ++i) {
+    std::string cur = "l" + std::to_string(i);
+    std::string prev = "l" + std::to_string(i - 1);
+    text += cur + "(X, Z) :- " + prev + "(X, Y), " + prev + "(Y, Z).\n";
+  }
+  text += "?- l" + std::to_string(depth) + ".\n";
+  return ParseDatalog(text).value();
+}
+
+// A chain of TC components: tc1 over e, tc2 over tc1, ...
+DatalogProgram TcTower(size_t height) {
+  std::string text = "tc1(X, Y) :- e(X, Y).\n";
+  text += "tc1(X, Z) :- tc1(X, Y), e(Y, Z).\n";
+  for (size_t i = 2; i <= height; ++i) {
+    std::string cur = "tc" + std::to_string(i);
+    std::string prev = "tc" + std::to_string(i - 1);
+    text += cur + "(X, Y) :- " + prev + "(X, Y).\n";
+    text += cur + "(X, Z) :- " + cur + "(X, Y), " + prev + "(Y, Z).\n";
+  }
+  text += "?- tc" + std::to_string(height) + ".\n";
+  return ParseDatalog(text).value();
+}
+
+void BM_ClassificationSweep(benchmark::State& state) {
+  DatalogProgram program = TcTower(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.IsRecursive());
+    benchmark::DoNotOptimize(program.IsMonadic());
+    benchmark::DoNotOptimize(program.IsLinear());
+  }
+  state.counters["rules"] = static_cast<double>(program.rules().size());
+}
+BENCHMARK(BM_ClassificationSweep)->DenseRange(1, 8);
+
+void BM_GrqRecognitionTcTower(benchmark::State& state) {
+  DatalogProgram program = TcTower(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GrqAnalysis analysis = AnalyzeGrq(program);
+    benchmark::DoNotOptimize(analysis.is_grq);
+  }
+}
+BENCHMARK(BM_GrqRecognitionTcTower)->DenseRange(1, 6);
+
+void BM_GrqExtractionTcTower(benchmark::State& state) {
+  DatalogProgram program = TcTower(static_cast<size_t>(state.range(0)));
+  size_t expr_size = 0;
+  for (auto _ : state) {
+    auto query = DatalogToRq(program);
+    benchmark::DoNotOptimize(query.ok());
+    if (query.ok()) expr_size = query->root->Size();
+  }
+  state.counters["rq_expr_size"] = static_cast<double>(expr_size);
+}
+BENCHMARK(BM_GrqExtractionTcTower)->DenseRange(1, 6);
+
+void BM_NonrecursiveUnfoldBlowup(benchmark::State& state) {
+  DatalogProgram program =
+      DoublingProgram(static_cast<size_t>(state.range(0)));
+  UnfoldLimits limits;
+  limits.max_disjuncts = 100000;
+  limits.max_atoms_per_disjunct = 1024;
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    auto ucq = UnfoldNonrecursive(program, limits);
+    benchmark::DoNotOptimize(ucq.ok());
+    if (ucq.ok()) disjuncts = ucq->disjuncts.size();
+  }
+  // 2^(2^depth)-ish growth truncates quickly; the counter shows the
+  // realized blow-up (2^(#base choices per leaf)).
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_NonrecursiveUnfoldBlowup)->DenseRange(1, 4);
+
+void BM_BoundedExpansionDepthSweep(benchmark::State& state) {
+  DatalogProgram program = ParseDatalog(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    ?- tc.
+  )")
+                               .value();
+  ExpandLimits limits;
+  limits.max_depth = static_cast<size_t>(state.range(0));
+  limits.max_expansions = 1u << 20;
+  size_t expansions = 0;
+  for (auto _ : state) {
+    auto expanded = ExpandDatalog(program, limits);
+    benchmark::DoNotOptimize(expanded.ok());
+    if (expanded.ok()) expansions = expanded->expansions.size();
+  }
+  state.counters["expansions"] = static_cast<double>(expansions);
+}
+BENCHMARK(BM_BoundedExpansionDepthSweep)->DenseRange(2, 12);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

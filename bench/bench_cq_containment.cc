@@ -1,0 +1,70 @@
+// E6 (§2.3, Chandra-Merlin [18]): CQ containment is an NP homomorphism
+// search. Sweeps the number of body atoms and variables of random binary
+// CQs and reports the containment rate, exercising both quick refutations
+// and full backtracking.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "relational/cq.h"
+
+namespace rq {
+namespace {
+
+void BM_CqContainmentAtomSweep(benchmark::State& state) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  Rng rng(atoms * 7919 + 1);
+  uint64_t checks = 0;
+  uint64_t contained = 0;
+  for (auto _ : state) {
+    ConjunctiveQuery q1 = RandomBinaryCq(atoms, atoms + 1, 2, rng);
+    ConjunctiveQuery q2 = RandomBinaryCq(atoms, atoms + 1, 2, rng);
+    auto result = CqContained(q1, q2);
+    benchmark::DoNotOptimize(result.ok());
+    if (result.ok() && *result) ++contained;
+    ++checks;
+  }
+  state.counters["contained%"] =
+      100.0 * static_cast<double>(contained) / static_cast<double>(checks);
+}
+BENCHMARK(BM_CqContainmentAtomSweep)->DenseRange(2, 10)->Arg(14)->Arg(18);
+
+// Positive instances: q1 = q2 plus extra atoms (always contained), which
+// forces the homomorphism to be found rather than refuted early.
+void BM_CqContainmentPositiveInstances(benchmark::State& state) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  Rng rng(atoms * 104729 + 5);
+  for (auto _ : state) {
+    ConjunctiveQuery q2 = RandomBinaryCq(atoms, atoms + 1, 2, rng);
+    ConjunctiveQuery q1 = q2;
+    // Strengthen q1 with extra atoms over existing variables.
+    ConjunctiveQuery extra = RandomBinaryCq(atoms / 2 + 1, atoms + 1, 2, rng);
+    for (const CqAtom& atom : extra.atoms) q1.atoms.push_back(atom);
+    auto result = CqContained(q1, q2);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_CqContainmentPositiveInstances)->DenseRange(2, 10);
+
+// Evaluation over a fixed database (the same machinery, different use).
+void BM_CqEvaluation(benchmark::State& state) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  Rng rng(99);
+  Database db;
+  Relation* p0 = db.GetOrCreate("p0", 2).value();
+  Relation* p1 = db.GetOrCreate("p1", 2).value();
+  for (int i = 0; i < 300; ++i) {
+    p0->Insert({rng.Below(40), rng.Below(40)});
+    p1->Insert({rng.Below(40), rng.Below(40)});
+  }
+  ConjunctiveQuery query = RandomBinaryCq(atoms, atoms + 1, 2, rng);
+  for (auto _ : state) {
+    auto result = EvalCq(db, query);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_CqEvaluation)->DenseRange(2, 6);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E12 (§2.2): the Datalog engine — naive vs semi-naive fixpoints on the
+// classic recursive workloads (transitive closure, same-generation). The
+// headline series is the widening gap in joins performed as the data grows.
+#include <benchmark/benchmark.h>
+
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace {
+
+DatalogProgram Tc() {
+  return ParseDatalog(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- tc(X, Y), edge(Y, Z).
+    ?- tc.
+  )")
+      .value();
+}
+
+DatalogProgram SameGeneration() {
+  return ParseDatalog(R"(
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+    ?- sg.
+  )")
+      .value();
+}
+
+void RunTcBenchmark(benchmark::State& state, DatalogEvalMode mode) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb graph = PathGraph(nodes, "edge");
+  Database db = GraphToDatabase(graph);
+  DatalogProgram program = Tc();
+  DatalogEvalStats stats;
+  for (auto _ : state) {
+    Relation out = EvalDatalogGoal(program, db, mode, &stats).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["tuples_considered"] =
+      static_cast<double>(stats.tuples_considered);
+}
+
+void BM_TcChainNaive(benchmark::State& state) {
+  RunTcBenchmark(state, DatalogEvalMode::kNaive);
+}
+BENCHMARK(BM_TcChainNaive)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_TcChainSemiNaive(benchmark::State& state) {
+  RunTcBenchmark(state, DatalogEvalMode::kSemiNaive);
+}
+BENCHMARK(BM_TcChainSemiNaive)->RangeMultiplier(2)->Range(16, 128);
+
+void RunRandomTc(benchmark::State& state, DatalogEvalMode mode) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb graph = RandomGraph(nodes, nodes * 2, {"edge"}, 77);
+  Database db = GraphToDatabase(graph);
+  DatalogProgram program = Tc();
+  DatalogEvalStats stats;
+  for (auto _ : state) {
+    Relation out = EvalDatalogGoal(program, db, mode, &stats).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["tuples_considered"] =
+      static_cast<double>(stats.tuples_considered);
+}
+
+void BM_TcRandomNaive(benchmark::State& state) {
+  RunRandomTc(state, DatalogEvalMode::kNaive);
+}
+BENCHMARK(BM_TcRandomNaive)->RangeMultiplier(2)->Range(32, 256);
+
+void BM_TcRandomSemiNaive(benchmark::State& state) {
+  RunRandomTc(state, DatalogEvalMode::kSemiNaive);
+}
+BENCHMARK(BM_TcRandomSemiNaive)->RangeMultiplier(2)->Range(32, 256);
+
+void RunSameGeneration(benchmark::State& state, DatalogEvalMode mode) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  // Complete binary tree of the given depth.
+  Database db;
+  Relation* up = db.GetOrCreate("up", 2).value();
+  Relation* down = db.GetOrCreate("down", 2).value();
+  Relation* flat = db.GetOrCreate("flat", 2).value();
+  size_t num_nodes = (1u << (depth + 1)) - 1;
+  for (size_t child = 1; child < num_nodes; ++child) {
+    size_t parent = (child - 1) / 2;
+    up->Insert({child, parent});
+    down->Insert({parent, child});
+  }
+  flat->Insert({0, 0});
+  DatalogProgram program = SameGeneration();
+  DatalogEvalStats stats;
+  for (auto _ : state) {
+    Relation out = EvalDatalogGoal(program, db, mode, &stats).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["tuples_considered"] =
+      static_cast<double>(stats.tuples_considered);
+}
+
+void BM_SameGenerationNaive(benchmark::State& state) {
+  RunSameGeneration(state, DatalogEvalMode::kNaive);
+}
+BENCHMARK(BM_SameGenerationNaive)->DenseRange(3, 8);
+
+void BM_SameGenerationSemiNaive(benchmark::State& state) {
+  RunSameGeneration(state, DatalogEvalMode::kSemiNaive);
+}
+BENCHMARK(BM_SameGenerationSemiNaive)->DenseRange(3, 8);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E3 (Lemma 3): the fold construction produces a 2NFA with exactly
+// n·(|Σ±|+1) states. Sweeps NFA size and alphabet size, reporting measured
+// state counts against the lemma's bound (the ratio should be 1.0) and the
+// transition blow-up, plus construction throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "regex/regex.h"
+#include "twoway/fold.h"
+
+namespace rq {
+namespace {
+
+Alphabet MakeAlphabet(size_t labels) {
+  Alphabet alphabet;
+  for (size_t i = 0; i < labels; ++i) {
+    alphabet.InternLabel("l" + std::to_string(i));
+  }
+  return alphabet;
+}
+
+void BM_FoldConstructionSizeSweep(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(2);
+  const uint32_t k = static_cast<uint32_t>(alphabet.num_symbols());
+  Rng rng(1);
+  // Pre-generate automata outside the timed loop.
+  std::vector<Nfa> inputs;
+  for (int i = 0; i < 32; ++i) {
+    RegexPtr re = RandomRegex(alphabet, depth, /*allow_inverse=*/true, rng);
+    inputs.push_back(re->ToNfa(k).WithoutEpsilons().Trimmed());
+  }
+  uint64_t nfa_states = 0;
+  uint64_t fold_states = 0;
+  uint64_t fold_transitions = 0;
+  uint64_t built = 0;
+  size_t index = 0;
+  for (auto _ : state) {
+    const Nfa& nfa = inputs[index++ % inputs.size()];
+    TwoNfa fold2 = FoldTwoNfa(nfa);
+    benchmark::DoNotOptimize(fold2.num_states());
+    nfa_states += nfa.num_states();
+    fold_states += fold2.num_states();
+    fold_transitions += fold2.CountTransitions();
+    ++built;
+  }
+  double bound = static_cast<double>(nfa_states) * (k + 1);
+  state.counters["states/bound"] =
+      static_cast<double>(fold_states) / bound;  // Lemma 3: exactly 1.0
+  state.counters["avg_nfa_states"] =
+      static_cast<double>(nfa_states) / static_cast<double>(built);
+  state.counters["avg_fold_states"] =
+      static_cast<double>(fold_states) / static_cast<double>(built);
+  state.counters["avg_fold_transitions"] =
+      static_cast<double>(fold_transitions) / static_cast<double>(built);
+}
+BENCHMARK(BM_FoldConstructionSizeSweep)->DenseRange(1, 5);
+
+void BM_FoldConstructionAlphabetSweep(benchmark::State& state) {
+  const size_t labels = static_cast<size_t>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(labels);
+  const uint32_t k = static_cast<uint32_t>(alphabet.num_symbols());
+  Rng rng(2);
+  std::vector<Nfa> inputs;
+  for (int i = 0; i < 16; ++i) {
+    RegexPtr re = RandomRegex(alphabet, 3, /*allow_inverse=*/true, rng);
+    inputs.push_back(re->ToNfa(k).WithoutEpsilons().Trimmed());
+  }
+  uint64_t fold_states = 0;
+  uint64_t nfa_states = 0;
+  size_t index = 0;
+  for (auto _ : state) {
+    const Nfa& nfa = inputs[index++ % inputs.size()];
+    TwoNfa fold2 = FoldTwoNfa(nfa);
+    benchmark::DoNotOptimize(fold2.num_states());
+    fold_states += fold2.num_states();
+    nfa_states += nfa.num_states();
+  }
+  state.counters["states/bound"] =
+      static_cast<double>(fold_states) /
+      (static_cast<double>(nfa_states) * (k + 1));
+}
+BENCHMARK(BM_FoldConstructionAlphabetSweep)->DenseRange(1, 6);
+
+// Membership through the fold 2NFA: the cost of deciding u ∈ fold(L).
+void BM_FoldMembership(benchmark::State& state) {
+  const size_t word_len = static_cast<size_t>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(2);
+  const uint32_t k = static_cast<uint32_t>(alphabet.num_symbols());
+  Rng rng(3);
+  RegexPtr re = ParseRegex("(l0 (l1 l1-)* l0)+", &alphabet).value();
+  Nfa nfa = re->ToNfa(k).WithoutEpsilons().Trimmed();
+  TwoNfa fold2 = FoldTwoNfa(nfa);
+  std::vector<Symbol> word;
+  for (size_t i = 0; i < word_len; ++i) {
+    word.push_back(static_cast<Symbol>(rng.Below(k)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fold2.Accepts(word));
+  }
+}
+BENCHMARK(BM_FoldMembership)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

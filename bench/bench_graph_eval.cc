@@ -1,0 +1,91 @@
+// E9 (§3.1/§3.3): query evaluation over graph databases — RPQ and 2RPQ via
+// product-automaton BFS, C2RPQ via instantiate-then-join — as the graph
+// grows. Throughput is reported per evaluated query over the whole graph
+// (all-pairs semantics).
+#include <benchmark/benchmark.h>
+
+#include "crpq/crpq.h"
+#include "graph/generators.h"
+#include "pathquery/path_query.h"
+
+namespace rq {
+namespace {
+
+void BM_RpqEvalGraphSweep(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb db = RandomGraph(nodes, nodes * 3, {"a", "b", "c"}, 42);
+  auto q = ParsePathQuery("a (b | c)* a", &db.alphabet());
+  RQ_CHECK(q.ok());
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto pairs = EvalPathQuery(db, *q->regex);
+    benchmark::DoNotOptimize(pairs.size());
+    answers = pairs.size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_RpqEvalGraphSweep)->RangeMultiplier(2)->Range(64, 1024);
+
+void BM_TwoRpqEvalGraphSweep(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb db = RandomGraph(nodes, nodes * 3, {"a", "b", "c"}, 42);
+  auto q = ParsePathQuery("a (b- | c)* a-", &db.alphabet());
+  RQ_CHECK(q.ok());
+  for (auto _ : state) {
+    auto pairs = EvalPathQuery(db, *q->regex);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_TwoRpqEvalGraphSweep)->RangeMultiplier(2)->Range(64, 1024);
+
+void BM_TransitiveClosureRpqSweep(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb db = RandomGraph(nodes, nodes * 2, {"e"}, 7);
+  auto q = ParsePathQuery("e+", &db.alphabet());
+  RQ_CHECK(q.ok());
+  for (auto _ : state) {
+    auto pairs = EvalPathQuery(db, *q->regex);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_TransitiveClosureRpqSweep)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_C2RpqEvalSocialNetwork(benchmark::State& state) {
+  const size_t people = static_cast<size_t>(state.range(0));
+  GraphDb net = SocialNetwork(people, people / 10 + 1, people / 2, 2026);
+  auto q = ParseCrpq(
+      "q(x, y) :- (knows+)(x, y), (member)(x, g), (member)(y, g)",
+      &net.alphabet());
+  RQ_CHECK(q.ok());
+  size_t answers = 0;
+  for (auto _ : state) {
+    Relation result = EvalCrpq(net, *q).value();
+    benchmark::DoNotOptimize(result.size());
+    answers = result.size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_C2RpqEvalSocialNetwork)->RangeMultiplier(2)->Range(50, 400);
+
+// Single-source evaluation (the common interactive case).
+void BM_RpqEvalSingleSource(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb db = RandomGraph(nodes, nodes * 3, {"a", "b"}, 11);
+  auto q = ParsePathQuery("a (a | b)*", &db.alphabet());
+  RQ_CHECK(q.ok());
+  Nfa nfa = q->regex
+                ->ToNfa(static_cast<uint32_t>(db.alphabet().num_symbols()))
+                .WithoutEpsilons();
+  for (auto _ : state) {
+    auto reached = EvalPathQueryFrom(db, nfa, 0);
+    benchmark::DoNotOptimize(reached.size());
+  }
+}
+BENCHMARK(BM_RpqEvalSingleSource)->RangeMultiplier(4)->Range(256, 16384);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

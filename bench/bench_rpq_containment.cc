@@ -1,0 +1,97 @@
+// E1 (§3.2, Lemma 1 + [42]): RPQ containment via regular-language
+// containment. Compares the paper's on-the-fly product-with-complement
+// search (PSPACE-friendly: materializes only visited subsets) against the
+// naive explicit determinize-complement-intersect route, across query
+// sizes. Counters report product states explored.
+#include <benchmark/benchmark.h>
+
+#include "automata/containment.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+Alphabet MakeAlphabet(size_t labels) {
+  Alphabet alphabet;
+  for (size_t i = 0; i < labels; ++i) {
+    alphabet.InternLabel("l" + std::to_string(i));
+  }
+  return alphabet;
+}
+
+// A pair of related random regexes: q2 is a union of q1 with more noise,
+// so containments are sometimes positive.
+std::pair<RegexPtr, RegexPtr> RelatedPair(const Alphabet& alphabet,
+                                          int depth, Rng& rng) {
+  RegexPtr r1 = RandomRegex(alphabet, depth, /*allow_inverse=*/false, rng);
+  RegexPtr noise = RandomRegex(alphabet, depth, /*allow_inverse=*/false,
+                               rng);
+  RegexPtr r2 = rng.Chance(0.5) ? Regex::Union({r1, noise}) : noise;
+  return {r1, r2};
+}
+
+void BM_RpqContainmentOnTheFly(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(3);
+  Rng rng(42);
+  uint64_t explored = 0;
+  uint64_t checks = 0;
+  uint64_t contained = 0;
+  for (auto _ : state) {
+    auto [r1, r2] = RelatedPair(alphabet, depth, rng);
+    Nfa n1 = r1->ToNfa(6);
+    Nfa n2 = r2->ToNfa(6);
+    LanguageContainmentResult result = CheckLanguageContainment(n1, n2);
+    benchmark::DoNotOptimize(result.contained);
+    explored += result.explored_states;
+    contained += result.contained ? 1 : 0;
+    ++checks;
+  }
+  state.counters["explored/check"] =
+      static_cast<double>(explored) / static_cast<double>(checks);
+  state.counters["contained%"] =
+      100.0 * static_cast<double>(contained) / static_cast<double>(checks);
+}
+BENCHMARK(BM_RpqContainmentOnTheFly)->DenseRange(2, 6);
+
+void BM_RpqContainmentExplicit(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(3);
+  Rng rng(42);
+  uint64_t explored = 0;
+  uint64_t checks = 0;
+  for (auto _ : state) {
+    auto [r1, r2] = RelatedPair(alphabet, depth, rng);
+    Nfa n1 = r1->ToNfa(6);
+    Nfa n2 = r2->ToNfa(6);
+    LanguageContainmentResult result =
+        CheckLanguageContainmentExplicit(n1, n2);
+    benchmark::DoNotOptimize(result.contained);
+    explored += result.explored_states;
+    ++checks;
+  }
+  state.counters["product_states/check"] =
+      static_cast<double>(explored) / static_cast<double>(checks);
+}
+BENCHMARK(BM_RpqContainmentExplicit)->DenseRange(2, 6);
+
+// Alphabet-size sensitivity: the complement side branches per symbol.
+void BM_RpqContainmentAlphabetSweep(benchmark::State& state) {
+  const size_t labels = static_cast<size_t>(state.range(0));
+  Alphabet alphabet = MakeAlphabet(labels);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto [r1, r2] = RelatedPair(alphabet, 4, rng);
+    uint32_t k = static_cast<uint32_t>(alphabet.num_symbols());
+    LanguageContainmentResult result =
+        CheckLanguageContainment(r1->ToNfa(k), r2->ToNfa(k));
+    benchmark::DoNotOptimize(result.contained);
+  }
+}
+BENCHMARK(BM_RpqContainmentAlphabetSweep)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

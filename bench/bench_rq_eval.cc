@@ -1,0 +1,103 @@
+// E10 (§3.4): evaluation of the RQ operator algebra — closure depth,
+// operator-tree size, and the paper's triangle-closure example — over
+// growing databases.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "rq/eval.h"
+#include "rq/parser.h"
+
+namespace rq {
+namespace {
+
+RqQuery Parse(const std::string& text) {
+  auto q = ParseRq(text);
+  RQ_CHECK(q.ok());
+  return *q;
+}
+
+void BM_RqTransitiveClosureSweep(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb graph = RandomGraph(nodes, nodes * 2, {"r"}, 3);
+  Database db = GraphToDatabase(graph);
+  RqQuery q = Parse("q(x, y) := tc[x,y](r(x, y))");
+  for (auto _ : state) {
+    Relation out = EvalRqQuery(db, q).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_RqTransitiveClosureSweep)->RangeMultiplier(2)->Range(32, 512);
+
+void BM_RqTriangleClosurePaperExample(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb graph = RandomGraph(nodes, nodes * 4, {"r"}, 5);
+  Database db = GraphToDatabase(graph);
+  RqQuery q =
+      Parse("q(x, y) := tc[x,y]( exists[z]( r(x,y) & r(y,z) & r(z,x) ) )");
+  size_t answers = 0;
+  for (auto _ : state) {
+    Relation out = EvalRqQuery(db, q).value();
+    benchmark::DoNotOptimize(out.size());
+    answers = out.size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_RqTriangleClosurePaperExample)
+    ->RangeMultiplier(2)
+    ->Range(16, 128);
+
+void BM_RqNestedClosures(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb graph = RandomGraph(nodes, nodes * 2, {"r", "s"}, 9);
+  Database db = GraphToDatabase(graph);
+  // Closure of a composition of a closure: tc( r+ ∘ s ).
+  RqQuery q = Parse(
+      "q(x, y) := tc[x,y]( exists[m]( tc[x,m](r(x, m)) & s(m, y) ) )");
+  for (auto _ : state) {
+    Relation out = EvalRqQuery(db, q).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RqNestedClosures)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_RqOperatorTreeBreadth(benchmark::State& state) {
+  const size_t branches = static_cast<size_t>(state.range(0));
+  GraphDb graph = RandomGraph(100, 300, {"r", "s"}, 13);
+  Database db = GraphToDatabase(graph);
+  // Union of `branches` 2-step compositions.
+  std::string text = "q(x, y) := ";
+  for (size_t i = 0; i < branches; ++i) {
+    if (i > 0) text += " | ";
+    text += (i % 2 == 0) ? "exists[m](r(x, m) & s(m, y))"
+                         : "exists[m](s(x, m) & r(m, y))";
+  }
+  RqQuery q = Parse(text);
+  for (auto _ : state) {
+    Relation out = EvalRqQuery(db, q).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RqOperatorTreeBreadth)->DenseRange(1, 8);
+
+void BM_BinaryTransitiveClosureKernel(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb graph = PathGraph(nodes, "e");
+  Database db = GraphToDatabase(graph);
+  const Relation* base = db.Find("e");
+  for (auto _ : state) {
+    Relation closed = BinaryTransitiveClosure(*base);
+    benchmark::DoNotOptimize(closed.size());
+  }
+  // Quadratic output on a path: n(n-1)/2 tuples.
+  state.counters["output_tuples"] =
+      static_cast<double>(nodes * (nodes - 1) / 2);
+}
+BENCHMARK(BM_BinaryTransitiveClosureKernel)
+    ->RangeMultiplier(2)
+    ->Range(32, 512);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E11 (§4.1): the RQ → Datalog embedding. Measures translation throughput,
+// the size of the emitted programs, and the evaluation overhead of running
+// the translated program (semi-naive Datalog) against direct RQ-algebra
+// evaluation on the same data.
+#include <benchmark/benchmark.h>
+
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+#include "rq/from_datalog.h"
+#include "rq/parser.h"
+#include "rq/to_datalog.h"
+
+namespace rq {
+namespace {
+
+const char* kQueries[] = {
+    "q(x, y) := tc[x,y](r(x, y))",
+    "q(x, z) := exists[y](tc[x,y](r(x, y)) & s(y, z))",
+    "q(x, y) := tc[x,y]( exists[z]( r(x,y) & r(y,z) & r(z,x) ) )",
+    "q(x, y) := tc[x,y](r(x, y) | s(y, x))",
+};
+
+void BM_TranslationThroughput(benchmark::State& state) {
+  RqQuery q = ParseRq(kQueries[state.range(0)]).value();
+  size_t rules = 0;
+  for (auto _ : state) {
+    auto program = RqToDatalog(q);
+    benchmark::DoNotOptimize(program.ok());
+    rules = program->rules().size();
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_TranslationThroughput)->DenseRange(0, 3);
+
+void BM_DirectRqEvaluation(benchmark::State& state) {
+  RqQuery q = ParseRq(kQueries[state.range(0)]).value();
+  GraphDb graph = RandomGraph(120, 360, {"r", "s"}, 17);
+  Database db = GraphToDatabase(graph);
+  for (auto _ : state) {
+    Relation out = EvalRqQuery(db, q).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_DirectRqEvaluation)->DenseRange(0, 3);
+
+void BM_TranslatedDatalogEvaluation(benchmark::State& state) {
+  RqQuery q = ParseRq(kQueries[state.range(0)]).value();
+  DatalogProgram program = RqToDatalog(q).value();
+  GraphDb graph = RandomGraph(120, 360, {"r", "s"}, 17);
+  Database db = GraphToDatabase(graph);
+  for (auto _ : state) {
+    Relation out = EvalDatalogGoal(program, db).value();
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_TranslatedDatalogEvaluation)->DenseRange(0, 3);
+
+// Round trip: RQ -> Datalog -> RQ (GRQ extraction) and evaluate.
+void BM_RoundTripExtraction(benchmark::State& state) {
+  RqQuery q = ParseRq(kQueries[state.range(0)]).value();
+  DatalogProgram program = RqToDatalog(q).value();
+  for (auto _ : state) {
+    auto extracted = DatalogToRq(program);
+    benchmark::DoNotOptimize(extracted.ok());
+  }
+}
+BENCHMARK(BM_RoundTripExtraction)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E8 (§3.3, Theorem 6): UC2RPQ containment. The exact problem is
+// EXPSPACE-complete; this harness measures (a) the exact single-atom 2RPQ
+// dispatch, (b) the exact expansion procedure on finite-language queries as
+// atom count grows, and (c) the bounded search on infinite languages as the
+// word bound grows.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crpq/crpq.h"
+
+namespace rq {
+namespace {
+
+void BM_SingleAtomDispatch(benchmark::State& state) {
+  Alphabet alphabet;
+  auto q1 = ParseUc2Rpq("q(x, y) :- (p (q q-)*)(x, y)", &alphabet);
+  auto q2 = ParseUc2Rpq("q(x, y) :- (p | p q q-)(x, y)", &alphabet);
+  RQ_CHECK(q1.ok() && q2.ok());
+  for (auto _ : state) {
+    auto result = CheckUc2RpqContainment(*q1, *q2, alphabet);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_SingleAtomDispatch);
+
+// Finite-language conjunctive queries: exact expansion test, atom sweep.
+void BM_FiniteLanguageExactAtomSweep(benchmark::State& state) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  Alphabet alphabet;
+  alphabet.InternLabel("a");
+  alphabet.InternLabel("b");
+  Rng rng(atoms * 17 + 1);
+  // Chain query with small finite languages per atom.
+  auto make_query = [&](Rng& r) {
+    Crpq q;
+    q.num_vars = static_cast<uint32_t>(atoms + 1);
+    q.head = {0, static_cast<VarId>(atoms)};
+    for (size_t i = 0; i < atoms; ++i) {
+      const char* options[] = {"a", "b", "a b", "a | b", "a b-", "b?"};
+      RegexPtr re =
+          ParseRegex(options[r.Below(6)], &alphabet).value();
+      q.atoms.push_back(
+          {re, static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+    }
+    Uc2Rpq u;
+    u.disjuncts.push_back(std::move(q));
+    return u;
+  };
+  uint64_t expansions = 0;
+  uint64_t checks = 0;
+  for (auto _ : state) {
+    Uc2Rpq q1 = make_query(rng);
+    Uc2Rpq q2 = make_query(rng);
+    auto result = CheckUc2RpqContainment(q1, q2, alphabet);
+    benchmark::DoNotOptimize(result.ok());
+    if (result.ok()) expansions += result->expansions_checked;
+    ++checks;
+  }
+  state.counters["expansions/check"] =
+      static_cast<double>(expansions) / static_cast<double>(checks);
+}
+BENCHMARK(BM_FiniteLanguageExactAtomSweep)->DenseRange(1, 6);
+
+// Bounded search on infinite languages: cost vs word-length bound.
+void BM_BoundedSearchWordLengthSweep(benchmark::State& state) {
+  const size_t max_len = static_cast<size_t>(state.range(0));
+  Alphabet alphabet;
+  auto q1 = ParseUc2Rpq(
+      "q(x, y) :- (a+)(x, z), (b+)(z, y)\n"
+      "q(x, y) :- (b+)(x, z), (a+)(z, y)",
+      &alphabet);
+  auto q2 = ParseUc2Rpq("q(x, y) :- ((a | b)+)(x, y)", &alphabet);
+  RQ_CHECK(q1.ok() && q2.ok());
+  CrpqContainmentOptions options;
+  options.max_word_length = max_len;
+  uint64_t expansions = 0;
+  uint64_t iterations = 0;
+  for (auto _ : state) {
+    auto result = CheckUc2RpqContainment(*q1, *q2, alphabet, options);
+    benchmark::DoNotOptimize(result.ok());
+    if (result.ok()) expansions += result->expansions_checked;
+    ++iterations;
+  }
+  state.counters["expansions/check"] =
+      static_cast<double>(expansions) / static_cast<double>(iterations);
+}
+BENCHMARK(BM_BoundedSearchWordLengthSweep)->DenseRange(1, 6);
+
+// Paper Example 1: the triangle pattern vs its cyclic variant.
+void BM_PaperExampleOneUnion(benchmark::State& state) {
+  Alphabet alphabet;
+  auto q1 = ParseUc2Rpq("q(x, y) :- (r)(x, y), (r)(x, z), (r)(y, z)",
+                        &alphabet);
+  auto q2 = ParseUc2Rpq(
+      "q(x, y) :- (r)(x, y), (r)(x, z), (r)(y, z)\n"
+      "q(x, y) :- (r)(x, y), (r)(y, z), (r)(z, x)",
+      &alphabet);
+  RQ_CHECK(q1.ok() && q2.ok());
+  for (auto _ : state) {
+    auto result = CheckUc2RpqContainment(*q1, *q2, alphabet);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_PaperExampleOneUnion);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

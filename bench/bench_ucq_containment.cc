@@ -1,0 +1,58 @@
+// E7 (§2.3, Sagiv-Yannakakis [50]): UCQ containment — every left disjunct
+// must map into some right disjunct. Sweeps the number of disjuncts on both
+// sides (the quadratic disjunct-pair structure dominates).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "relational/cq.h"
+
+namespace rq {
+namespace {
+
+UnionOfConjunctiveQueries RandomUcq(size_t disjuncts, size_t atoms,
+                                    Rng& rng) {
+  UnionOfConjunctiveQueries out;
+  for (size_t i = 0; i < disjuncts; ++i) {
+    out.disjuncts.push_back(RandomBinaryCq(atoms, atoms + 1, 2, rng));
+  }
+  return out;
+}
+
+void BM_UcqContainmentDisjunctSweep(benchmark::State& state) {
+  const size_t disjuncts = static_cast<size_t>(state.range(0));
+  Rng rng(disjuncts * 31 + 7);
+  uint64_t checks = 0;
+  uint64_t contained = 0;
+  for (auto _ : state) {
+    UnionOfConjunctiveQueries q1 = RandomUcq(disjuncts, 3, rng);
+    UnionOfConjunctiveQueries q2 = RandomUcq(disjuncts, 3, rng);
+    auto result = UcqContained(q1, q2);
+    benchmark::DoNotOptimize(result.ok());
+    if (result.ok() && *result) ++contained;
+    ++checks;
+  }
+  state.counters["contained%"] =
+      100.0 * static_cast<double>(contained) / static_cast<double>(checks);
+}
+BENCHMARK(BM_UcqContainmentDisjunctSweep)->DenseRange(1, 8);
+
+// Positive instances: q2 = q1 plus extra disjuncts (left ⊑ right by
+// construction) — the procedure must find a hom for every left disjunct.
+void BM_UcqContainmentPositive(benchmark::State& state) {
+  const size_t disjuncts = static_cast<size_t>(state.range(0));
+  Rng rng(disjuncts * 13 + 3);
+  for (auto _ : state) {
+    UnionOfConjunctiveQueries q1 = RandomUcq(disjuncts, 3, rng);
+    UnionOfConjunctiveQueries q2 = q1;
+    UnionOfConjunctiveQueries extra = RandomUcq(2, 3, rng);
+    for (auto& d : extra.disjuncts) q2.disjuncts.push_back(d);
+    auto result = UcqContained(q1, q2);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_UcqContainmentPositive)->DenseRange(1, 8);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E17 ([12], query processing using views): maximal-rewriting construction
+// cost (a subset construction over the query's DFA per view), exactness
+// checking, and answering from views vs direct evaluation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "pathquery/path_query.h"
+#include "views/rewriting.h"
+
+namespace rq {
+namespace {
+
+struct Setup {
+  Alphabet alphabet;
+  RegexPtr query;
+  std::vector<View> views;
+};
+
+Setup MakeSetup(size_t num_views, uint64_t seed) {
+  Setup s;
+  s.alphabet.InternLabel("a");
+  s.alphabet.InternLabel("b");
+  s.alphabet.InternLabel("c");
+  Rng rng(seed);
+  s.query = RandomRegex(s.alphabet, 4, false, rng);
+  for (size_t i = 0; i < num_views; ++i) {
+    s.views.push_back(
+        {"v" + std::to_string(i), RandomRegex(s.alphabet, 2, false, rng)});
+  }
+  return s;
+}
+
+void BM_MaximalRewritingViewSweep(benchmark::State& state) {
+  const size_t num_views = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  uint64_t nonempty = 0;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Setup s = MakeSetup(num_views, seed++);
+    auto rewriting = MaximalRewriting(*s.query, s.views, s.alphabet);
+    benchmark::DoNotOptimize(rewriting.ok());
+    if (rewriting.ok() && !rewriting->empty) ++nonempty;
+    ++total;
+  }
+  state.counters["nonempty%"] =
+      100.0 * static_cast<double>(nonempty) / static_cast<double>(total);
+}
+BENCHMARK(BM_MaximalRewritingViewSweep)->DenseRange(1, 6);
+
+void BM_ExactnessCheck(benchmark::State& state) {
+  Setup s = MakeSetup(3, 42);
+  // Letter views make everything exactly rewritable.
+  s.views.push_back({"la", ParseRegex("a", &s.alphabet).value()});
+  s.views.push_back({"lb", ParseRegex("b", &s.alphabet).value()});
+  s.views.push_back({"lc", ParseRegex("c", &s.alphabet).value()});
+  auto rewriting = MaximalRewriting(*s.query, s.views, s.alphabet).value();
+  for (auto _ : state) {
+    auto exact = RewritingIsExact(rewriting, *s.query, s.views, s.alphabet);
+    benchmark::DoNotOptimize(exact.ok());
+  }
+}
+BENCHMARK(BM_ExactnessCheck);
+
+void BM_AnswerUsingViewsVsDirect(benchmark::State& state) {
+  const bool use_views = state.range(0) == 1;
+  Setup s = MakeSetup(2, 7);
+  s.views.push_back({"la", ParseRegex("a", &s.alphabet).value()});
+  s.views.push_back({"lb", ParseRegex("b", &s.alphabet).value()});
+  s.views.push_back({"lc", ParseRegex("c", &s.alphabet).value()});
+  auto rewriting = MaximalRewriting(*s.query, s.views, s.alphabet).value();
+  GraphDb db = RandomGraph(100, 300, {"a", "b", "c"}, 11);
+  for (auto _ : state) {
+    if (use_views) {
+      Relation answers = AnswerUsingViews(db, rewriting, s.views).value();
+      benchmark::DoNotOptimize(answers.size());
+    } else {
+      auto answers = EvalPathQuery(db, *s.query);
+      benchmark::DoNotOptimize(answers.size());
+    }
+  }
+  state.SetLabel(use_views ? "via-views" : "direct");
+}
+BENCHMARK(BM_AnswerUsingViewsVsDirect)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace rq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// rqcheck — command-line containment checker for every query class in the
+// paper's ladder.
+//
+//   rqcheck <class> <query1> <query2>
+//     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
+//     queryN : query text, or @path to read the text from a file
+//
+// Examples:
+//   rqcheck 2rpq 'p' 'p p- p'
+//   rqcheck cq 'q(x,y) :- e(x,y), e(y,z)' 'q(x,y) :- e(x,y)'
+//   rqcheck rq 'q(x,y) := tc[x,y](a(x,y) & b(x,y))' 'q(x,y) := tc[x,y](a(x,y))'
+//   rqcheck datalog @prog1.dl @prog2.dl
+//
+// Exit code: 0 = contained (proved), 1 = refuted, 2 = unknown-up-to-bound,
+// 3 = usage/parse error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "containment/containment.h"
+#include "rq/equivalence.h"
+#include "crpq/crpq.h"
+#include "pathquery/containment.h"
+#include "relational/cq.h"
+#include "rq/parser.h"
+
+using namespace rq;  // examples only
+
+namespace {
+
+std::string LoadArg(const std::string& arg) {
+  if (arg.empty() || arg[0] != '@') return arg;
+  std::ifstream in(arg.substr(1));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Report(Certainty certainty, const std::string& method,
+           const std::optional<Database>& counterexample) {
+  std::printf("verdict: %s (method: %s)\n", CertaintyName(certainty),
+              method.c_str());
+  if (counterexample.has_value()) {
+    std::printf("counterexample database:\n%s",
+                counterexample->ToString().c_str());
+  }
+  switch (certainty) {
+    case Certainty::kProved:
+      return 0;
+    case Certainty::kRefuted:
+      return 1;
+    case Certainty::kUnknownUpToBound:
+      return 2;
+  }
+  return 3;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rqcheck: %s\n", message.c_str());
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    return Fail(
+        "usage: rqcheck <rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
+  }
+  std::string cls = argv[1];
+  std::string t1 = LoadArg(argv[2]);
+  std::string t2 = LoadArg(argv[3]);
+
+  if (cls == "rpq" || cls == "2rpq") {
+    Alphabet alphabet;
+    auto r1 = ParseRegex(t1, &alphabet);
+    auto r2 = ParseRegex(t2, &alphabet);
+    if (!r1.ok()) return Fail(r1.status().ToString());
+    if (!r2.ok()) return Fail(r2.status().ToString());
+    PathContainmentResult result =
+        CheckPathQueryContainment(**r1, **r2, alphabet);
+    std::printf("verdict: %s (pipeline: %s)\n",
+                result.contained ? "proved" : "refuted",
+                result.used_fold_pipeline ? "2rpq-fold" : "lemma1");
+    if (!result.contained) {
+      std::printf("counterexample word: %s\n",
+                  WordToString(alphabet, result.counterexample).c_str());
+    }
+    return result.contained ? 0 : 1;
+  }
+  if (cls == "cq" || cls == "ucq") {
+    auto q1 = ParseUcq(t1);
+    auto q2 = ParseUcq(t2);
+    if (!q1.ok()) return Fail(q1.status().ToString());
+    if (!q2.ok()) return Fail(q2.status().ToString());
+    auto contained = UcqContained(*q1, *q2);
+    if (!contained.ok()) return Fail(contained.status().ToString());
+    std::printf("verdict: %s (method: %s)\n",
+                *contained ? "proved" : "refuted",
+                q1->disjuncts.size() == 1 && q2->disjuncts.size() == 1
+                    ? "chandra-merlin"
+                    : "sagiv-yannakakis");
+    return *contained ? 0 : 1;
+  }
+  if (cls == "uc2rpq") {
+    Alphabet alphabet;
+    auto q1 = ParseUc2Rpq(t1, &alphabet);
+    auto q2 = ParseUc2Rpq(t2, &alphabet);
+    if (!q1.ok()) return Fail(q1.status().ToString());
+    if (!q2.ok()) return Fail(q2.status().ToString());
+    auto result = CheckUc2RpqContainment(*q1, *q2, alphabet);
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::printf("verdict: %s (method: %s)\n",
+                CertaintyName(result->certainty), result->method.c_str());
+    if (result->counterexample.has_value()) {
+      std::printf("counterexample graph:\n%s",
+                  result->counterexample->ToText().c_str());
+    }
+    return result->certainty == Certainty::kProved    ? 0
+           : result->certainty == Certainty::kRefuted ? 1
+                                                      : 2;
+  }
+  if (cls == "rq") {
+    auto q1 = ParseRq(t1);
+    auto q2 = ParseRq(t2);
+    if (!q1.ok()) return Fail(q1.status().ToString());
+    if (!q2.ok()) return Fail(q2.status().ToString());
+    auto result = CheckRqContainment(*q1, *q2);
+    if (!result.ok()) return Fail(result.status().ToString());
+    return Report(result->certainty, result->method,
+                  result->counterexample);
+  }
+  if (cls == "rq-equiv") {
+    auto q1 = ParseRq(t1);
+    auto q2 = ParseRq(t2);
+    if (!q1.ok()) return Fail(q1.status().ToString());
+    if (!q2.ok()) return Fail(q2.status().ToString());
+    auto result = CheckRqEquivalence(*q1, *q2);
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::printf("verdict: %s (forward: %s/%s, backward: %s/%s)\n",
+                EquivalenceVerdictName(result->verdict),
+                CertaintyName(result->forward.certainty),
+                result->forward.method.c_str(),
+                CertaintyName(result->backward.certainty),
+                result->backward.method.c_str());
+    const auto& refuted =
+        result->forward.certainty == Certainty::kRefuted
+            ? result->forward
+            : result->backward;
+    if (refuted.counterexample.has_value()) {
+      std::printf("separating database:\n%s",
+                  refuted.counterexample->ToString().c_str());
+    }
+    return result->verdict == EquivalenceVerdict::kEquivalent      ? 0
+           : result->verdict == EquivalenceVerdict::kNotEquivalent ? 1
+                                                                   : 2;
+  }
+  if (cls == "datalog") {
+    auto q1 = ParseDatalog(t1);
+    auto q2 = ParseDatalog(t2);
+    if (!q1.ok()) return Fail(q1.status().ToString());
+    if (!q2.ok()) return Fail(q2.status().ToString());
+    auto result = CheckDatalogContainment(*q1, *q2);
+    if (!result.ok()) return Fail(result.status().ToString());
+    return Report(result->certainty, result->method,
+                  result->counterexample);
+  }
+  return Fail("unknown class: " + cls);
+}

@@ -1,0 +1,104 @@
+// rqeval — evaluate a query of any class over a graph database file.
+//
+//   rqeval <graph-file> <class> <query>
+//     graph-file : edge list, one "src label dst" per line ('#' comments)
+//     class      : path | crpq | rq | datalog
+//     query      : query text, or @path to read from a file
+//
+// Examples:
+//   rqeval net.graph path 'knows+'
+//   rqeval net.graph crpq 'q(x,y) :- (knows+)(x,y), (member)(x,g)'
+//   rqeval net.graph rq 'q(x,y) := tc[x,y](knows(x,y))'
+//   rqeval net.graph datalog @reach.dl
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "crpq/crpq.h"
+#include "datalog/eval.h"
+#include "graph/graph_db.h"
+#include "pathquery/path_query.h"
+#include "rq/eval.h"
+#include "rq/parser.h"
+
+using namespace rq;  // examples only
+
+namespace {
+
+std::string LoadArg(const std::string& arg) {
+  if (arg.empty() || arg[0] != '@') return arg;
+  std::ifstream in(arg.substr(1));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rqeval: %s\n", message.c_str());
+  return 2;
+}
+
+void PrintTuples(const GraphDb& db, const Relation& relation) {
+  for (const Tuple& t : relation.SortedTuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      std::printf(i == 0 ? "%s" : "\t%s",
+                  db.NodeName(static_cast<NodeId>(t[i])).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("-- %zu tuples\n", relation.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    return Fail("usage: rqeval <graph-file> <path|crpq|rq|datalog> <query>");
+  }
+  std::ifstream in(argv[1]);
+  if (!in) return Fail(std::string("cannot open ") + argv[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto graph = GraphDb::FromText(buffer.str());
+  if (!graph.ok()) return Fail(graph.status().ToString());
+
+  std::string cls = argv[2];
+  std::string text = LoadArg(argv[3]);
+
+  if (cls == "path") {
+    auto q = ParsePathQuery(text, &graph->alphabet());
+    if (!q.ok()) return Fail(q.status().ToString());
+    Relation out(2);
+    for (const auto& [x, y] : EvalPathQuery(*graph, *q->regex)) {
+      out.Insert({x, y});
+    }
+    PrintTuples(*graph, out);
+    return 0;
+  }
+  if (cls == "crpq") {
+    auto q = ParseUc2Rpq(text, &graph->alphabet());
+    if (!q.ok()) return Fail(q.status().ToString());
+    auto out = EvalUc2Rpq(*graph, *q);
+    if (!out.ok()) return Fail(out.status().ToString());
+    PrintTuples(*graph, *out);
+    return 0;
+  }
+  if (cls == "rq") {
+    auto q = ParseRq(text);
+    if (!q.ok()) return Fail(q.status().ToString());
+    auto out = EvalRqQuery(GraphToDatabase(*graph), *q);
+    if (!out.ok()) return Fail(out.status().ToString());
+    PrintTuples(*graph, *out);
+    return 0;
+  }
+  if (cls == "datalog") {
+    auto q = ParseDatalog(text);
+    if (!q.ok()) return Fail(q.status().ToString());
+    auto out = EvalDatalogGoal(*q, GraphToDatabase(*graph));
+    if (!out.ok()) return Fail(out.status().ToString());
+    PrintTuples(*graph, *out);
+    return 0;
+  }
+  return Fail("unknown class: " + cls);
+}

@@ -1,0 +1,62 @@
+#include "automata/alphabet.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rq {
+
+uint32_t Alphabet::InternLabel(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(labels_.size());
+  labels_.emplace_back(name);
+  index_.emplace(labels_.back(), id);
+  return id;
+}
+
+Result<uint32_t> Alphabet::FindLabel(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return NotFoundError("unknown label: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::string Alphabet::SymbolName(Symbol s) const {
+  std::string out = LabelName(SymbolLabel(s));
+  if (IsInverseSymbol(s)) out.push_back('-');
+  return out;
+}
+
+Result<Symbol> Alphabet::ParseSymbol(std::string_view text) const {
+  text = StripWhitespace(text);
+  bool inverse = false;
+  if (!text.empty() && text.back() == '-') {
+    inverse = true;
+    text.remove_suffix(1);
+  }
+  if (!IsIdentifier(text)) {
+    return InvalidArgumentError("bad symbol: " + std::string(text));
+  }
+  RQ_ASSIGN_OR_RETURN(uint32_t label, FindLabel(text));
+  return inverse ? InverseSymbolOf(label) : ForwardSymbolOf(label);
+}
+
+std::string WordToString(const Alphabet& alphabet,
+                         const std::vector<Symbol>& word) {
+  std::string out;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += alphabet.SymbolName(word[i]);
+  }
+  return out;
+}
+
+std::vector<Symbol> InverseWord(const std::vector<Symbol>& word) {
+  std::vector<Symbol> out(word.rbegin(), word.rend());
+  for (Symbol& s : out) s = InverseSymbol(s);
+  return out;
+}
+
+}  // namespace rq

@@ -1,0 +1,222 @@
+#include "automata/containment.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "automata/dfa.h"
+#include "automata/ops.h"
+
+namespace rq {
+
+namespace {
+
+struct PairKey {
+  uint32_t a_state;
+  uint32_t subset_id;
+
+  friend bool operator==(const PairKey& x, const PairKey& y) {
+    return x.a_state == y.a_state && x.subset_id == y.subset_id;
+  }
+};
+
+struct PairKeyHash {
+  size_t operator()(const PairKey& k) const {
+    return (static_cast<size_t>(k.a_state) << 32) ^ k.subset_id;
+  }
+};
+
+struct SubsetHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t x : v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+LanguageContainmentResult CheckLanguageContainment(const Nfa& a_in,
+                                                   const Nfa& b_in) {
+  RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
+  const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
+  const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
+
+  LanguageContainmentResult result;
+
+  // Intern b-subsets so search nodes are small.
+  std::unordered_map<std::vector<uint32_t>, uint32_t, SubsetHash> subset_ids;
+  std::vector<std::vector<uint32_t>> subsets;
+  std::vector<bool> subset_accepting;
+  auto intern_subset = [&](std::vector<uint32_t> subset) {
+    auto it = subset_ids.find(subset);
+    if (it != subset_ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(subsets.size());
+    bool accepting = false;
+    for (uint32_t s : subset) accepting = accepting || b.IsAccepting(s);
+    subset_ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    subset_accepting.push_back(accepting);
+    return id;
+  };
+
+  struct Node {
+    PairKey key;
+    uint32_t parent;  // index into nodes, or UINT32_MAX
+    Symbol via;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<PairKey, uint32_t, PairKeyHash> seen;
+  std::deque<uint32_t> work;
+
+  uint32_t b0 = intern_subset(b.EpsilonClosure(b.initial()));
+  for (uint32_t s : a.initial()) {
+    PairKey key{s, b0};
+    if (seen.contains(key)) continue;
+    seen.emplace(key, static_cast<uint32_t>(nodes.size()));
+    nodes.push_back({key, 0xffffffffu, kInvalidSymbol});
+    work.push_back(static_cast<uint32_t>(nodes.size() - 1));
+  }
+
+  auto extract_word = [&](uint32_t idx) {
+    std::vector<Symbol> word;
+    for (uint32_t i = idx; i != 0xffffffffu; i = nodes[i].parent) {
+      if (nodes[i].via != kInvalidSymbol) word.push_back(nodes[i].via);
+    }
+    std::reverse(word.begin(), word.end());
+    return word;
+  };
+
+  while (!work.empty()) {
+    uint32_t idx = work.front();
+    work.pop_front();
+    PairKey key = nodes[idx].key;
+    ++result.explored_states;
+    if (a.IsAccepting(key.a_state) && !subset_accepting[key.subset_id]) {
+      result.contained = false;
+      result.counterexample = extract_word(idx);
+      return result;
+    }
+    // Group transitions of the A-state by symbol so each symbol computes the
+    // B-subset successor once.
+    const auto& trans = a.TransitionsFrom(key.a_state);
+    for (size_t i = 0; i < trans.size();) {
+      Symbol symbol = trans[i].symbol;
+      // subsets may reallocate during intern; take a copy of the source.
+      std::vector<uint32_t> source = subsets[key.subset_id];
+      uint32_t next_subset = intern_subset(b.Step(source, symbol));
+      for (; i < trans.size() && trans[i].symbol == symbol; ++i) {
+        PairKey next{trans[i].to, next_subset};
+        if (seen.contains(next)) continue;
+        seen.emplace(next, static_cast<uint32_t>(nodes.size()));
+        nodes.push_back({next, idx, symbol});
+        work.push_back(static_cast<uint32_t>(nodes.size() - 1));
+      }
+    }
+  }
+  result.contained = true;
+  return result;
+}
+
+bool LanguagesEqual(const Nfa& a, const Nfa& b) {
+  return CheckLanguageContainment(a, b).contained &&
+         CheckLanguageContainment(b, a).contained;
+}
+
+LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a_in,
+                                                            const Nfa& b_in) {
+  RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
+  const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
+  const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
+
+  LanguageContainmentResult result;
+
+  struct Node {
+    uint32_t a_state;
+    std::vector<uint32_t> subset;
+    uint32_t parent;
+    Symbol via;
+  };
+  std::vector<Node> nodes;
+  std::deque<uint32_t> work;
+  // Per A-state antichain of ⊆-minimal explored subsets.
+  std::vector<std::vector<std::vector<uint32_t>>> antichain(a.num_states());
+
+  auto subset_of = [](const std::vector<uint32_t>& x,
+                      const std::vector<uint32_t>& y) {
+    return std::includes(y.begin(), y.end(), x.begin(), x.end());
+  };
+  auto push = [&](uint32_t a_state, std::vector<uint32_t> subset,
+                  uint32_t parent, Symbol via) {
+    auto& chain = antichain[a_state];
+    for (const auto& existing : chain) {
+      if (subset_of(existing, subset)) return;  // subsumed
+    }
+    // Remove supersets of the new subset.
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const std::vector<uint32_t>& existing) {
+                                 return subset_of(subset, existing);
+                               }),
+                chain.end());
+    chain.push_back(subset);
+    nodes.push_back({a_state, std::move(subset), parent, via});
+    work.push_back(static_cast<uint32_t>(nodes.size() - 1));
+  };
+
+  std::vector<uint32_t> b0 = b.EpsilonClosure(b.initial());
+  for (uint32_t s : a.initial()) push(s, b0, 0xffffffffu, kInvalidSymbol);
+
+  auto subset_accepting = [&](const std::vector<uint32_t>& subset) {
+    for (uint32_t s : subset) {
+      if (b.IsAccepting(s)) return true;
+    }
+    return false;
+  };
+
+  while (!work.empty()) {
+    uint32_t idx = work.front();
+    work.pop_front();
+    // Note: a node may have been superseded in the antichain after being
+    // queued; exploring it anyway is sound (just possibly redundant).
+    ++result.explored_states;
+    if (a.IsAccepting(nodes[idx].a_state) &&
+        !subset_accepting(nodes[idx].subset)) {
+      std::vector<Symbol> word;
+      for (uint32_t i = idx; i != 0xffffffffu; i = nodes[i].parent) {
+        if (nodes[i].via != kInvalidSymbol) word.push_back(nodes[i].via);
+      }
+      std::reverse(word.begin(), word.end());
+      result.contained = false;
+      result.counterexample = std::move(word);
+      return result;
+    }
+    const auto& trans = a.TransitionsFrom(nodes[idx].a_state);
+    for (size_t i = 0; i < trans.size();) {
+      Symbol symbol = trans[i].symbol;
+      std::vector<uint32_t> next_subset = b.Step(nodes[idx].subset, symbol);
+      for (; i < trans.size() && trans[i].symbol == symbol; ++i) {
+        push(trans[i].to, next_subset, idx, symbol);
+      }
+    }
+  }
+  result.contained = true;
+  return result;
+}
+
+LanguageContainmentResult CheckLanguageContainmentExplicit(const Nfa& a,
+                                                           const Nfa& b) {
+  RQ_CHECK(a.num_symbols() == b.num_symbols());
+  LanguageContainmentResult result;
+  Dfa complement = ComplementToDfa(b);
+  Nfa diff = Intersect(a, NfaFromDfa(complement));
+  result.explored_states = diff.num_states();
+  std::vector<Symbol> witness;
+  bool empty = diff.IsEmptyLanguage(&witness);
+  result.contained = empty;
+  if (!empty) result.counterexample = std::move(witness);
+  return result;
+}
+
+}  // namespace rq

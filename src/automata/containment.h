@@ -1,0 +1,47 @@
+// On-the-fly regular-language containment (paper §3.2, steps 1-4).
+//
+// Checks L(A1) ⊆ L(A2) by searching the product of A1 with the lazily
+// determinized complement of A2 for an accepting path, materializing only
+// the (state, subset) pairs the search visits — the construction the paper
+// credits for the PSPACE upper bound of RPQ containment (Lemma 1 + [42]).
+#ifndef RQ_AUTOMATA_CONTAINMENT_H_
+#define RQ_AUTOMATA_CONTAINMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace rq {
+
+struct LanguageContainmentResult {
+  bool contained = false;
+  // When !contained: a shortest word in L(a) \ L(b).
+  std::vector<Symbol> counterexample;
+  // Number of product states explored (for benchmarking the on-the-fly vs
+  // explicit-complement tradeoff).
+  uint64_t explored_states = 0;
+};
+
+// Decides L(a) ⊆ L(b). Both automata must share num_symbols.
+LanguageContainmentResult CheckLanguageContainment(const Nfa& a, const Nfa& b);
+
+// Decides L(a) == L(b) via two containment checks.
+bool LanguagesEqual(const Nfa& a, const Nfa& b);
+
+// Explicit-construction variant used as the baseline in bench_rpq_containment
+// (builds the full complement DFA up front, then intersects).
+LanguageContainmentResult CheckLanguageContainmentExplicit(const Nfa& a,
+                                                           const Nfa& b);
+
+// Antichain-pruned variant of the on-the-fly search: a product node
+// (q, S) is subsumed by an explored (q, S') with S' ⊆ S — any word that
+// escapes S escapes S' — so only ⊆-minimal subsets are kept per state.
+// Same verdicts; counterexamples are valid but not necessarily shortest.
+// bench_antichain_ablation measures the pruning payoff.
+LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a,
+                                                            const Nfa& b);
+
+}  // namespace rq
+
+#endif  // RQ_AUTOMATA_CONTAINMENT_H_

@@ -1,0 +1,66 @@
+// Complete deterministic finite automata with a dense transition table.
+#ifndef RQ_AUTOMATA_DFA_H_
+#define RQ_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/status.h"
+
+namespace rq {
+
+// A complete DFA: every state has exactly one successor per symbol.
+class Dfa {
+ public:
+  Dfa(uint32_t num_states, uint32_t num_symbols)
+      : num_symbols_(num_symbols),
+        initial_(0),
+        accepting_(num_states, false),
+        table_(static_cast<size_t>(num_states) * num_symbols, 0) {}
+
+  uint32_t num_states() const {
+    return static_cast<uint32_t>(accepting_.size());
+  }
+  uint32_t num_symbols() const { return num_symbols_; }
+
+  void SetInitial(uint32_t state) { initial_ = state; }
+  uint32_t initial() const { return initial_; }
+
+  void SetAccepting(uint32_t state, bool accepting = true) {
+    accepting_[state] = accepting;
+  }
+  bool IsAccepting(uint32_t state) const { return accepting_[state]; }
+
+  void SetTransition(uint32_t from, Symbol symbol, uint32_t to) {
+    table_[static_cast<size_t>(from) * num_symbols_ + symbol] = to;
+  }
+  uint32_t Next(uint32_t from, Symbol symbol) const {
+    return table_[static_cast<size_t>(from) * num_symbols_ + symbol];
+  }
+
+  bool Accepts(const std::vector<Symbol>& word) const {
+    uint32_t s = initial_;
+    for (Symbol symbol : word) s = Next(s, symbol);
+    return accepting_[s];
+  }
+
+  // Flips accepting states; complete DFAs complement in O(n).
+  Dfa Complemented() const {
+    Dfa out = *this;
+    for (uint32_t s = 0; s < out.num_states(); ++s) {
+      out.accepting_[s] = !out.accepting_[s];
+    }
+    return out;
+  }
+
+ private:
+  uint32_t num_symbols_;
+  uint32_t initial_;
+  std::vector<bool> accepting_;
+  std::vector<uint32_t> table_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_AUTOMATA_DFA_H_

@@ -1,0 +1,292 @@
+#include "automata/ops.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+namespace rq {
+
+namespace {
+
+// Hash for sorted state-set keys.
+struct VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t x : v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Dfa Determinize(const Nfa& input) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  const uint32_t k = nfa.num_symbols();
+
+  std::unordered_map<std::vector<uint32_t>, uint32_t, VectorHash> ids;
+  std::vector<std::vector<uint32_t>> subsets;
+  std::deque<uint32_t> work;
+
+  auto intern = [&](std::vector<uint32_t> subset) {
+    auto it = ids.find(subset);
+    if (it != ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(subsets.size());
+    ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    work.push_back(id);
+    return id;
+  };
+
+  std::vector<uint32_t> start = nfa.EpsilonClosure(nfa.initial());
+  uint32_t start_id = intern(std::move(start));
+
+  // Transition rows, built as we explore.
+  std::vector<std::vector<uint32_t>> rows;
+  while (!work.empty()) {
+    uint32_t id = work.front();
+    work.pop_front();
+    if (rows.size() <= id) rows.resize(id + 1);
+    rows[id].resize(k);
+    // Copy: `subsets` may reallocate while interning successors.
+    std::vector<uint32_t> subset = subsets[id];
+    for (Symbol s = 0; s < k; ++s) {
+      rows[id][s] = intern(nfa.Step(subset, s));
+    }
+  }
+  rows.resize(subsets.size());
+  for (auto& row : rows) {
+    if (row.empty()) row.resize(k, 0);  // filled below if still pending
+  }
+
+  Dfa dfa(static_cast<uint32_t>(subsets.size()), k);
+  dfa.SetInitial(start_id);
+  for (uint32_t id = 0; id < subsets.size(); ++id) {
+    bool accepting = false;
+    for (uint32_t s : subsets[id]) {
+      accepting = accepting || nfa.IsAccepting(s);
+    }
+    dfa.SetAccepting(id, accepting);
+    for (Symbol s = 0; s < k; ++s) dfa.SetTransition(id, s, rows[id][s]);
+  }
+  return dfa;
+}
+
+Nfa NfaFromDfa(const Dfa& dfa) {
+  Nfa out(dfa.num_symbols());
+  for (uint32_t s = 0; s < dfa.num_states(); ++s) out.AddState();
+  for (uint32_t s = 0; s < dfa.num_states(); ++s) {
+    out.SetAccepting(s, dfa.IsAccepting(s));
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      out.AddTransition(s, a, dfa.Next(s, a));
+    }
+  }
+  out.AddInitial(dfa.initial());
+  return out;
+}
+
+Nfa Intersect(const Nfa& a_in, const Nfa& b_in) {
+  RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
+  const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
+  const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
+
+  // Lazy product: only reachable pairs get states.
+  std::unordered_map<uint64_t, uint32_t> ids;
+  std::deque<std::pair<uint32_t, uint32_t>> work;
+  Nfa out(a.num_symbols());
+
+  auto intern = [&](uint32_t sa, uint32_t sb) {
+    uint64_t key = (static_cast<uint64_t>(sa) << 32) | sb;
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    uint32_t id = out.AddState();
+    out.SetAccepting(id, a.IsAccepting(sa) && b.IsAccepting(sb));
+    ids.emplace(key, id);
+    work.emplace_back(sa, sb);
+    return id;
+  };
+
+  for (uint32_t sa : a.initial()) {
+    for (uint32_t sb : b.initial()) {
+      out.AddInitial(intern(sa, sb));
+    }
+  }
+  while (!work.empty()) {
+    auto [sa, sb] = work.front();
+    work.pop_front();
+    uint32_t from = ids[(static_cast<uint64_t>(sa) << 32) | sb];
+    for (const NfaTransition& ta : a.TransitionsFrom(sa)) {
+      for (const NfaTransition& tb : b.TransitionsFrom(sb)) {
+        if (ta.symbol != tb.symbol) continue;
+        out.AddTransition(from, ta.symbol, intern(ta.to, tb.to));
+      }
+    }
+  }
+  if (out.num_states() == 0) {
+    uint32_t s = out.AddState();
+    out.AddInitial(s);
+  }
+  return out;
+}
+
+Nfa Union(const Nfa& a, const Nfa& b) {
+  RQ_CHECK(a.num_symbols() == b.num_symbols());
+  Nfa out(a.num_symbols());
+  for (uint32_t s = 0; s < a.num_states() + b.num_states(); ++s) {
+    out.AddState();
+  }
+  uint32_t offset = a.num_states();
+  for (uint32_t s = 0; s < a.num_states(); ++s) {
+    out.SetAccepting(s, a.IsAccepting(s));
+    for (const NfaTransition& t : a.TransitionsFrom(s)) {
+      out.AddTransition(s, t.symbol, t.to);
+    }
+    for (uint32_t t : a.EpsilonsFrom(s)) out.AddEpsilon(s, t);
+  }
+  for (uint32_t s = 0; s < b.num_states(); ++s) {
+    out.SetAccepting(offset + s, b.IsAccepting(s));
+    for (const NfaTransition& t : b.TransitionsFrom(s)) {
+      out.AddTransition(offset + s, t.symbol, offset + t.to);
+    }
+    for (uint32_t t : b.EpsilonsFrom(s)) {
+      out.AddEpsilon(offset + s, offset + t);
+    }
+  }
+  for (uint32_t s : a.initial()) out.AddInitial(s);
+  for (uint32_t s : b.initial()) out.AddInitial(offset + s);
+  return out;
+}
+
+Nfa Concat(const Nfa& a, const Nfa& b) {
+  RQ_CHECK(a.num_symbols() == b.num_symbols());
+  Nfa out = Union(a, b);  // same layout; fix initial/accepting/links below.
+  uint32_t offset = a.num_states();
+  // Rebuild: out currently has both initial sets and both accepting sets.
+  Nfa fixed(a.num_symbols());
+  for (uint32_t s = 0; s < out.num_states(); ++s) fixed.AddState();
+  for (uint32_t s = 0; s < out.num_states(); ++s) {
+    for (const NfaTransition& t : out.TransitionsFrom(s)) {
+      fixed.AddTransition(s, t.symbol, t.to);
+    }
+    for (uint32_t t : out.EpsilonsFrom(s)) fixed.AddEpsilon(s, t);
+  }
+  for (uint32_t s : a.initial()) fixed.AddInitial(s);
+  for (uint32_t s = 0; s < a.num_states(); ++s) {
+    if (a.IsAccepting(s)) {
+      for (uint32_t i : b.initial()) fixed.AddEpsilon(s, offset + i);
+    }
+  }
+  for (uint32_t s = 0; s < b.num_states(); ++s) {
+    fixed.SetAccepting(offset + s, b.IsAccepting(s));
+  }
+  return fixed;
+}
+
+Dfa ComplementToDfa(const Nfa& nfa) { return Determinize(nfa).Complemented(); }
+
+namespace {
+
+// Restricts a DFA to states reachable from the initial state.
+Dfa DropUnreachable(const Dfa& dfa) {
+  std::vector<uint32_t> remap(dfa.num_states(), 0xffffffffu);
+  std::vector<uint32_t> order;
+  std::deque<uint32_t> work;
+  remap[dfa.initial()] = 0;
+  order.push_back(dfa.initial());
+  work.push_back(dfa.initial());
+  while (!work.empty()) {
+    uint32_t s = work.front();
+    work.pop_front();
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      uint32_t t = dfa.Next(s, a);
+      if (remap[t] == 0xffffffffu) {
+        remap[t] = static_cast<uint32_t>(order.size());
+        order.push_back(t);
+        work.push_back(t);
+      }
+    }
+  }
+  Dfa out(static_cast<uint32_t>(order.size()), dfa.num_symbols());
+  out.SetInitial(0);
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    out.SetAccepting(i, dfa.IsAccepting(order[i]));
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      out.SetTransition(i, a, remap[dfa.Next(order[i], a)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dfa Minimize(const Dfa& input) {
+  Dfa dfa = DropUnreachable(input);
+  const uint32_t n = dfa.num_states();
+  const uint32_t k = dfa.num_symbols();
+
+  // Moore's algorithm: refine by (class, successor classes) signature.
+  std::vector<uint32_t> cls(n);
+  for (uint32_t s = 0; s < n; ++s) cls[s] = dfa.IsAccepting(s) ? 1 : 0;
+  uint32_t num_classes = 2;
+  for (;;) {
+    std::map<std::vector<uint32_t>, uint32_t> sig_to_class;
+    std::vector<uint32_t> next_cls(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      std::vector<uint32_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(cls[s]);
+      for (Symbol a = 0; a < k; ++a) sig.push_back(cls[dfa.Next(s, a)]);
+      auto [it, inserted] = sig_to_class.emplace(
+          std::move(sig), static_cast<uint32_t>(sig_to_class.size()));
+      next_cls[s] = it->second;
+      (void)inserted;
+    }
+    uint32_t next_num = static_cast<uint32_t>(sig_to_class.size());
+    if (next_num == num_classes) break;
+    num_classes = next_num;
+    cls = std::move(next_cls);
+  }
+
+  Dfa out(num_classes, k);
+  out.SetInitial(cls[dfa.initial()]);
+  for (uint32_t s = 0; s < n; ++s) {
+    out.SetAccepting(cls[s], dfa.IsAccepting(s));
+    for (Symbol a = 0; a < k; ++a) {
+      out.SetTransition(cls[s], a, cls[dfa.Next(s, a)]);
+    }
+  }
+  return out;
+}
+
+bool LanguagesEqualByMinimization(const Nfa& a, const Nfa& b) {
+  Dfa ma = Minimize(Determinize(a));
+  Dfa mb = Minimize(Determinize(b));
+  if (ma.num_states() != mb.num_states()) return false;
+  // Isomorphism check from the initial states (minimal DFAs are canonical
+  // up to state renaming).
+  std::vector<uint32_t> map_ab(ma.num_states(), 0xffffffffu);
+  std::deque<uint32_t> work;
+  map_ab[ma.initial()] = mb.initial();
+  work.push_back(ma.initial());
+  while (!work.empty()) {
+    uint32_t s = work.front();
+    work.pop_front();
+    uint32_t t = map_ab[s];
+    if (ma.IsAccepting(s) != mb.IsAccepting(t)) return false;
+    for (Symbol x = 0; x < ma.num_symbols(); ++x) {
+      uint32_t sn = ma.Next(s, x);
+      uint32_t tn = mb.Next(t, x);
+      if (map_ab[sn] == 0xffffffffu) {
+        map_ab[sn] = tn;
+        work.push_back(sn);
+      } else if (map_ab[sn] != tn) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rq

@@ -1,0 +1,45 @@
+// Classical automata constructions (paper §3.2 steps 1-4): subset
+// construction, complementation, product, union, and DFA minimization.
+#ifndef RQ_AUTOMATA_OPS_H_
+#define RQ_AUTOMATA_OPS_H_
+
+#include <cstdint>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rq {
+
+// Subset construction. Exponential worst case; only reachable subsets are
+// materialized. The result is complete (has an explicit dead state when
+// needed).
+Dfa Determinize(const Nfa& nfa);
+
+// One-state-per-DFA-state NFA view (for code that wants a uniform type).
+Nfa NfaFromDfa(const Dfa& dfa);
+
+// Product automaton: L(a) ∩ L(b). Requires equal num_symbols. Epsilon-free
+// inputs recommended (epsilons are eliminated internally otherwise).
+Nfa Intersect(const Nfa& a, const Nfa& b);
+
+// Union automaton: L(a) ∪ L(b) (disjoint-union of state sets).
+Nfa Union(const Nfa& a, const Nfa& b);
+
+// Concatenation L(a)·L(b) using epsilon links.
+Nfa Concat(const Nfa& a, const Nfa& b);
+
+// Complement by determinization then flipping: exponential blow-up, the
+// "naive" route the paper contrasts with on-the-fly search.
+Dfa ComplementToDfa(const Nfa& nfa);
+
+// Moore partition-refinement minimization of a complete DFA. Keeps only
+// reachable states first.
+Dfa Minimize(const Dfa& dfa);
+
+// Language equality via minimized canonical forms (used to cross-check the
+// on-the-fly containment code in tests).
+bool LanguagesEqualByMinimization(const Nfa& a, const Nfa& b);
+
+}  // namespace rq
+
+#endif  // RQ_AUTOMATA_OPS_H_

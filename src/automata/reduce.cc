@@ -1,0 +1,106 @@
+#include "automata/reduce.h"
+
+#include <algorithm>
+
+namespace rq {
+
+std::vector<std::vector<bool>> SimulationPreorder(const Nfa& input) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  const uint32_t n = nfa.num_states();
+  // sim[s][t]: t simulates s. Start from the acceptance-compatible full
+  // relation and refine to the greatest fixpoint.
+  std::vector<std::vector<bool>> sim(n, std::vector<bool>(n, true));
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      if (nfa.IsAccepting(s) && !nfa.IsAccepting(t)) sim[s][t] = false;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t s = 0; s < n; ++s) {
+      for (uint32_t t = 0; t < n; ++t) {
+        if (!sim[s][t]) continue;
+        // Every move of s must be matched by some move of t on the same
+        // symbol into a simulating state.
+        bool ok = true;
+        for (const NfaTransition& ts : nfa.TransitionsFrom(s)) {
+          bool matched = false;
+          for (const NfaTransition& tt : nfa.TransitionsFrom(t)) {
+            if (tt.symbol == ts.symbol && sim[ts.to][tt.to]) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) {
+          sim[s][t] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  return sim;
+}
+
+Nfa ReduceBySimulation(const Nfa& input) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  const uint32_t n = nfa.num_states();
+  if (n == 0) return nfa;
+  std::vector<std::vector<bool>> sim = SimulationPreorder(nfa);
+
+  // Classes of mutual simulation; representative = smallest member.
+  std::vector<uint32_t> cls(n);
+  std::vector<uint32_t> reps;
+  for (uint32_t s = 0; s < n; ++s) {
+    uint32_t found = 0xffffffffu;
+    for (uint32_t r : reps) {
+      if (sim[s][r] && sim[r][s]) {
+        found = cls[r];
+        break;
+      }
+    }
+    if (found == 0xffffffffu) {
+      found = static_cast<uint32_t>(reps.size());
+      reps.push_back(s);
+    }
+    cls[s] = found;
+  }
+
+  Nfa out(nfa.num_symbols());
+  for (size_t c = 0; c < reps.size(); ++c) out.AddState();
+  std::vector<bool> is_initial(reps.size(), false);
+  for (uint32_t s : nfa.initial()) is_initial[cls[s]] = true;
+  for (size_t c = 0; c < reps.size(); ++c) {
+    if (is_initial[c]) out.AddInitial(static_cast<uint32_t>(c));
+  }
+  // Transitions: union over class members, targets mapped to classes.
+  for (uint32_t s = 0; s < n; ++s) {
+    if (nfa.IsAccepting(s)) out.SetAccepting(cls[s]);
+  }
+  std::vector<std::vector<NfaTransition>> merged(reps.size());
+  for (uint32_t s = 0; s < n; ++s) {
+    for (const NfaTransition& t : nfa.TransitionsFrom(s)) {
+      merged[cls[s]].push_back({t.symbol, cls[t.to]});
+    }
+  }
+  for (size_t c = 0; c < reps.size(); ++c) {
+    auto& list = merged[c];
+    std::sort(list.begin(), list.end(),
+              [](const NfaTransition& a, const NfaTransition& b) {
+                return a.symbol != b.symbol ? a.symbol < b.symbol
+                                            : a.to < b.to;
+              });
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    for (const NfaTransition& t : list) {
+      out.AddTransition(static_cast<uint32_t>(c), t.symbol, t.to);
+    }
+  }
+  return out.Trimmed();
+}
+
+}  // namespace rq

@@ -1,0 +1,26 @@
+// NFA reduction by simulation quotient.
+//
+// The simulation preorder s ≼ t (t can mimic every move of s and is
+// accepting whenever s is) is computed as a greatest fixpoint in O(n²·m);
+// merging mutually-similar states preserves the language exactly. Smaller
+// NFAs shrink everything downstream — most notably the fold 2NFA of the
+// Theorem 5 pipeline, whose state count is n·(|Σ±|+1) in the NFA's n.
+#ifndef RQ_AUTOMATA_REDUCE_H_
+#define RQ_AUTOMATA_REDUCE_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace rq {
+
+// simulated_by[s][t] == true iff t simulates s. Input must be epsilon-free
+// (internally eliminated otherwise).
+std::vector<std::vector<bool>> SimulationPreorder(const Nfa& nfa);
+
+// Quotients by mutual simulation. Language-preserving; never larger.
+Nfa ReduceBySimulation(const Nfa& nfa);
+
+}  // namespace rq
+
+#endif  // RQ_AUTOMATA_REDUCE_H_

@@ -1,0 +1,114 @@
+#include "automata/words.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rq {
+
+std::vector<std::vector<Symbol>> EnumerateAcceptedWords(const Nfa& input,
+                                                        size_t max_length,
+                                                        size_t limit) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  std::vector<std::vector<Symbol>> out;
+  if (limit == 0) return out;
+
+  struct Item {
+    std::vector<Symbol> word;
+    std::vector<uint32_t> states;
+  };
+  std::deque<Item> work;
+  work.push_back({{}, nfa.EpsilonClosure(nfa.initial())});
+  while (!work.empty()) {
+    Item item = std::move(work.front());
+    work.pop_front();
+    bool accepting = false;
+    for (uint32_t s : item.states) accepting = accepting || nfa.IsAccepting(s);
+    if (accepting) {
+      out.push_back(item.word);
+      if (out.size() >= limit) return out;
+    }
+    if (item.word.size() >= max_length) continue;
+    for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+      std::vector<uint32_t> next = nfa.Step(item.states, a);
+      if (next.empty()) continue;
+      std::vector<Symbol> word = item.word;
+      word.push_back(a);
+      work.push_back({std::move(word), std::move(next)});
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Symbol>> SampleAcceptedWord(const Nfa& input,
+                                                      size_t max_length,
+                                                      size_t attempts,
+                                                      Rng& rng) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    std::vector<uint32_t> states = nfa.EpsilonClosure(nfa.initial());
+    std::vector<Symbol> word;
+    size_t target =
+        static_cast<size_t>(rng.Between(0, static_cast<int64_t>(max_length)));
+    for (size_t step = 0; step < target; ++step) {
+      // Collect symbols with nonempty successors.
+      std::vector<Symbol> candidates;
+      for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+        if (!nfa.Step(states, a).empty()) candidates.push_back(a);
+      }
+      if (candidates.empty()) break;
+      Symbol pick = candidates[rng.Below(candidates.size())];
+      states = nfa.Step(states, pick);
+      word.push_back(pick);
+    }
+    for (uint32_t s : states) {
+      if (nfa.IsAccepting(s)) return word;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsFiniteLanguage(const Nfa& input) {
+  Nfa trimmed = input.Trimmed();
+  const Nfa nfa =
+      trimmed.HasEpsilons() ? trimmed.WithoutEpsilons() : trimmed;
+  // A trimmed automaton has an infinite language iff it has a cycle (every
+  // state lies on an initial→accepting path). DFS cycle detection.
+  enum class Mark { kUnseen, kActive, kDone };
+  std::vector<Mark> mark(nfa.num_states(), Mark::kUnseen);
+  // Iterative DFS.
+  for (uint32_t root = 0; root < nfa.num_states(); ++root) {
+    if (mark[root] != Mark::kUnseen) continue;
+    std::vector<std::pair<uint32_t, size_t>> stack{{root, 0}};
+    mark[root] = Mark::kActive;
+    while (!stack.empty()) {
+      auto& [state, next_index] = stack.back();
+      const auto& trans = nfa.TransitionsFrom(state);
+      if (next_index < trans.size()) {
+        uint32_t to = trans[next_index++].to;
+        if (mark[to] == Mark::kActive) return false;  // cycle
+        if (mark[to] == Mark::kUnseen) {
+          mark[to] = Mark::kActive;
+          stack.push_back({to, 0});
+        }
+      } else {
+        mark[state] = Mark::kDone;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<uint64_t> CountWordsUpTo(const Nfa& nfa, uint64_t cap) {
+  if (!IsFiniteLanguage(nfa)) return std::nullopt;
+  // Finite language: every accepted word has < num_states letters once the
+  // automaton is trimmed (no cycles). Enumerate with a generous cap.
+  Nfa trimmed = nfa.Trimmed();
+  std::vector<std::vector<Symbol>> words =
+      EnumerateAcceptedWords(trimmed, trimmed.num_states() + 1,
+                             static_cast<size_t>(cap) + 1);
+  if (words.size() > cap) return std::nullopt;
+  return static_cast<uint64_t>(words.size());
+}
+
+}  // namespace rq

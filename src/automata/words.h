@@ -1,0 +1,36 @@
+// Language sampling and enumeration used by property tests and benches.
+#ifndef RQ_AUTOMATA_WORDS_H_
+#define RQ_AUTOMATA_WORDS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/rng.h"
+
+namespace rq {
+
+// Enumerates accepted words in length-lexicographic order, up to `max_length`
+// letters, returning at most `limit` words.
+std::vector<std::vector<Symbol>> EnumerateAcceptedWords(const Nfa& nfa,
+                                                        size_t max_length,
+                                                        size_t limit);
+
+// Samples a random accepted word of length <= max_length by random walk with
+// restarts; returns nullopt if none found within `attempts` restarts.
+std::optional<std::vector<Symbol>> SampleAcceptedWord(const Nfa& nfa,
+                                                      size_t max_length,
+                                                      size_t attempts,
+                                                      Rng& rng);
+
+// True if the language is finite (no cycle on a useful state).
+bool IsFiniteLanguage(const Nfa& nfa);
+
+// Number of accepted words if the language is finite and has at most `cap`
+// words; nullopt otherwise.
+std::optional<uint64_t> CountWordsUpTo(const Nfa& nfa, uint64_t cap);
+
+}  // namespace rq
+
+#endif  // RQ_AUTOMATA_WORDS_H_

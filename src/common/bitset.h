@@ -1,0 +1,121 @@
+// Fixed-capacity dynamic bitset used by the two-way automata machinery,
+// where state sets of a few hundred bits are manipulated in tight loops.
+#ifndef RQ_COMMON_BITSET_H_
+#define RQ_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rq {
+
+class Bitset {
+ public:
+  Bitset() : num_bits_(0) {}
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    RQ_CHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    RQ_CHECK(i < num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(size_t i) {
+    RQ_CHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  // this |= other. Returns true if any bit changed.
+  bool UnionWith(const Bitset& other) {
+    RQ_CHECK(other.num_bits_ == num_bits_);
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t before = words_[i];
+      words_[i] |= other.words_[i];
+      changed = changed || (words_[i] != before);
+    }
+    return changed;
+  }
+
+  void IntersectWith(const Bitset& other) {
+    RQ_CHECK(other.num_bits_ == num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  bool Intersects(const Bitset& other) const {
+    RQ_CHECK(other.num_bits_ == num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  // True if this ⊆ other.
+  bool IsSubsetOf(const Bitset& other) const {
+    RQ_CHECK(other.num_bits_ == num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  // Calls f(i) for every set bit, in increasing order.
+  template <typename F>
+  void ForEach(F f) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+        f(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  size_t Hash() const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_COMMON_BITSET_H_

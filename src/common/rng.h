@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for workload generators,
+// property tests, and benchmarks. All randomized code in librq takes an
+// explicit seed so every run is reproducible.
+#ifndef RQ_COMMON_RNG_H_
+#define RQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace rq {
+
+// SplitMix64: tiny, fast, passes BigCrush for this use. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    RQ_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t Between(int64_t lo, int64_t hi) {
+    RQ_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Forks an independent stream (useful for parallel-looking generators).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_COMMON_RNG_H_

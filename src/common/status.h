@@ -1,0 +1,151 @@
+// Lightweight Status / Result<T> error handling for librq.
+//
+// Library code does not throw; recoverable failures (parse errors, malformed
+// queries, arity mismatches) are reported through Status. Programming errors
+// are handled with RQ_CHECK, which aborts.
+#ifndef RQ_COMMON_STATUS_H_
+#define RQ_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no
+// allocation); errors carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+// A value of type T or a non-OK Status. Modeled after absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}
+  Result(Status status) : payload_(std::move(status)) {
+    RqCheckNotOkConstruction();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+  void RqCheckNotOkConstruction() const {
+    if (ok()) return;  // holds T, fine.
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace rq
+
+// Propagates a non-OK status out of the current function.
+#define RQ_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::rq::Status rq_status_tmp_ = (expr);         \
+    if (!rq_status_tmp_.ok()) return rq_status_tmp_; \
+  } while (0)
+
+#define RQ_STATUS_MACROS_CONCAT_IMPL(x, y) x##y
+#define RQ_STATUS_MACROS_CONCAT(x, y) RQ_STATUS_MACROS_CONCAT_IMPL(x, y)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define RQ_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  RQ_ASSIGN_OR_RETURN_IMPL(                                               \
+      RQ_STATUS_MACROS_CONCAT(rq_result_tmp_, __LINE__), lhs, rexpr)
+
+#define RQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+// Fatal assertion for invariants; always on.
+#define RQ_CHECK(cond)                                                 \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "RQ_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#endif  // RQ_COMMON_STATUS_H_

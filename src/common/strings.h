@@ -1,0 +1,33 @@
+// Small string utilities shared across parsers and printers.
+#ifndef RQ_COMMON_STRINGS_H_
+#define RQ_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rq {
+
+// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Joins with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// True if c is valid in an identifier ([A-Za-z0-9_]).
+bool IsIdentChar(char c);
+
+// True if the whole string is a nonempty identifier starting with a letter
+// or underscore.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace rq
+
+#endif  // RQ_COMMON_STRINGS_H_

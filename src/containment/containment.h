@@ -1,0 +1,42 @@
+// Unified query-containment entry points (the decision problems the paper
+// tracks across its whole ladder, §2.3/§3.2/§3.3/§3.4/§4).
+//
+// Exact procedures by class (all implemented in the modules below and
+// re-exported here):
+//   RPQ  ⊑ RPQ    — automata/containment.h + pathquery/containment.h
+//   2RPQ ⊑ 2RPQ   — pathquery/containment.h   (fold pipeline, Theorem 5)
+//   CQ   ⊑ CQ     — relational/cq.h           (Chandra-Merlin)
+//   UCQ  ⊑ UCQ    — relational/cq.h           (Sagiv-Yannakakis)
+//   RQ   ⊑ RQ     — rq/containment.h          (dispatch + expansions)
+//
+// This header adds Datalog ⊑ Datalog: when both programs are GRQ
+// (recursion = transitive closure only), containment goes through the RQ
+// extraction exactly as §4.1 prescribes; otherwise the checker falls back
+// to bounded proof-tree expansions, which refute exactly and prove only
+// for nonrecursive left-hand sides.
+#ifndef RQ_CONTAINMENT_CONTAINMENT_H_
+#define RQ_CONTAINMENT_CONTAINMENT_H_
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "datalog/unfold.h"
+#include "rq/containment.h"
+
+namespace rq {
+
+struct DatalogContainmentOptions {
+  ExpandLimits expand;
+  bool try_grq = true;
+  RqContainmentOptions rq;
+};
+
+// Decides (or bounds) goal(q1) ⊑ goal(q2). Both programs need goals of the
+// same arity. Returns the same verdict structure as RQ containment;
+// `method` is prefixed with "grq:" when the GRQ extraction applied.
+Result<RqContainmentResult> CheckDatalogContainment(
+    const DatalogProgram& q1, const DatalogProgram& q2,
+    const DatalogContainmentOptions& options = {});
+
+}  // namespace rq
+
+#endif  // RQ_CONTAINMENT_CONTAINMENT_H_

@@ -1,0 +1,453 @@
+#include "crpq/crpq.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "automata/words.h"
+#include "common/strings.h"
+#include "pathquery/containment.h"
+#include "pathquery/path_query.h"
+
+namespace rq {
+
+Status Crpq::Validate() const {
+  if (atoms.empty()) return InvalidArgumentError("C2RPQ: no atoms");
+  if (head.empty()) return InvalidArgumentError("C2RPQ: empty head");
+  std::vector<bool> in_body(num_vars, false);
+  for (const CrpqAtom& atom : atoms) {
+    if (atom.regex == nullptr) {
+      return InvalidArgumentError("C2RPQ: null regex");
+    }
+    if (atom.from >= num_vars || atom.to >= num_vars) {
+      return InvalidArgumentError("C2RPQ: variable id out of range");
+    }
+    in_body[atom.from] = true;
+    in_body[atom.to] = true;
+  }
+  for (VarId v : head) {
+    if (v >= num_vars || !in_body[v]) {
+      return InvalidArgumentError(
+          "C2RPQ: head variable does not occur in the body");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+std::string CrpqVarName(const Crpq& q, VarId v) {
+  if (v < q.var_names.size() && !q.var_names[v].empty()) {
+    return q.var_names[v];
+  }
+  return "v" + std::to_string(v);
+}
+
+}  // namespace
+
+std::string Crpq::ToString(const Alphabet& alphabet) const {
+  std::string out = "q(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += CrpqVarName(*this, head[i]);
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + atoms[i].regex->ToString(alphabet) + ")(" +
+           CrpqVarName(*this, atoms[i].from) + ", " +
+           CrpqVarName(*this, atoms[i].to) + ")";
+  }
+  return out;
+}
+
+Status Uc2Rpq::Validate() const {
+  if (disjuncts.empty()) return InvalidArgumentError("UC2RPQ: no disjuncts");
+  for (const Crpq& q : disjuncts) {
+    RQ_RETURN_IF_ERROR(q.Validate());
+    if (q.head.size() != disjuncts[0].head.size()) {
+      return InvalidArgumentError("UC2RPQ: disjunct arity mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Uc2Rpq::ToString(const Alphabet& alphabet) const {
+  std::string out;
+  for (const Crpq& q : disjuncts) {
+    out += q.ToString(alphabet);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Crpq> ParseCrpq(std::string_view text, Alphabet* alphabet) {
+  size_t sep = text.find(":-");
+  if (sep == std::string_view::npos) {
+    return InvalidArgumentError("C2RPQ: missing ':-' in '" +
+                                std::string(text) + "'");
+  }
+  Crpq query;
+  std::unordered_map<std::string, VarId> vars;
+  auto intern = [&](std::string_view name) {
+    auto it = vars.find(std::string(name));
+    if (it != vars.end()) return it->second;
+    VarId id = query.num_vars++;
+    vars.emplace(std::string(name), id);
+    query.var_names.emplace_back(name);
+    return id;
+  };
+
+  // Head: ident(v1, ..., vk).
+  std::string_view head = StripWhitespace(text.substr(0, sep));
+  size_t open = head.find('(');
+  if (open == std::string_view::npos || head.back() != ')') {
+    return InvalidArgumentError("C2RPQ: malformed head");
+  }
+  for (const std::string& piece :
+       StrSplit(head.substr(open + 1, head.size() - open - 2), ',')) {
+    std::string_view name = StripWhitespace(piece);
+    if (!IsIdentifier(name)) {
+      return InvalidArgumentError("C2RPQ: bad head variable '" +
+                                  std::string(name) + "'");
+    }
+    query.head.push_back(intern(name));
+  }
+
+  // Body: atoms "(regex)(u, v)" separated by commas at depth 0.
+  std::string_view body = StripWhitespace(text.substr(sep + 2));
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[pos]))) {
+      ++pos;
+    }
+  };
+  for (;;) {
+    skip_space();
+    if (pos >= body.size() || body[pos] != '(') {
+      return InvalidArgumentError("C2RPQ: expected '(' starting an atom");
+    }
+    // Find the matching ')'.
+    size_t depth = 0;
+    size_t start = pos;
+    size_t end = pos;
+    for (; end < body.size(); ++end) {
+      if (body[end] == '(') ++depth;
+      if (body[end] == ')') {
+        if (--depth == 0) break;
+      }
+    }
+    if (end >= body.size()) {
+      return InvalidArgumentError("C2RPQ: unbalanced parentheses in regex");
+    }
+    RQ_ASSIGN_OR_RETURN(
+        RegexPtr regex,
+        ParseRegex(body.substr(start + 1, end - start - 1), alphabet));
+    pos = end + 1;
+    skip_space();
+    if (pos >= body.size() || body[pos] != '(') {
+      return InvalidArgumentError("C2RPQ: expected '(u, v)' after regex");
+    }
+    size_t close = body.find(')', pos);
+    if (close == std::string_view::npos) {
+      return InvalidArgumentError("C2RPQ: missing ')' after variables");
+    }
+    std::vector<std::string> pieces =
+        StrSplit(body.substr(pos + 1, close - pos - 1), ',');
+    if (pieces.size() != 2) {
+      return InvalidArgumentError("C2RPQ: atoms take exactly two variables");
+    }
+    std::string_view u = StripWhitespace(pieces[0]);
+    std::string_view v = StripWhitespace(pieces[1]);
+    if (!IsIdentifier(u) || !IsIdentifier(v)) {
+      return InvalidArgumentError("C2RPQ: bad atom variables");
+    }
+    query.atoms.push_back({regex, intern(u), intern(v)});
+    pos = close + 1;
+    skip_space();
+    if (pos < body.size() && body[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (pos != body.size()) {
+    return InvalidArgumentError("C2RPQ: trailing input '" +
+                                std::string(body.substr(pos)) + "'");
+  }
+  RQ_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+Result<Uc2Rpq> ParseUc2Rpq(std::string_view text, Alphabet* alphabet) {
+  Uc2Rpq out;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    RQ_ASSIGN_OR_RETURN(Crpq q, ParseCrpq(stripped, alphabet));
+    out.disjuncts.push_back(std::move(q));
+  }
+  RQ_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query) {
+  RQ_RETURN_IF_ERROR(query.Validate());
+  // Instantiate each distinct 2RPQ as a binary relation (phase one), then
+  // join (phase two).
+  std::unordered_map<const Regex*, Relation> cache;
+  std::vector<MatchAtom> atoms;
+  std::vector<std::vector<VarId>> var_lists;
+  var_lists.reserve(query.atoms.size());
+  for (const CrpqAtom& atom : query.atoms) {
+    auto it = cache.find(atom.regex.get());
+    if (it == cache.end()) {
+      Relation rel(2);
+      for (const auto& [x, y] : EvalPathQuery(db, *atom.regex)) {
+        rel.Insert({x, y});
+      }
+      it = cache.emplace(atom.regex.get(), std::move(rel)).first;
+    }
+    var_lists.push_back({atom.from, atom.to});
+  }
+  size_t i = 0;
+  for (const CrpqAtom& atom : query.atoms) {
+    atoms.push_back({&cache.at(atom.regex.get()), var_lists[i++]});
+  }
+  Relation out(query.head.size());
+  MatchConjunction(atoms, query.num_vars,
+                   [&](const std::vector<Value>& binding) {
+                     Tuple t;
+                     t.reserve(query.head.size());
+                     for (VarId v : query.head) t.push_back(binding[v]);
+                     out.Insert(t);
+                     return true;
+                   });
+  return out;
+}
+
+Result<Relation> EvalUc2Rpq(const GraphDb& db, const Uc2Rpq& query) {
+  RQ_RETURN_IF_ERROR(query.Validate());
+  Relation out(query.disjuncts[0].head.size());
+  for (const Crpq& q : query.disjuncts) {
+    RQ_ASSIGN_OR_RETURN(Relation part, EvalCrpq(db, q));
+    out.InsertAll(part);
+  }
+  return out;
+}
+
+namespace {
+
+// Union-find over query variables (empty-word atoms merge endpoints).
+class VarUnionFind {
+ public:
+  explicit VarUnionFind(uint32_t n) : parent_(n) {
+    for (uint32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+// Builds the canonical graph of one expansion: per atom, a concrete word.
+struct CanonicalExpansion {
+  GraphDb graph;
+  std::vector<NodeId> node_of_var;
+};
+
+CanonicalExpansion BuildCanonical(const Crpq& query,
+                                  const std::vector<std::vector<Symbol>>&
+                                      words,
+                                  const Alphabet& alphabet) {
+  CanonicalExpansion out;
+  for (uint32_t label = 0; label < alphabet.num_labels(); ++label) {
+    out.graph.alphabet().InternLabel(alphabet.LabelName(label));
+  }
+  VarUnionFind uf(query.num_vars);
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    if (words[i].empty()) uf.Merge(query.atoms[i].from, query.atoms[i].to);
+  }
+  std::vector<NodeId> node(query.num_vars, 0);
+  std::vector<bool> created(query.num_vars, false);
+  auto node_of = [&](VarId v) {
+    uint32_t root = uf.Find(v);
+    if (!created[root]) {
+      node[root] = out.graph.AddNode();
+      created[root] = true;
+    }
+    return node[root];
+  };
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    const std::vector<Symbol>& word = words[i];
+    if (word.empty()) continue;
+    NodeId prev = node_of(query.atoms[i].from);
+    for (size_t j = 0; j < word.size(); ++j) {
+      NodeId next = (j + 1 == word.size()) ? node_of(query.atoms[i].to)
+                                           : out.graph.AddNode();
+      uint32_t label = SymbolLabel(word[j]);
+      if (IsInverseSymbol(word[j])) {
+        out.graph.AddEdge(next, label, prev);
+      } else {
+        out.graph.AddEdge(prev, label, next);
+      }
+      prev = next;
+    }
+  }
+  out.node_of_var.resize(query.num_vars);
+  for (VarId v = 0; v < query.num_vars; ++v) {
+    out.node_of_var[v] = node_of(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CrpqContainmentResult> CheckUc2RpqContainment(
+    const Uc2Rpq& q1, const Uc2Rpq& q2, const Alphabet& alphabet,
+    const CrpqContainmentOptions& options) {
+  RQ_RETURN_IF_ERROR(q1.Validate());
+  RQ_RETURN_IF_ERROR(q2.Validate());
+  if (q1.disjuncts[0].head.size() != q2.disjuncts[0].head.size()) {
+    return InvalidArgumentError(
+        "CheckUc2RpqContainment: head arity mismatch");
+  }
+  CrpqContainmentResult result;
+
+  // Exact dispatch: both sides a single 2RPQ atom over the head pair.
+  auto as_single_2rpq = [](const Uc2Rpq& q) -> RegexPtr {
+    if (q.disjuncts.size() != 1) return nullptr;
+    const Crpq& d = q.disjuncts[0];
+    if (d.atoms.size() != 1 || d.head.size() != 2) return nullptr;
+    if (d.head[0] == d.head[1]) return nullptr;
+    const CrpqAtom& atom = d.atoms[0];
+    if (atom.from == d.head[0] && atom.to == d.head[1]) return atom.regex;
+    if (atom.from == d.head[1] && atom.to == d.head[0]) {
+      return atom.regex->InverseExpression();
+    }
+    return nullptr;
+  };
+  RegexPtr r1 = as_single_2rpq(q1);
+  RegexPtr r2 = as_single_2rpq(q2);
+  if (r1 != nullptr && r2 != nullptr) {
+    PathContainmentResult path =
+        CheckPathQueryContainment(*r1, *r2, alphabet);
+    result.method = "2rpq-fold";
+    if (path.contained) {
+      result.certainty = Certainty::kProved;
+    } else {
+      result.certainty = Certainty::kRefuted;
+      SemipathWitness witness =
+          BuildSemipathWitness(alphabet, path.counterexample);
+      result.witness_x = witness.start;
+      result.witness_y = witness.end;
+      result.witness_tuple = {witness.start, witness.end};
+      result.counterexample = std::move(witness.db);
+    }
+    return result;
+  }
+
+  // Expansion test.
+  bool complete = true;
+  bool truncated = false;
+  const uint32_t k =
+      (std::max(static_cast<uint32_t>(alphabet.num_symbols()), 2u) + 1) &
+      ~1u;
+  for (const Crpq& disjunct : q1.disjuncts) {
+    // Enumerate candidate words per atom.
+    std::vector<std::vector<std::vector<Symbol>>> words(
+        disjunct.atoms.size());
+    bool disjunct_empty = false;
+    for (size_t i = 0; i < disjunct.atoms.size(); ++i) {
+      Nfa nfa = disjunct.atoms[i]
+                    .regex->ToNfa(std::max(
+                        k, disjunct.atoms[i].regex->MinNumSymbols()))
+                    .WithoutEpsilons()
+                    .Trimmed();
+      bool finite = IsFiniteLanguage(nfa);
+      size_t max_len = finite
+                           ? std::max<size_t>(options.max_word_length,
+                                              nfa.num_states() + 1)
+                           : options.max_word_length;
+      words[i] =
+          EnumerateAcceptedWords(nfa, max_len, options.max_expansions + 1);
+      if (words[i].size() > options.max_expansions) {
+        words[i].resize(options.max_expansions);
+        complete = false;
+        truncated = true;
+      }
+      if (!finite) complete = false;
+      if (words[i].empty()) {
+        if (finite) {
+          // Empty language: the disjunct is unsatisfiable, trivially
+          // contained.
+          disjunct_empty = true;
+        } else {
+          complete = false;  // words exist beyond the bound
+          disjunct_empty = true;  // nothing to test within the bound
+        }
+        break;
+      }
+    }
+    if (disjunct_empty) continue;
+
+    // Cartesian product over atom word choices (odometer).
+    std::vector<size_t> idx(disjunct.atoms.size(), 0);
+    for (;;) {
+      if (result.expansions_checked >= options.max_expansions) {
+        complete = false;
+        truncated = true;
+        break;
+      }
+      ++result.expansions_checked;
+      std::vector<std::vector<Symbol>> choice;
+      choice.reserve(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        choice.push_back(words[i][idx[i]]);
+      }
+      CanonicalExpansion canonical =
+          BuildCanonical(disjunct, choice, alphabet);
+      RQ_ASSIGN_OR_RETURN(Relation answers,
+                          EvalUc2Rpq(canonical.graph, q2));
+      Tuple head_tuple;
+      for (VarId v : disjunct.head) {
+        head_tuple.push_back(canonical.node_of_var[v]);
+      }
+      if (!answers.Contains(head_tuple)) {
+        result.certainty = Certainty::kRefuted;
+        result.method = "expansion";
+        result.witness_tuple = head_tuple;
+        result.witness_x = head_tuple.empty()
+                               ? 0
+                               : static_cast<NodeId>(head_tuple[0]);
+        result.witness_y = head_tuple.size() > 1
+                               ? static_cast<NodeId>(head_tuple[1])
+                               : result.witness_x;
+        result.counterexample = std::move(canonical.graph);
+        return result;
+      }
+      // Advance the odometer.
+      size_t pos = 0;
+      while (pos < idx.size()) {
+        if (++idx[pos] < words[pos].size()) break;
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == idx.size()) break;
+    }
+    (void)truncated;
+  }
+  result.method = complete ? "expansion-exact" : "expansion-bounded";
+  result.certainty =
+      complete ? Certainty::kProved : Certainty::kUnknownUpToBound;
+  return result;
+}
+
+}  // namespace rq

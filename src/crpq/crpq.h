@@ -1,0 +1,97 @@
+// Conjunctive two-way regular path queries and their unions (paper §3.3).
+//
+// A C2RPQ is a conjunctive query whose atoms are 2RPQs: κ(x, y) asks for a
+// semipath from x to y conforming to the regular expression κ. UC2RPQ is
+// the closure under union. Example 1 of the paper (the triangle query) is
+//   q(x, y) :- (r)(x, y), (r)(x, z), (r)(y, z)
+// in the syntax accepted here: each atom is '(' regex ')' '(' v ',' v ')'.
+//
+// Evaluation instantiates every 2RPQ atom as a binary relation over the
+// graph (product-automaton BFS) and then joins them as a conjunctive query,
+// exactly the two-phase semantics the paper describes.
+//
+// Containment (Theorem 6: EXPSPACE-complete) is handled by:
+//   * exact 2RPQ dispatch when both sides are single-atom queries over the
+//     head variables;
+//   * the expansion test otherwise: an expansion of Q1 replaces each atom
+//     by a concrete word of its language, folding into a canonical graph;
+//     Q1 ⊑ Q2 iff Q2 answers the head pair on every such graph. The word
+//     enumeration is exhaustive for finite languages (exact verdict) and
+//     bounded otherwise (exact refutations, kUnknownUpToBound on success).
+#ifndef RQ_CRPQ_CRPQ_H_
+#define RQ_CRPQ_CRPQ_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/status.h"
+#include "graph/graph_db.h"
+#include "regex/regex.h"
+#include "relational/matcher.h"
+#include "relational/relation.h"
+#include "rq/containment.h"
+
+namespace rq {
+
+struct CrpqAtom {
+  RegexPtr regex;
+  VarId from;
+  VarId to;
+};
+
+struct Crpq {
+  std::vector<VarId> head;
+  std::vector<CrpqAtom> atoms;
+  uint32_t num_vars = 0;
+  std::vector<std::string> var_names;
+
+  Status Validate() const;
+  std::string ToString(const Alphabet& alphabet) const;
+};
+
+struct Uc2Rpq {
+  std::vector<Crpq> disjuncts;
+
+  Status Validate() const;
+  std::string ToString(const Alphabet& alphabet) const;
+};
+
+// Parses "q(x, y) :- (knows+)(x, z), (member- member)(z, y)". Labels are
+// interned into `alphabet`.
+Result<Crpq> ParseCrpq(std::string_view text, Alphabet* alphabet);
+// One disjunct per non-empty line.
+Result<Uc2Rpq> ParseUc2Rpq(std::string_view text, Alphabet* alphabet);
+
+// Evaluation over a graph database (whose alphabet must be the alphabet the
+// query was parsed against).
+Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query);
+Result<Relation> EvalUc2Rpq(const GraphDb& db, const Uc2Rpq& query);
+
+struct CrpqContainmentOptions {
+  // Longest atom-language word instantiated during expansion.
+  size_t max_word_length = 4;
+  size_t max_expansions = 50000;
+};
+
+struct CrpqContainmentResult {
+  Certainty certainty = Certainty::kUnknownUpToBound;
+  std::string method;  // "2rpq-fold" or "expansion-exact"/"-bounded"
+  // When refuted: canonical graph + head pair answered by q1 but not q2.
+  std::optional<GraphDb> counterexample;
+  // Head tuple (node ids in `counterexample`) answered by q1 but not q2.
+  Tuple witness_tuple;
+  // Convenience aliases of the first two witness columns.
+  NodeId witness_x = 0;
+  NodeId witness_y = 0;
+  size_t expansions_checked = 0;
+};
+
+Result<CrpqContainmentResult> CheckUc2RpqContainment(
+    const Uc2Rpq& q1, const Uc2Rpq& q2, const Alphabet& alphabet,
+    const CrpqContainmentOptions& options = {});
+
+}  // namespace rq
+
+#endif  // RQ_CRPQ_CRPQ_H_

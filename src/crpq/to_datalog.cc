@@ -1,0 +1,37 @@
+#include "crpq/to_datalog.h"
+
+#include <string>
+
+#include "pathquery/to_datalog.h"
+
+namespace rq {
+
+Result<DatalogProgram> Uc2RpqToDatalog(const Uc2Rpq& query,
+                                       const Alphabet& alphabet) {
+  RQ_RETURN_IF_ERROR(query.Validate());
+  DatalogProgram program;
+  const size_t arity = query.disjuncts[0].head.size();
+  RQ_ASSIGN_OR_RETURN(PredId ans, program.InternPredicate("ans", arity));
+
+  size_t component = 0;
+  for (const Crpq& disjunct : query.disjuncts) {
+    DatalogRule rule;
+    rule.num_vars = disjunct.num_vars;
+    rule.var_names = disjunct.var_names;
+    rule.head.predicate = ans;
+    rule.head.vars = disjunct.head;
+    for (const CrpqAtom& atom : disjunct.atoms) {
+      std::string prefix = "rpq" + std::to_string(component++) + "_";
+      RQ_ASSIGN_OR_RETURN(
+          PredId atom_ans,
+          AppendPathAutomaton(&program, *atom.regex, alphabet, prefix));
+      rule.body.push_back({atom_ans, {atom.from, atom.to}});
+    }
+    program.AddRule(std::move(rule));
+  }
+  program.SetGoal(ans);
+  RQ_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+}  // namespace rq

@@ -1,0 +1,28 @@
+// Embedding UC2RPQs into Datalog (paper §3.4: "the classes of
+// graph-database queries we have discussed ... can all be expressed in
+// graph-database Datalog").
+//
+// Each 2RPQ atom becomes a linear automaton component (AppendPathAutomaton)
+// and each disjunct becomes one goal rule joining its atoms' answer
+// predicates. Together with RqToDatalog this completes the paper's claim
+// for every class in the ladder.
+#ifndef RQ_CRPQ_TO_DATALOG_H_
+#define RQ_CRPQ_TO_DATALOG_H_
+
+#include "common/status.h"
+#include "crpq/crpq.h"
+#include "datalog/program.h"
+
+namespace rq {
+
+// Goal predicate is "ans" with the query's head arity. Note the embedding
+// quantifies over the active domain (nodes incident to at least one edge),
+// so answers on isolated nodes (possible when an atom's language contains
+// the empty word) are not produced; EvalUc2Rpq and the translation agree on
+// databases without isolated nodes.
+Result<DatalogProgram> Uc2RpqToDatalog(const Uc2Rpq& query,
+                                       const Alphabet& alphabet);
+
+}  // namespace rq
+
+#endif  // RQ_CRPQ_TO_DATALOG_H_

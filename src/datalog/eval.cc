@@ -1,0 +1,207 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+
+namespace rq {
+
+namespace {
+
+// Applies one rule, reading body atom i from `sources[i]` and inserting new
+// head tuples into `out` (only tuples absent from `existing`). Returns the
+// number of new tuples.
+size_t ApplyRule(const DatalogRule& rule,
+                 const std::vector<const Relation*>& sources,
+                 const Relation& existing, Relation* out,
+                 DatalogEvalStats* stats) {
+  std::vector<MatchAtom> atoms;
+  atoms.reserve(rule.body.size());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (sources[i] == nullptr || sources[i]->empty()) return 0;
+    atoms.push_back({sources[i], rule.body[i].vars});
+  }
+  size_t added = 0;
+  MatchConjunction(atoms, rule.num_vars,
+                   [&](const std::vector<Value>& binding) {
+                     if (stats != nullptr) ++stats->tuples_considered;
+                     Tuple t;
+                     t.reserve(rule.head.vars.size());
+                     for (VarId v : rule.head.vars) t.push_back(binding[v]);
+                     if (!existing.Contains(t) && out->Insert(t)) ++added;
+                     return true;
+                   });
+  if (stats != nullptr) ++stats->rule_applications;
+  return added;
+}
+
+}  // namespace
+
+Result<Database> EvalDatalogProgram(const DatalogProgram& program,
+                                    const Database& edb, DatalogEvalMode mode,
+                                    DatalogEvalStats* stats) {
+  RQ_RETURN_IF_ERROR(program.Validate());
+  DatalogEvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = DatalogEvalStats();
+
+  // Working database: copy of EDB plus empty IDB relations.
+  Database db;
+  for (const std::string& name : edb.RelationNames()) {
+    const Relation* rel = edb.Find(name);
+    RQ_ASSIGN_OR_RETURN(Relation * copy, db.GetOrCreate(name, rel->arity()));
+    copy->InsertAll(*rel);
+  }
+  for (PredId p : program.IdbPredicates()) {
+    if (edb.Find(program.PredicateName(p)) != nullptr) {
+      return InvalidArgumentError("IDB predicate " +
+                                  program.PredicateName(p) +
+                                  " also present in the EDB");
+    }
+    RQ_RETURN_IF_ERROR(db.GetOrCreate(program.PredicateName(p),
+                                      program.PredicateArity(p))
+                           .status());
+  }
+  // EDB predicates used by the program but missing from the given database
+  // are empty relations.
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    RQ_RETURN_IF_ERROR(
+        db.GetOrCreate(program.PredicateName(p), program.PredicateArity(p))
+            .status());
+  }
+
+  auto rel_of = [&](PredId p) {
+    return db.FindMutable(program.PredicateName(p));
+  };
+
+  std::vector<DatalogProgram::Scc> sccs = program.DependencySccs();
+  std::vector<uint32_t> scc_of(program.num_predicates(), 0);
+  for (uint32_t i = 0; i < sccs.size(); ++i) {
+    for (PredId p : sccs[i].predicates) scc_of[p] = i;
+  }
+
+  for (uint32_t scc_index = 0; scc_index < sccs.size(); ++scc_index) {
+    const DatalogProgram::Scc& scc = sccs[scc_index];
+    // Rules contributing to this SCC.
+    std::vector<const DatalogRule*> rules;
+    for (const DatalogRule& rule : program.rules()) {
+      if (scc_of[rule.head.predicate] == scc_index) rules.push_back(&rule);
+    }
+    if (rules.empty()) continue;
+
+    if (!scc.recursive) {
+      // One pass: all body atoms refer to earlier SCCs.
+      for (const DatalogRule* rule : rules) {
+        std::vector<const Relation*> sources;
+        for (const DatalogAtom& atom : rule->body) {
+          sources.push_back(rel_of(atom.predicate));
+        }
+        Relation* head_rel = rel_of(rule->head.predicate);
+        Relation fresh(head_rel->arity());
+        stats->tuples_derived +=
+            ApplyRule(*rule, sources, *head_rel, &fresh, stats);
+        head_rel->InsertAll(fresh);
+      }
+      ++stats->rounds;
+      continue;
+    }
+
+    if (mode == DatalogEvalMode::kNaive) {
+      // Re-run every rule over full relations until nothing is new.
+      for (;;) {
+        ++stats->rounds;
+        size_t added = 0;
+        for (const DatalogRule* rule : rules) {
+          std::vector<const Relation*> sources;
+          for (const DatalogAtom& atom : rule->body) {
+            sources.push_back(rel_of(atom.predicate));
+          }
+          Relation* head_rel = rel_of(rule->head.predicate);
+          Relation fresh(head_rel->arity());
+          added += ApplyRule(*rule, sources, *head_rel, &fresh, stats);
+          head_rel->InsertAll(fresh);
+        }
+        stats->tuples_derived += added;
+        if (added == 0) break;
+      }
+      continue;
+    }
+
+    // Semi-naive. Deltas per SCC predicate, seeded by one full pass (SCC
+    // relations start empty, so only exit rules fire).
+    std::vector<Relation> delta;
+    std::vector<PredId> scc_preds = scc.predicates;
+    auto delta_index = [&](PredId p) -> int {
+      for (size_t i = 0; i < scc_preds.size(); ++i) {
+        if (scc_preds[i] == p) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    for (PredId p : scc_preds) {
+      delta.emplace_back(program.PredicateArity(p));
+    }
+    ++stats->rounds;
+    for (const DatalogRule* rule : rules) {
+      std::vector<const Relation*> sources;
+      for (const DatalogAtom& atom : rule->body) {
+        sources.push_back(rel_of(atom.predicate));
+      }
+      Relation* head_rel = rel_of(rule->head.predicate);
+      int di = delta_index(rule->head.predicate);
+      stats->tuples_derived +=
+          ApplyRule(*rule, sources, *head_rel, &delta[di], stats);
+    }
+    for (size_t i = 0; i < scc_preds.size(); ++i) {
+      rel_of(scc_preds[i])->InsertAll(delta[i]);
+    }
+
+    for (;;) {
+      ++stats->rounds;
+      std::vector<Relation> next_delta;
+      for (PredId p : scc_preds) {
+        next_delta.emplace_back(program.PredicateArity(p));
+      }
+      size_t added = 0;
+      for (const DatalogRule* rule : rules) {
+        // One application per occurrence of an SCC predicate in the body,
+        // with that occurrence bound to the delta.
+        for (size_t i = 0; i < rule->body.size(); ++i) {
+          int di = delta_index(rule->body[i].predicate);
+          if (di < 0) continue;
+          std::vector<const Relation*> sources;
+          for (size_t j = 0; j < rule->body.size(); ++j) {
+            if (j == i) {
+              sources.push_back(&delta[di]);
+            } else {
+              sources.push_back(rel_of(rule->body[j].predicate));
+            }
+          }
+          Relation* head_rel = rel_of(rule->head.predicate);
+          int hd = delta_index(rule->head.predicate);
+          added += ApplyRule(*rule, sources, *head_rel, &next_delta[hd],
+                             stats);
+        }
+      }
+      stats->tuples_derived += added;
+      if (added == 0) break;
+      for (size_t i = 0; i < scc_preds.size(); ++i) {
+        rel_of(scc_preds[i])->InsertAll(next_delta[i]);
+      }
+      delta = std::move(next_delta);
+    }
+  }
+  return db;
+}
+
+Result<Relation> EvalDatalogGoal(const DatalogProgram& program,
+                                 const Database& edb, DatalogEvalMode mode,
+                                 DatalogEvalStats* stats) {
+  if (program.goal() == kInvalidPred) {
+    return InvalidArgumentError("program has no goal predicate");
+  }
+  RQ_ASSIGN_OR_RETURN(Database db, EvalDatalogProgram(program, edb, mode,
+                                                      stats));
+  const Relation* rel = db.Find(program.PredicateName(program.goal()));
+  RQ_CHECK(rel != nullptr);
+  return *rel;
+}
+
+}  // namespace rq

@@ -1,0 +1,445 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rq {
+
+Result<PredId> DatalogProgram::InternPredicate(std::string_view name,
+                                               size_t arity) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    if (arities_[it->second] != arity) {
+      return InvalidArgumentError(
+          "predicate " + std::string(name) + " used with arity " +
+          std::to_string(arity) + " but declared with arity " +
+          std::to_string(arities_[it->second]));
+    }
+    return it->second;
+  }
+  PredId id = static_cast<PredId>(names_.size());
+  names_.emplace_back(name);
+  arities_.push_back(arity);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<PredId> DatalogProgram::FindPredicate(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return NotFoundError("unknown predicate: " + std::string(name));
+  }
+  return it->second;
+}
+
+void DatalogProgram::AddRule(DatalogRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool DatalogProgram::IsIdb(PredId p) const {
+  for (const DatalogRule& rule : rules_) {
+    if (rule.head.predicate == p) return true;
+  }
+  return false;
+}
+
+std::vector<PredId> DatalogProgram::IdbPredicates() const {
+  std::vector<bool> idb(num_predicates(), false);
+  for (const DatalogRule& rule : rules_) idb[rule.head.predicate] = true;
+  std::vector<PredId> out;
+  for (PredId p = 0; p < num_predicates(); ++p) {
+    if (idb[p]) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PredId> DatalogProgram::EdbPredicates() const {
+  std::vector<bool> idb(num_predicates(), false);
+  for (const DatalogRule& rule : rules_) idb[rule.head.predicate] = true;
+  std::vector<PredId> out;
+  for (PredId p = 0; p < num_predicates(); ++p) {
+    if (!idb[p]) out.push_back(p);
+  }
+  return out;
+}
+
+Status DatalogProgram::Validate() const {
+  for (const DatalogRule& rule : rules_) {
+    if (rule.head.predicate >= num_predicates()) {
+      return InvalidArgumentError("rule head predicate out of range");
+    }
+    if (rule.head.vars.size() != arities_[rule.head.predicate]) {
+      return InvalidArgumentError("rule head arity mismatch for " +
+                                  names_[rule.head.predicate]);
+    }
+    if (rule.body.empty()) {
+      return InvalidArgumentError(
+          "rule for " + names_[rule.head.predicate] +
+          " has an empty body (facts belong in the EDB)");
+    }
+    std::vector<bool> in_body(rule.num_vars, false);
+    for (const DatalogAtom& atom : rule.body) {
+      if (atom.predicate >= num_predicates()) {
+        return InvalidArgumentError("body predicate out of range");
+      }
+      if (atom.vars.size() != arities_[atom.predicate]) {
+        return InvalidArgumentError("body arity mismatch for " +
+                                    names_[atom.predicate]);
+      }
+      for (VarId v : atom.vars) {
+        if (v >= rule.num_vars) {
+          return InvalidArgumentError("body variable id out of range");
+        }
+        in_body[v] = true;
+      }
+    }
+    for (VarId v : rule.head.vars) {
+      if (v >= rule.num_vars) {
+        return InvalidArgumentError("head variable id out of range");
+      }
+      if (!in_body[v]) {
+        return InvalidArgumentError(
+            "rule for " + names_[rule.head.predicate] +
+            " is not range restricted (head variable not in body)");
+      }
+    }
+  }
+  if (goal_ != kInvalidPred && goal_ >= num_predicates()) {
+    return InvalidArgumentError("goal predicate out of range");
+  }
+  return Status::Ok();
+}
+
+std::vector<DatalogProgram::Scc> DatalogProgram::DependencySccs() const {
+  // Dependence edges: body predicate -> head predicate ("head depends on
+  // body"). Tarjan emits SCCs in reverse topological order of the condensed
+  // graph over these edges; we want dependencies first, which is exactly
+  // Tarjan's emission order when edges point body -> head... To keep the
+  // reasoning simple we build successor lists body->head and reverse the
+  // final SCC list as needed.
+  const size_t n = num_predicates();
+  std::vector<std::vector<PredId>> succ(n);
+  for (const DatalogRule& rule : rules_) {
+    for (const DatalogAtom& atom : rule.body) {
+      succ[atom.predicate].push_back(rule.head.predicate);
+    }
+  }
+  for (auto& s : succ) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  // Iterative Tarjan.
+  std::vector<uint32_t> indexes(n, 0xffffffffu);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<PredId> stack;
+  std::vector<Scc> sccs;
+  uint32_t counter = 0;
+
+  struct Frame {
+    PredId v;
+    size_t child;
+  };
+  for (PredId root = 0; root < n; ++root) {
+    if (indexes[root] != 0xffffffffu) continue;
+    std::vector<Frame> frames{{root, 0}};
+    indexes[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.child < succ[frame.v].size()) {
+        PredId w = succ[frame.v][frame.child++];
+        if (indexes[w] == 0xffffffffu) {
+          indexes[w] = lowlink[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], indexes[w]);
+        }
+      } else {
+        PredId v = frame.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == indexes[v]) {
+          Scc scc;
+          for (;;) {
+            PredId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.predicates.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(scc.predicates.begin(), scc.predicates.end());
+          sccs.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+  // Tarjan emits an SCC only after all SCCs it can reach; with edges
+  // body->head, an SCC is emitted after everything derivable FROM it. We
+  // need dependencies (bodies) first, i.e. reverse emission order.
+  std::reverse(sccs.begin(), sccs.end());
+
+  // Mark recursive SCCs (size > 1, or a self-dependence).
+  std::vector<uint32_t> scc_of(n, 0);
+  for (uint32_t i = 0; i < sccs.size(); ++i) {
+    for (PredId p : sccs[i].predicates) scc_of[p] = i;
+  }
+  for (const DatalogRule& rule : rules_) {
+    for (const DatalogAtom& atom : rule.body) {
+      if (scc_of[atom.predicate] == scc_of[rule.head.predicate]) {
+        sccs[scc_of[rule.head.predicate]].recursive = true;
+      }
+    }
+  }
+  for (Scc& scc : sccs) {
+    if (scc.predicates.size() > 1) scc.recursive = true;
+  }
+  return sccs;
+}
+
+std::vector<bool> DatalogProgram::RecursivePredicates() const {
+  std::vector<bool> out(num_predicates(), false);
+  for (const Scc& scc : DependencySccs()) {
+    if (scc.recursive) {
+      for (PredId p : scc.predicates) out[p] = true;
+    }
+  }
+  return out;
+}
+
+bool DatalogProgram::IsRecursive() const {
+  for (const Scc& scc : DependencySccs()) {
+    if (scc.recursive) return true;
+  }
+  return false;
+}
+
+bool DatalogProgram::IsMonadic() const {
+  std::vector<bool> recursive = RecursivePredicates();
+  for (PredId p = 0; p < num_predicates(); ++p) {
+    if (recursive[p] && PredicateArity(p) != 1) return false;
+  }
+  return true;
+}
+
+bool DatalogProgram::IsLinear() const {
+  std::vector<DatalogProgram::Scc> sccs = DependencySccs();
+  std::vector<uint32_t> scc_of(num_predicates(), 0);
+  for (uint32_t i = 0; i < sccs.size(); ++i) {
+    for (PredId p : sccs[i].predicates) scc_of[p] = i;
+  }
+  for (const DatalogRule& rule : rules_) {
+    int same_scc = 0;
+    for (const DatalogAtom& atom : rule.body) {
+      if (scc_of[atom.predicate] == scc_of[rule.head.predicate] &&
+          sccs[scc_of[atom.predicate]].recursive) {
+        ++same_scc;
+      }
+    }
+    if (same_scc > 1) return false;
+  }
+  return true;
+}
+
+std::vector<const DatalogRule*> DatalogProgram::RulesFor(PredId p) const {
+  std::vector<const DatalogRule*> out;
+  for (const DatalogRule& rule : rules_) {
+    if (rule.head.predicate == p) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::string RuleToString(const DatalogProgram& program,
+                         const DatalogRule& rule) {
+  auto var_name = [&](VarId v) -> std::string {
+    if (v < rule.var_names.size() && !rule.var_names[v].empty()) {
+      return rule.var_names[v];
+    }
+    return "V" + std::to_string(v);
+  };
+  auto atom_str = [&](const DatalogAtom& atom) {
+    std::string out = program.PredicateName(atom.predicate);
+    out.push_back('(');
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += var_name(atom.vars[i]);
+    }
+    out.push_back(')');
+    return out;
+  };
+  std::string out = atom_str(rule.head) + " :- ";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atom_str(rule.body[i]);
+  }
+  out += ".";
+  return out;
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string out;
+  for (const DatalogRule& rule : rules_) {
+    out += RuleToString(*this, rule);
+    out.push_back('\n');
+  }
+  if (goal_ != kInvalidPred) {
+    out += "?- " + names_[goal_] + ".\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ParsedAtom {
+  std::string predicate;
+  std::vector<std::string> args;
+};
+
+// Parses "pred(a, b)"; advances pos.
+Result<ParsedAtom> ParseOneAtom(std::string_view text, size_t* pos) {
+  auto skip = [&] {
+    while (*pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[*pos]))) {
+      ++*pos;
+    }
+  };
+  skip();
+  size_t start = *pos;
+  while (*pos < text.size() && IsIdentChar(text[*pos])) ++*pos;
+  if (*pos == start) {
+    return InvalidArgumentError("datalog: expected predicate name");
+  }
+  ParsedAtom atom;
+  atom.predicate = std::string(text.substr(start, *pos - start));
+  skip();
+  if (*pos >= text.size() || text[*pos] != '(') {
+    return InvalidArgumentError("datalog: expected '(' after " +
+                                atom.predicate);
+  }
+  ++*pos;
+  for (;;) {
+    skip();
+    size_t vstart = *pos;
+    while (*pos < text.size() && IsIdentChar(text[*pos])) ++*pos;
+    if (*pos == vstart) {
+      return InvalidArgumentError("datalog: expected variable in " +
+                                  atom.predicate);
+    }
+    atom.args.emplace_back(text.substr(vstart, *pos - vstart));
+    skip();
+    if (*pos < text.size() && text[*pos] == ',') {
+      ++*pos;
+      continue;
+    }
+    break;
+  }
+  if (*pos >= text.size() || text[*pos] != ')') {
+    return InvalidArgumentError("datalog: expected ')' in " + atom.predicate);
+  }
+  ++*pos;
+  return atom;
+}
+
+}  // namespace
+
+Result<DatalogProgram> ParseDatalog(std::string_view text) {
+  DatalogProgram program;
+  // Split into statements on '.', respecting nothing fancy (no strings).
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line.back() != '.') {
+      return InvalidArgumentError("datalog: statement must end with '.': " +
+                                  std::string(line));
+    }
+    line.remove_suffix(1);
+    line = StripWhitespace(line);
+    if (StartsWith(line, "?-")) {
+      std::string_view name = StripWhitespace(line.substr(2));
+      if (!IsIdentifier(name)) {
+        return InvalidArgumentError("datalog: bad goal name");
+      }
+      RQ_ASSIGN_OR_RETURN(PredId goal, program.FindPredicate(name));
+      program.SetGoal(goal);
+      continue;
+    }
+    size_t sep = line.find(":-");
+    if (sep == std::string_view::npos) {
+      return InvalidArgumentError("datalog: missing ':-' in rule: " +
+                                  std::string(line));
+    }
+    std::string_view head_text = StripWhitespace(line.substr(0, sep));
+    std::string_view body_text = StripWhitespace(line.substr(sep + 2));
+
+    size_t pos = 0;
+    RQ_ASSIGN_OR_RETURN(ParsedAtom head_atom, ParseOneAtom(head_text, &pos));
+    if (StripWhitespace(head_text.substr(pos)) != "") {
+      return InvalidArgumentError("datalog: junk after head atom");
+    }
+    std::vector<ParsedAtom> body_atoms;
+    pos = 0;
+    for (;;) {
+      RQ_ASSIGN_OR_RETURN(ParsedAtom atom, ParseOneAtom(body_text, &pos));
+      body_atoms.push_back(std::move(atom));
+      while (pos < body_text.size() &&
+             std::isspace(static_cast<unsigned char>(body_text[pos]))) {
+        ++pos;
+      }
+      if (pos < body_text.size() && body_text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (pos != body_text.size()) {
+      return InvalidArgumentError("datalog: junk after body: " +
+                                  std::string(body_text.substr(pos)));
+    }
+
+    DatalogRule rule;
+    std::unordered_map<std::string, VarId> vars;
+    auto intern_var = [&](const std::string& name) {
+      auto it = vars.find(name);
+      if (it != vars.end()) return it->second;
+      VarId id = rule.num_vars++;
+      vars.emplace(name, id);
+      rule.var_names.push_back(name);
+      return id;
+    };
+    RQ_ASSIGN_OR_RETURN(
+        PredId head_pred,
+        program.InternPredicate(head_atom.predicate, head_atom.args.size()));
+    rule.head.predicate = head_pred;
+    for (const std::string& v : head_atom.args) {
+      rule.head.vars.push_back(intern_var(v));
+    }
+    for (const ParsedAtom& atom : body_atoms) {
+      RQ_ASSIGN_OR_RETURN(
+          PredId pred,
+          program.InternPredicate(atom.predicate, atom.args.size()));
+      DatalogAtom out;
+      out.predicate = pred;
+      for (const std::string& v : atom.args) {
+        out.vars.push_back(intern_var(v));
+      }
+      rule.body.push_back(std::move(out));
+    }
+    program.AddRule(std::move(rule));
+  }
+  RQ_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+}  // namespace rq

@@ -1,0 +1,116 @@
+#include "datalog/random.h"
+
+#include <string>
+
+namespace rq {
+
+DatalogProgram RandomDatalogProgram(const RandomDatalogOptions& options,
+                                    Rng& rng) {
+  RQ_CHECK(options.num_edb > 0 && options.num_idb > 0);
+  RQ_CHECK(options.max_vars >= 2);
+  DatalogProgram program;
+  std::vector<PredId> edb;
+  std::vector<PredId> idb;
+  for (size_t i = 0; i < options.num_edb; ++i) {
+    edb.push_back(
+        program.InternPredicate("e" + std::to_string(i), 2).value());
+  }
+  for (size_t i = 0; i < options.num_idb; ++i) {
+    idb.push_back(
+        program.InternPredicate("p" + std::to_string(i), 2).value());
+  }
+
+  for (size_t i = 0; i < options.num_idb; ++i) {
+    size_t num_rules = 1 + rng.Below(options.max_rules_per_idb);
+    for (size_t r = 0; r < num_rules; ++r) {
+      DatalogRule rule;
+      rule.num_vars = static_cast<uint32_t>(
+          2 + rng.Below(options.max_vars - 1));
+      size_t body_atoms = 1 + rng.Below(options.max_body_atoms);
+      std::vector<bool> in_body(rule.num_vars, false);
+      for (size_t b = 0; b < body_atoms; ++b) {
+        DatalogAtom atom;
+        // Body predicates: EDB, or IDB up to index i (up to and including i
+        // when recursion is allowed, below i otherwise).
+        bool use_idb = rng.Chance(0.4) && i > 0;
+        bool self = options.allow_recursion && rng.Chance(0.25);
+        if (self) {
+          atom.predicate = idb[i];
+        } else if (use_idb) {
+          atom.predicate = idb[rng.Below(i)];
+        } else {
+          atom.predicate = edb[rng.Below(edb.size())];
+        }
+        VarId u = static_cast<VarId>(rng.Below(rule.num_vars));
+        VarId v = static_cast<VarId>(rng.Below(rule.num_vars));
+        atom.vars = {u, v};
+        in_body[u] = true;
+        in_body[v] = true;
+        rule.body.push_back(std::move(atom));
+      }
+      // Head: two variables that occur in the body.
+      std::vector<VarId> candidates;
+      for (VarId v = 0; v < rule.num_vars; ++v) {
+        if (in_body[v]) candidates.push_back(v);
+      }
+      rule.head.predicate = idb[i];
+      rule.head.vars = {candidates[rng.Below(candidates.size())],
+                        candidates[rng.Below(candidates.size())]};
+      program.AddRule(std::move(rule));
+    }
+  }
+  program.SetGoal(idb.back());
+  RQ_CHECK(program.Validate().ok());
+  return program;
+}
+
+DatalogProgram RandomGrqProgram(size_t components, Rng& rng) {
+  RQ_CHECK(components > 0);
+  DatalogProgram program;
+  std::vector<PredId> layers;
+  layers.push_back(program.InternPredicate("base0", 2).value());
+  layers.push_back(program.InternPredicate("base1", 2).value());
+  // base0/base1 are EDB (no rules).
+  for (size_t c = 0; c < components; ++c) {
+    PredId self =
+        program.InternPredicate("q" + std::to_string(c), 2).value();
+    if (rng.Chance(0.5)) {
+      // Transitive closure of a random earlier predicate.
+      PredId lower = layers[rng.Below(layers.size())];
+      DatalogRule base;
+      base.num_vars = 2;
+      base.head = {self, {0, 1}};
+      base.body = {{lower, {0, 1}}};
+      program.AddRule(std::move(base));
+      DatalogRule step;
+      step.num_vars = 3;
+      step.head = {self, {0, 2}};
+      step.body = {{self, {0, 1}}, {lower, {1, 2}}};
+      program.AddRule(std::move(step));
+    } else {
+      // Union of one or two conjunctive rules over earlier predicates.
+      size_t num_rules = 1 + rng.Below(2);
+      for (size_t r = 0; r < num_rules; ++r) {
+        DatalogRule rule;
+        rule.num_vars = 3;
+        PredId a = layers[rng.Below(layers.size())];
+        PredId b = layers[rng.Below(layers.size())];
+        rule.head = {self, {0, 2}};
+        if (rng.Chance(0.5)) {
+          rule.body = {{a, {0, 1}}, {b, {1, 2}}};
+        } else {
+          // Backward middle hop keeps it conjunctive but non-chain... still
+          // a valid GRQ body (composition with an inverse step).
+          rule.body = {{a, {0, 1}}, {b, {2, 1}}};
+        }
+        program.AddRule(std::move(rule));
+      }
+    }
+    layers.push_back(self);
+  }
+  program.SetGoal(layers.back());
+  RQ_CHECK(program.Validate().ok());
+  return program;
+}
+
+}  // namespace rq

@@ -1,0 +1,36 @@
+// Random Datalog program generation for property tests and benchmarks.
+//
+// Generated programs are always valid (range-restricted, consistent
+// arities, nonempty bodies) and come in two flavors: arbitrary positive
+// programs, and GRQ-shaped programs (recursion confined to transitive
+// closure) for exercising the §4.1 machinery.
+#ifndef RQ_DATALOG_RANDOM_H_
+#define RQ_DATALOG_RANDOM_H_
+
+#include "common/rng.h"
+#include "datalog/program.h"
+
+namespace rq {
+
+struct RandomDatalogOptions {
+  size_t num_edb = 2;          // e0, e1, ... all binary
+  size_t num_idb = 3;          // p0, p1, ...
+  size_t max_rules_per_idb = 3;
+  size_t max_body_atoms = 3;
+  size_t max_vars = 5;
+  bool allow_recursion = true;
+};
+
+// Arbitrary positive program; goal = last IDB predicate. All predicates
+// binary (the graph-database setting of §3).
+DatalogProgram RandomDatalogProgram(const RandomDatalogOptions& options,
+                                    Rng& rng);
+
+// GRQ-shaped program: a tower of components, each either a union of
+// conjunctive rules over earlier predicates or a strict transitive-closure
+// pair of rules. Always passes AnalyzeGrq.
+DatalogProgram RandomGrqProgram(size_t components, Rng& rng);
+
+}  // namespace rq
+
+#endif  // RQ_DATALOG_RANDOM_H_

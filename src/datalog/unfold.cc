@@ -1,0 +1,174 @@
+#include "datalog/unfold.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rq {
+
+namespace {
+
+struct PendingAtom {
+  PredId predicate;
+  std::vector<VarId> vars;
+  size_t depth;  // remaining expansion budget
+};
+
+struct Partial {
+  std::vector<CqAtom> edb_atoms;
+  std::deque<PendingAtom> pending;
+  std::vector<VarId> head;
+  uint32_t num_vars = 0;
+};
+
+// Replaces `from` by `to` everywhere in the partial (variable unification
+// needed when a rule head repeats a variable).
+void SubstituteVar(Partial* p, VarId from, VarId to) {
+  auto fix = [&](std::vector<VarId>& vars) {
+    for (VarId& v : vars) {
+      if (v == from) v = to;
+    }
+  };
+  for (CqAtom& atom : p->edb_atoms) fix(atom.vars);
+  for (PendingAtom& atom : p->pending) fix(atom.vars);
+  fix(p->head);
+}
+
+}  // namespace
+
+Result<DatalogExpansions> ExpandDatalog(const DatalogProgram& program,
+                                        const ExpandLimits& limits) {
+  RQ_RETURN_IF_ERROR(program.Validate());
+  if (program.goal() == kInvalidPred) {
+    return InvalidArgumentError("ExpandDatalog: program has no goal");
+  }
+  DatalogExpansions out;
+
+  std::vector<bool> is_idb(program.num_predicates(), false);
+  for (PredId p : program.IdbPredicates()) is_idb[p] = true;
+
+  const size_t goal_arity = program.PredicateArity(program.goal());
+  Partial root;
+  root.num_vars = static_cast<uint32_t>(goal_arity);
+  for (size_t i = 0; i < goal_arity; ++i) {
+    root.head.push_back(static_cast<VarId>(i));
+  }
+  if (is_idb[program.goal()]) {
+    root.pending.push_back({program.goal(), root.head, limits.max_depth});
+  } else {
+    root.edb_atoms.push_back(
+        {program.PredicateName(program.goal()), root.head});
+  }
+
+  // Work budget: partials processed. Guards against programs whose
+  // expansion trees blow up before any complete expansion (or per-partial
+  // cap) is reached.
+  const size_t max_steps = (limits.max_expansions + 1) * 64;
+  size_t steps = 0;
+
+  std::vector<Partial> stack{std::move(root)};
+  while (!stack.empty()) {
+    if (++steps > max_steps) {
+      out.truncated = true;
+      break;
+    }
+    Partial partial = std::move(stack.back());
+    stack.pop_back();
+    if (partial.edb_atoms.size() + partial.pending.size() >
+        limits.max_atoms_per_expansion) {
+      out.truncated = true;
+      continue;
+    }
+    if (partial.pending.empty()) {
+      if (out.expansions.size() >= limits.max_expansions) {
+        out.truncated = true;
+        break;
+      }
+      ConjunctiveQuery cq;
+      cq.head = partial.head;
+      cq.atoms = std::move(partial.edb_atoms);
+      cq.num_vars = partial.num_vars;
+      // Compact unused variable ids so Validate's bookkeeping stays tight.
+      RQ_RETURN_IF_ERROR(cq.Validate());
+      out.expansions.push_back(std::move(cq));
+      continue;
+    }
+    PendingAtom next = std::move(partial.pending.front());
+    partial.pending.pop_front();
+    if (next.depth == 0) {
+      out.depth_limited = true;
+      continue;  // this branch cannot bottom out within the budget
+    }
+    for (const DatalogRule* rule : program.RulesFor(next.predicate)) {
+      Partial child = partial;
+      // Map rule variables to child variables: head variables positionally
+      // onto the atom's variables (unifying child variables when the rule
+      // head repeats one), remaining rule variables fresh.
+      std::vector<VarId> mapping(rule->num_vars, kInvalidPred);
+      std::vector<VarId> atom_vars = next.vars;
+      for (size_t i = 0; i < rule->head.vars.size(); ++i) {
+        VarId rv = rule->head.vars[i];
+        VarId target = atom_vars[i];
+        if (mapping[rv] == kInvalidPred) {
+          mapping[rv] = target;
+        } else if (mapping[rv] != target) {
+          SubstituteVar(&child, target, mapping[rv]);
+          for (VarId& v : atom_vars) {
+            if (v == target) v = mapping[rv];
+          }
+        }
+      }
+      for (VarId rv = 0; rv < rule->num_vars; ++rv) {
+        if (mapping[rv] == kInvalidPred) mapping[rv] = child.num_vars++;
+      }
+      for (const DatalogAtom& atom : rule->body) {
+        std::vector<VarId> vars;
+        vars.reserve(atom.vars.size());
+        for (VarId v : atom.vars) vars.push_back(mapping[v]);
+        if (is_idb[atom.predicate]) {
+          child.pending.push_back(
+              {atom.predicate, std::move(vars), next.depth - 1});
+        } else {
+          child.edb_atoms.push_back(
+              {program.PredicateName(atom.predicate), std::move(vars)});
+        }
+      }
+      stack.push_back(std::move(child));
+    }
+  }
+  return out;
+}
+
+Result<UnionOfConjunctiveQueries> UnfoldNonrecursive(
+    const DatalogProgram& program, const UnfoldLimits& limits) {
+  RQ_RETURN_IF_ERROR(program.Validate());
+  if (program.IsRecursive()) {
+    return InvalidArgumentError(
+        "UnfoldNonrecursive: program is recursive; a recursive program is "
+        "an infinite union of conjunctive queries");
+  }
+  ExpandLimits expand_limits;
+  // A nonrecursive program's derivation depth is bounded by the number of
+  // predicates (each level strictly descends in the dependence order).
+  expand_limits.max_depth = program.num_predicates() + 1;
+  expand_limits.max_expansions = limits.max_disjuncts + 1;
+  expand_limits.max_atoms_per_expansion = limits.max_atoms_per_disjunct;
+  RQ_ASSIGN_OR_RETURN(DatalogExpansions expanded,
+                      ExpandDatalog(program, expand_limits));
+  if (expanded.truncated ||
+      expanded.expansions.size() > limits.max_disjuncts) {
+    return ResourceExhaustedError(
+        "UnfoldNonrecursive: more than " +
+        std::to_string(limits.max_disjuncts) + " disjuncts");
+  }
+  RQ_CHECK(!expanded.depth_limited);
+  UnionOfConjunctiveQueries out;
+  out.disjuncts = std::move(expanded.expansions);
+  if (out.disjuncts.empty()) {
+    return InvalidArgumentError(
+        "UnfoldNonrecursive: goal has no derivations (no rules and not an "
+        "EDB predicate)");
+  }
+  return out;
+}
+
+}  // namespace rq

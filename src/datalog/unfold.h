@@ -1,0 +1,61 @@
+// Unfolding Datalog into (unions of) conjunctive queries.
+//
+// A nonrecursive program is equivalent to a finite UCQ (paper §2.2); the
+// unfolding substitutes IDB atoms by rule bodies until only EDB atoms
+// remain, with a possibly exponential blow-up that the caller bounds.
+//
+// A recursive program equals an infinite union of conjunctive queries (its
+// expansions, one per derivation tree [46]); ExpandDatalog enumerates the
+// expansions whose derivation trees have bounded depth. Bounded expansions
+// drive the sound-but-incomplete side of containment checking for recursive
+// classes (the exact procedures being 2EXPSPACE-complete, Theorems 7-8):
+// every expansion that fails to be contained yields a concrete
+// counterexample database, while exhausting a bound proves nothing by
+// itself (callers report kUnknownUpToBound).
+#ifndef RQ_DATALOG_UNFOLD_H_
+#define RQ_DATALOG_UNFOLD_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "relational/cq.h"
+
+namespace rq {
+
+struct UnfoldLimits {
+  size_t max_disjuncts = 10000;
+  size_t max_atoms_per_disjunct = 200;
+};
+
+// Unfolds a nonrecursive program's goal into an equivalent UCQ over the EDB
+// predicates. Errors if the program is recursive or the limits are hit.
+Result<UnionOfConjunctiveQueries> UnfoldNonrecursive(
+    const DatalogProgram& program, const UnfoldLimits& limits = {});
+
+struct ExpandLimits {
+  // Maximum derivation-tree depth (an IDB atom at depth max_depth cannot be
+  // expanded further; such branches are dropped).
+  size_t max_depth = 4;
+  size_t max_expansions = 20000;
+  size_t max_atoms_per_expansion = 400;
+};
+
+// Enumerates expansions (derivation trees of depth <= max_depth) of the
+// goal predicate as conjunctive queries over EDB predicates. For a
+// nonrecursive program with sufficient depth this is exactly the UCQ
+// unfolding. Truncation by max_expansions is reported via `truncated`.
+struct DatalogExpansions {
+  std::vector<ConjunctiveQuery> expansions;
+  // True if max_expansions cut the enumeration short (max_depth alone does
+  // not set this; it bounds the tree depth by design).
+  bool truncated = false;
+  // True if some IDB atom hit the depth bound (so deeper expansions exist).
+  bool depth_limited = false;
+};
+Result<DatalogExpansions> ExpandDatalog(const DatalogProgram& program,
+                                        const ExpandLimits& limits = {});
+
+}  // namespace rq
+
+#endif  // RQ_DATALOG_UNFOLD_H_

@@ -1,0 +1,158 @@
+#include "graph/generators.h"
+
+namespace rq {
+
+GraphDb RandomGraph(size_t num_nodes, size_t num_edges,
+                    const std::vector<std::string>& labels, uint64_t seed) {
+  RQ_CHECK(num_nodes > 0 && !labels.empty());
+  GraphDb db;
+  db.EnsureNodes(num_nodes);
+  std::vector<uint32_t> label_ids;
+  label_ids.reserve(labels.size());
+  for (const std::string& l : labels) {
+    label_ids.push_back(db.alphabet().InternLabel(l));
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId src = static_cast<NodeId>(rng.Below(num_nodes));
+    NodeId dst = static_cast<NodeId>(rng.Below(num_nodes));
+    uint32_t label = label_ids[rng.Below(label_ids.size())];
+    db.AddEdge(src, label, dst);
+  }
+  return db;
+}
+
+GraphDb PathGraph(size_t num_nodes, const std::string& label) {
+  RQ_CHECK(num_nodes > 0);
+  GraphDb db;
+  db.EnsureNodes(num_nodes);
+  uint32_t l = db.alphabet().InternLabel(label);
+  for (size_t i = 0; i + 1 < num_nodes; ++i) {
+    db.AddEdge(static_cast<NodeId>(i), l, static_cast<NodeId>(i + 1));
+  }
+  return db;
+}
+
+GraphDb CycleGraph(size_t num_nodes, const std::string& label) {
+  GraphDb db = PathGraph(num_nodes, label);
+  if (num_nodes > 1) {
+    uint32_t l = db.alphabet().InternLabel(label);
+    db.AddEdge(static_cast<NodeId>(num_nodes - 1), l, 0);
+  }
+  return db;
+}
+
+GraphDb GridGraph(size_t width, size_t height) {
+  RQ_CHECK(width > 0 && height > 0);
+  GraphDb db;
+  db.EnsureNodes(width * height);
+  uint32_t right = db.alphabet().InternLabel("right");
+  uint32_t down = db.alphabet().InternLabel("down");
+  auto id = [&](size_t x, size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) db.AddEdge(id(x, y), right, id(x + 1, y));
+      if (y + 1 < height) db.AddEdge(id(x, y), down, id(x, y + 1));
+    }
+  }
+  return db;
+}
+
+GraphDb LayeredDag(size_t layers, size_t width, size_t edges_per_layer,
+                   const std::vector<std::string>& labels, uint64_t seed) {
+  RQ_CHECK(layers > 0 && width > 0 && !labels.empty());
+  GraphDb db;
+  db.EnsureNodes(layers * width);
+  std::vector<uint32_t> label_ids;
+  for (const std::string& l : labels) {
+    label_ids.push_back(db.alphabet().InternLabel(l));
+  }
+  Rng rng(seed);
+  for (size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (size_t e = 0; e < edges_per_layer; ++e) {
+      NodeId src = static_cast<NodeId>(layer * width + rng.Below(width));
+      NodeId dst =
+          static_cast<NodeId>((layer + 1) * width + rng.Below(width));
+      db.AddEdge(src, label_ids[rng.Below(label_ids.size())], dst);
+    }
+  }
+  return db;
+}
+
+GraphDb SocialNetwork(size_t num_people, size_t num_groups, size_t num_posts,
+                      uint64_t seed) {
+  RQ_CHECK(num_people >= 2);
+  GraphDb db;
+  uint32_t knows = db.alphabet().InternLabel("knows");
+  uint32_t member = db.alphabet().InternLabel("member");
+  uint32_t posted = db.alphabet().InternLabel("posted");
+  uint32_t likes = db.alphabet().InternLabel("likes");
+  Rng rng(seed);
+
+  // People 0..num_people-1. Preferential attachment on "knows": each new
+  // person knows ~2 earlier people, biased toward endpoints of existing
+  // edges.
+  db.EnsureNodes(num_people);
+  std::vector<NodeId> endpoint_pool = {0};
+  for (size_t p = 1; p < num_people; ++p) {
+    size_t degree = 1 + rng.Below(2);
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId target;
+      if (rng.Chance(0.6)) {
+        target = endpoint_pool[rng.Below(endpoint_pool.size())];
+      } else {
+        target = static_cast<NodeId>(rng.Below(p));
+      }
+      if (target == p) continue;
+      db.AddEdge(static_cast<NodeId>(p), knows, target);
+      endpoint_pool.push_back(static_cast<NodeId>(p));
+      endpoint_pool.push_back(target);
+    }
+  }
+  // Groups: each person joins 0-2 groups.
+  NodeId first_group = static_cast<NodeId>(db.num_nodes());
+  db.EnsureNodes(db.num_nodes() + num_groups);
+  if (num_groups > 0) {
+    for (size_t p = 0; p < num_people; ++p) {
+      size_t memberships = rng.Below(3);
+      for (size_t g = 0; g < memberships; ++g) {
+        db.AddEdge(static_cast<NodeId>(p), member,
+                   first_group + static_cast<NodeId>(rng.Below(num_groups)));
+      }
+    }
+  }
+  // Posts: authored by a random person, liked by 0-3 others.
+  NodeId first_post = static_cast<NodeId>(db.num_nodes());
+  db.EnsureNodes(db.num_nodes() + num_posts);
+  for (size_t i = 0; i < num_posts; ++i) {
+    NodeId post = first_post + static_cast<NodeId>(i);
+    db.AddEdge(static_cast<NodeId>(rng.Below(num_people)), posted, post);
+    size_t nlikes = rng.Below(4);
+    for (size_t l = 0; l < nlikes; ++l) {
+      db.AddEdge(static_cast<NodeId>(rng.Below(num_people)), likes, post);
+    }
+  }
+  return db;
+}
+
+SemipathEndpoints AppendSemipath(GraphDb* db,
+                                 const std::vector<Symbol>& word) {
+  NodeId start = db->AddNode();
+  NodeId prev = start;
+  for (Symbol s : word) {
+    NodeId next = db->AddNode();
+    uint32_t label = SymbolLabel(s);
+    RQ_CHECK(label < db->alphabet().num_labels());
+    if (IsInverseSymbol(s)) {
+      db->AddEdge(next, label, prev);
+    } else {
+      db->AddEdge(prev, label, next);
+    }
+    prev = next;
+  }
+  return {start, prev};
+}
+
+}  // namespace rq

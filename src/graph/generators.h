@@ -1,0 +1,57 @@
+// Synthetic graph-database generators.
+//
+// The paper carries no datasets (it is an overview paper), so every workload
+// in the tests and benchmarks is generated here, deterministically from an
+// explicit seed.
+#ifndef RQ_GRAPH_GENERATORS_H_
+#define RQ_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph_db.h"
+
+namespace rq {
+
+// Uniform random edges: `num_edges` edges among `num_nodes` nodes, labels
+// drawn uniformly from `labels`.
+GraphDb RandomGraph(size_t num_nodes, size_t num_edges,
+                    const std::vector<std::string>& labels, uint64_t seed);
+
+// Directed path 0 -> 1 -> ... -> n-1, all edges labeled `label`.
+GraphDb PathGraph(size_t num_nodes, const std::string& label);
+
+// Directed cycle over n nodes labeled `label`.
+GraphDb CycleGraph(size_t num_nodes, const std::string& label);
+
+// w x h grid with "right" and "down" edges.
+GraphDb GridGraph(size_t width, size_t height);
+
+// Layered DAG: `layers` layers of `width` nodes; every consecutive pair of
+// layers gets `edges_per_layer` random edges with labels from `labels`.
+GraphDb LayeredDag(size_t layers, size_t width, size_t edges_per_layer,
+                   const std::vector<std::string>& labels, uint64_t seed);
+
+// A small synthetic social network: "knows" edges grown by preferential
+// attachment, "member" edges into group nodes, "posted"/"likes" edges into
+// post nodes. Used by the examples and the evaluation benches.
+GraphDb SocialNetwork(size_t num_people, size_t num_groups, size_t num_posts,
+                      uint64_t seed);
+
+// The canonical line database of a word over Sigma±: nodes 0..n with, for
+// each position i, a forward edge (i-1 -> i) for a forward symbol or a
+// backward edge (i -> i-1) for an inverse symbol. Evaluating a 2RPQ Q on
+// this database answers (0, n) iff some word of L(Q) folds onto the word —
+// this is how 2RPQ containment counterexamples are validated. The word's
+// labels must already be interned in `db->alphabet()`.
+struct SemipathEndpoints {
+  NodeId start;
+  NodeId end;
+};
+SemipathEndpoints AppendSemipath(GraphDb* db, const std::vector<Symbol>& word);
+
+}  // namespace rq
+
+#endif  // RQ_GRAPH_GENERATORS_H_

@@ -1,0 +1,126 @@
+#include "graph/graph_db.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rq {
+
+NodeId GraphDb::AddNode() {
+  node_names_.emplace_back();
+  return static_cast<NodeId>(num_nodes_++);
+}
+
+NodeId GraphDb::AddNamedNode(std::string_view name) {
+  auto it = node_index_.find(std::string(name));
+  if (it != node_index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(num_nodes_++);
+  node_names_.emplace_back(name);
+  node_index_.emplace(node_names_.back(), id);
+  return id;
+}
+
+void GraphDb::EnsureNodes(size_t count) {
+  while (num_nodes_ < count) AddNode();
+}
+
+std::string GraphDb::NodeName(NodeId node) const {
+  RQ_CHECK(node < num_nodes_);
+  if (node < node_names_.size() && !node_names_[node].empty()) {
+    return node_names_[node];
+  }
+  return "n" + std::to_string(node);
+}
+
+Result<NodeId> GraphDb::FindNode(std::string_view name) const {
+  auto it = node_index_.find(std::string(name));
+  if (it == node_index_.end()) {
+    return NotFoundError("unknown node: " + std::string(name));
+  }
+  return it->second;
+}
+
+void GraphDb::AddEdge(NodeId src, uint32_t label, NodeId dst) {
+  RQ_CHECK(src < num_nodes_ && dst < num_nodes_);
+  RQ_CHECK(label < alphabet_.num_labels());
+  edges_.push_back({src, label, dst});
+  index_dirty_ = true;
+}
+
+void GraphDb::RebuildIndexIfNeeded() const {
+  if (!index_dirty_ && indexed_symbols_ == alphabet_.num_symbols()) return;
+  indexed_symbols_ = alphabet_.num_symbols();
+  adjacency_.assign(num_nodes_ * indexed_symbols_, {});
+  for (const Edge& e : edges_) {
+    adjacency_[e.src * indexed_symbols_ + ForwardSymbolOf(e.label)].push_back(
+        e.dst);
+    adjacency_[e.dst * indexed_symbols_ + InverseSymbolOf(e.label)].push_back(
+        e.src);
+  }
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  index_dirty_ = false;
+}
+
+const std::vector<NodeId>& GraphDb::Successors(NodeId node,
+                                               Symbol symbol) const {
+  RebuildIndexIfNeeded();
+  if (node >= num_nodes_ || symbol >= indexed_symbols_) return empty_;
+  return adjacency_[node * indexed_symbols_ + symbol];
+}
+
+std::vector<std::pair<NodeId, NodeId>> GraphDb::SymbolPairs(
+    Symbol symbol) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  uint32_t label = SymbolLabel(symbol);
+  for (const Edge& e : edges_) {
+    if (e.label != label) continue;
+    if (IsInverseSymbol(symbol)) {
+      out.emplace_back(e.dst, e.src);
+    } else {
+      out.emplace_back(e.src, e.dst);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string GraphDb::ToText() const {
+  std::string out;
+  for (const Edge& e : edges_) {
+    out += NodeName(e.src);
+    out.push_back(' ');
+    out += alphabet_.LabelName(e.label);
+    out.push_back(' ');
+    out += NodeName(e.dst);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<GraphDb> GraphDb::FromText(std::string_view text) {
+  GraphDb db;
+  size_t line_no = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> parts;
+    for (const std::string& p : StrSplit(line, ' ')) {
+      if (!p.empty()) parts.push_back(p);
+    }
+    if (parts.size() != 3) {
+      return InvalidArgumentError("graph line " + std::to_string(line_no) +
+                                  ": expected 'src label dst'");
+    }
+    NodeId src = db.AddNamedNode(parts[0]);
+    NodeId dst = db.AddNamedNode(parts[2]);
+    db.AddEdge(src, parts[1], dst);
+  }
+  return db;
+}
+
+}  // namespace rq

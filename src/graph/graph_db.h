@@ -1,0 +1,96 @@
+// Edge-labeled directed graph databases (paper §3.1).
+//
+// A graph database is a finite directed graph whose edges carry labels from
+// a finite alphabet Sigma; an edge r(x, y) states that relation r holds
+// between objects x and y. Nodes are dense uint32 ids with optional names;
+// labels live in an Alphabet shared with the queries, so query symbols and
+// edge labels agree by construction. Both directions are indexed: a
+// traversal step over an inverse symbol r- walks r-edges backward, which is
+// what 2RPQ semipath semantics require.
+#ifndef RQ_GRAPH_GRAPH_DB_H_
+#define RQ_GRAPH_GRAPH_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/status.h"
+
+namespace rq {
+
+using NodeId = uint32_t;
+
+struct Edge {
+  NodeId src;
+  uint32_t label;
+  NodeId dst;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.label == b.label && a.dst == b.dst;
+  }
+};
+
+class GraphDb {
+ public:
+  GraphDb() = default;
+
+  // The label alphabet. Queries over this database should parse their
+  // regexes against this same alphabet.
+  Alphabet& alphabet() { return alphabet_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  // Adds an anonymous node.
+  NodeId AddNode();
+  // Adds (or finds) a named node.
+  NodeId AddNamedNode(std::string_view name);
+  // Ensures nodes 0..count-1 exist.
+  void EnsureNodes(size_t count);
+
+  // Node name, or "n<id>" for anonymous nodes.
+  std::string NodeName(NodeId node) const;
+  Result<NodeId> FindNode(std::string_view name) const;
+
+  void AddEdge(NodeId src, uint32_t label, NodeId dst);
+  void AddEdge(NodeId src, std::string_view label, NodeId dst) {
+    AddEdge(src, alphabet_.InternLabel(label), dst);
+  }
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Nodes reachable from `node` in one step over `symbol` (forward edges
+  // for forward symbols, backward edges for inverse symbols). The returned
+  // reference is invalidated by the next AddEdge.
+  const std::vector<NodeId>& Successors(NodeId node, Symbol symbol) const;
+
+  // All node pairs (x, y) connected by one `symbol` step, sorted.
+  std::vector<std::pair<NodeId, NodeId>> SymbolPairs(Symbol symbol) const;
+
+  // Serialization: one "src label dst" line per edge, node names preserved.
+  std::string ToText() const;
+  static Result<GraphDb> FromText(std::string_view text);
+
+ private:
+  void RebuildIndexIfNeeded() const;
+
+  Alphabet alphabet_;
+  size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::string> node_names_;  // empty string = anonymous
+  std::unordered_map<std::string, NodeId> node_index_;
+
+  // adjacency_[node * num_symbols + symbol] -> successor list.
+  mutable bool index_dirty_ = true;
+  mutable size_t indexed_symbols_ = 0;
+  mutable std::vector<std::vector<NodeId>> adjacency_;
+  mutable std::vector<NodeId> empty_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_GRAPH_GRAPH_DB_H_

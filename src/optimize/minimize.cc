@@ -1,0 +1,79 @@
+#include "optimize/minimize.h"
+
+#include "pathquery/containment.h"
+
+namespace rq {
+
+Result<UnionOfConjunctiveQueries> PruneRedundantDisjuncts(
+    UnionOfConjunctiveQueries query) {
+  RQ_RETURN_IF_ERROR(query.Validate());
+  for (size_t i = 0; i < query.disjuncts.size();) {
+    if (query.disjuncts.size() == 1) break;
+    UnionOfConjunctiveQueries rest;
+    for (size_t j = 0; j < query.disjuncts.size(); ++j) {
+      if (j != i) rest.disjuncts.push_back(query.disjuncts[j]);
+    }
+    UnionOfConjunctiveQueries self;
+    self.disjuncts.push_back(query.disjuncts[i]);
+    RQ_ASSIGN_OR_RETURN(bool redundant, UcqContained(self, rest));
+    if (redundant) {
+      query.disjuncts.erase(query.disjuncts.begin() +
+                            static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return query;
+}
+
+Result<ConjunctiveQuery> MinimizeConjunctiveQuery(ConjunctiveQuery query) {
+  RQ_RETURN_IF_ERROR(query.Validate());
+  for (size_t i = 0; i < query.atoms.size();) {
+    if (query.atoms.size() == 1) break;
+    ConjunctiveQuery candidate = query;
+    candidate.atoms.erase(candidate.atoms.begin() +
+                          static_cast<ptrdiff_t>(i));
+    if (!candidate.Validate().ok()) {
+      ++i;  // dropping this atom would unsafely expose a head variable
+      continue;
+    }
+    // Dropping atoms only weakens (candidate ⊒ query); equivalence needs
+    // candidate ⊑ query.
+    RQ_ASSIGN_OR_RETURN(bool equivalent, CqContained(candidate, query));
+    if (equivalent) {
+      query = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+  return query;
+}
+
+const char* RewriteVerdictName(RewriteVerdict verdict) {
+  switch (verdict) {
+    case RewriteVerdict::kEquivalent:
+      return "equivalent";
+    case RewriteVerdict::kOverApproximates:
+      return "over-approximates";
+    case RewriteVerdict::kUnderApproximates:
+      return "under-approximates";
+    case RewriteVerdict::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+RewriteVerdict ValidatePathRewrite(const Regex& original,
+                                   const Regex& proposed,
+                                   const Alphabet& alphabet) {
+  bool forward =
+      CheckPathQueryContainment(original, proposed, alphabet).contained;
+  bool backward =
+      CheckPathQueryContainment(proposed, original, alphabet).contained;
+  if (forward && backward) return RewriteVerdict::kEquivalent;
+  if (forward) return RewriteVerdict::kOverApproximates;
+  if (backward) return RewriteVerdict::kUnderApproximates;
+  return RewriteVerdict::kIncomparable;
+}
+
+}  // namespace rq

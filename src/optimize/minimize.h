@@ -1,0 +1,44 @@
+// Containment-driven query optimization (the paper's §1/§2.3 framing of
+// containment as the key to query optimization: "Q is equivalent to Q' if
+// Q is contained in Q' and Q' is contained in Q").
+//
+// Everything here is verdict-preserving: rewrites are applied only when the
+// relevant exact containment test proves equivalence.
+#ifndef RQ_OPTIMIZE_MINIMIZE_H_
+#define RQ_OPTIMIZE_MINIMIZE_H_
+
+#include "common/status.h"
+#include "regex/regex.h"
+#include "relational/cq.h"
+
+namespace rq {
+
+// Removes every disjunct contained in the union of the others
+// (Sagiv-Yannakakis). The result is equivalent to the input and minimal in
+// the sense that no remaining disjunct is redundant.
+Result<UnionOfConjunctiveQueries> PruneRedundantDisjuncts(
+    UnionOfConjunctiveQueries query);
+
+// Computes the core of a conjunctive query: greedily drops body atoms as
+// long as the query stays equivalent (Chandra-Merlin). The result is a
+// minimal equivalent subquery; by the classical theory it is unique up to
+// isomorphism.
+Result<ConjunctiveQuery> MinimizeConjunctiveQuery(ConjunctiveQuery query);
+
+enum class RewriteVerdict {
+  kEquivalent,       // adopt: both containments proved
+  kOverApproximates, // rewrite ⊒ original only (sound for superset uses)
+  kUnderApproximates,// rewrite ⊑ original only
+  kIncomparable,
+};
+const char* RewriteVerdictName(RewriteVerdict verdict);
+
+// Classifies a proposed path-query rewrite against the original with the
+// exact RPQ/2RPQ containment procedures.
+RewriteVerdict ValidatePathRewrite(const Regex& original,
+                                   const Regex& proposed,
+                                   const Alphabet& alphabet);
+
+}  // namespace rq
+
+#endif  // RQ_OPTIMIZE_MINIMIZE_H_

@@ -1,0 +1,144 @@
+#include "pathquery/containment.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "automata/containment.h"
+#include "automata/nfa.h"
+#include "automata/reduce.h"
+#include "graph/generators.h"
+#include "twoway/fold.h"
+#include "twoway/tables.h"
+
+namespace rq {
+
+namespace {
+
+uint32_t SymbolUniverse(const Regex& q1, const Regex& q2,
+                        const Alphabet& alphabet) {
+  uint32_t k = std::max({static_cast<uint32_t>(alphabet.num_symbols()),
+                         q1.MinNumSymbols(), q2.MinNumSymbols()});
+  // The fold machinery pairs every forward symbol with its inverse; keep the
+  // universe even so InverseSymbol stays in range.
+  return (k + 1) & ~1u;
+}
+
+}  // namespace
+
+PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
+                                             const Alphabet& alphabet) {
+  const uint32_t k = SymbolUniverse(q1, q2, alphabet);
+  PathContainmentResult result;
+  result.used_fold_pipeline = true;
+
+  // Step 1: NFAs for both queries (linear), quotiented by simulation —
+  // the fold 2NFA's state count is n·(|Σ±|+1) in a2's n, so shrinking a2
+  // shrinks everything downstream.
+  Nfa a1 = ReduceBySimulation(q1.ToNfa(k).WithoutEpsilons().Trimmed());
+  Nfa a2 = ReduceBySimulation(q2.ToNfa(k).WithoutEpsilons().Trimmed());
+  // Step 2: 2NFA for fold(L(Q2)) (Lemma 3, polynomial).
+  TwoNfa fold2 = FoldTwoNfa(a2);
+  // Steps 3-5: search L(Q1) ∩ complement(fold(L(Q2))) on the fly. The
+  // complement side is represented by deterministic Shepherdson tables, so
+  // each product node has one successor per symbol on the right side.
+  TwoNfaSimulator sim(fold2);
+
+  std::unordered_map<TwoNfaTable, uint32_t, TwoNfaTableHash> table_ids;
+  std::vector<TwoNfaTable> tables;
+  std::vector<bool> table_accepts;
+  auto intern_table = [&](TwoNfaTable table) {
+    auto it = table_ids.find(table);
+    if (it != table_ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(tables.size());
+    table_ids.emplace(table, id);
+    table_accepts.push_back(sim.Accepts(table));
+    tables.push_back(std::move(table));
+    return id;
+  };
+
+  struct Node {
+    uint32_t a_state;
+    uint32_t table_id;
+    uint32_t parent;
+    Symbol via;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<uint64_t, uint32_t> seen;
+  std::deque<uint32_t> work;
+  auto push = [&](uint32_t a_state, uint32_t table_id, uint32_t parent,
+                  Symbol via) {
+    uint64_t key = (static_cast<uint64_t>(a_state) << 32) | table_id;
+    if (seen.contains(key)) return;
+    seen.emplace(key, static_cast<uint32_t>(nodes.size()));
+    nodes.push_back({a_state, table_id, parent, via});
+    work.push_back(static_cast<uint32_t>(nodes.size() - 1));
+  };
+
+  uint32_t t0 = intern_table(sim.InitialTable());
+  for (uint32_t s : a1.initial()) push(s, t0, 0xffffffffu, kInvalidSymbol);
+
+  while (!work.empty()) {
+    uint32_t idx = work.front();
+    work.pop_front();
+    Node node = nodes[idx];
+    ++result.explored_states;
+    if (a1.IsAccepting(node.a_state) && !table_accepts[node.table_id]) {
+      // Counterexample: word in L(Q1) \ fold(L(Q2)).
+      std::vector<Symbol> word;
+      for (uint32_t i = idx; i != 0xffffffffu; i = nodes[i].parent) {
+        if (nodes[i].via != kInvalidSymbol) word.push_back(nodes[i].via);
+      }
+      std::reverse(word.begin(), word.end());
+      result.contained = false;
+      result.counterexample = std::move(word);
+      return result;
+    }
+    // Group A1 transitions by symbol so we step the table once per symbol.
+    const auto& trans = a1.TransitionsFrom(node.a_state);
+    for (size_t i = 0; i < trans.size();) {
+      Symbol symbol = trans[i].symbol;
+      uint32_t next_table =
+          intern_table(sim.Step(tables[node.table_id], symbol));
+      for (; i < trans.size() && trans[i].symbol == symbol; ++i) {
+        push(trans[i].to, next_table, idx, symbol);
+      }
+    }
+  }
+  result.contained = true;
+  return result;
+}
+
+PathContainmentResult CheckPathQueryContainment(const Regex& q1,
+                                                const Regex& q2,
+                                                const Alphabet& alphabet) {
+  if (!q1.UsesInverse() && !q2.UsesInverse()) {
+    // Lemma 1: plain language containment.
+    const uint32_t k = SymbolUniverse(q1, q2, alphabet);
+    LanguageContainmentResult lang =
+        CheckLanguageContainment(q1.ToNfa(k), q2.ToNfa(k));
+    PathContainmentResult result;
+    result.contained = lang.contained;
+    result.counterexample = std::move(lang.counterexample);
+    result.explored_states = lang.explored_states;
+    result.used_fold_pipeline = false;
+    return result;
+  }
+  return CheckTwoWayContainment(q1, q2, alphabet);
+}
+
+SemipathWitness BuildSemipathWitness(const Alphabet& alphabet,
+                                     const std::vector<Symbol>& word) {
+  SemipathWitness witness;
+  // Copy the labels into the witness database's own alphabet, preserving
+  // label ids so the word's symbols remain valid.
+  for (uint32_t label = 0; label < alphabet.num_labels(); ++label) {
+    witness.db.alphabet().InternLabel(alphabet.LabelName(label));
+  }
+  SemipathEndpoints ends = AppendSemipath(&witness.db, word);
+  witness.start = ends.start;
+  witness.end = ends.end;
+  return witness;
+}
+
+}  // namespace rq

@@ -1,0 +1,63 @@
+// Exact containment for RPQs and 2RPQs (paper §3.2).
+//
+// RPQs: Q1 ⊑ Q2 iff L(Q1) ⊆ L(Q2) (Language-Theoretic Lemma 1), decided by
+// the on-the-fly product-with-complement search.
+//
+// 2RPQs: the language characterization fails (p ⊑ p p- p but
+// L(p) ⊄ L(p p- p)); instead Q1 ⊑ Q2 iff L(Q1) ⊆ fold(L(Q2))
+// (Language-Theoretic Lemma 2). Following Theorem 5's pipeline, we build an
+// NFA for Q1, the Lemma 3 fold-2NFA for Q2, and search the product of the
+// NFA with a lazily determinized view of the 2NFA (Shepherdson behavior
+// tables) for a word in L(Q1) \ fold(L(Q2)). The search is exact and, like
+// the paper's algorithm, materializes only what it visits.
+//
+// A non-containment verdict carries a machine-checkable certificate: the
+// witness word u and its canonical semipath database, on which Q1 answers
+// (start, end) but Q2 does not.
+#ifndef RQ_PATHQUERY_CONTAINMENT_H_
+#define RQ_PATHQUERY_CONTAINMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "graph/graph_db.h"
+#include "regex/regex.h"
+
+namespace rq {
+
+struct PathContainmentResult {
+  bool contained = false;
+  // When !contained: a word of L(Q1) witnessing non-containment (over Sigma
+  // for RPQs, Sigma± for 2RPQs).
+  std::vector<Symbol> counterexample;
+  // Number of product states the decision procedure explored.
+  uint64_t explored_states = 0;
+  // True if the two-way (fold) pipeline ran; false if Lemma 1 sufficed.
+  bool used_fold_pipeline = false;
+};
+
+// Decides Q1 ⊑ Q2 for path queries over the alphabet. Dispatches to the
+// Lemma 1 check when both queries are one-way, and to the Theorem 5 fold
+// pipeline otherwise.
+PathContainmentResult CheckPathQueryContainment(const Regex& q1,
+                                                const Regex& q2,
+                                                const Alphabet& alphabet);
+
+// Always runs the two-way fold pipeline (exposed for tests/benches).
+PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
+                                             const Alphabet& alphabet);
+
+// Builds the canonical semipath database for a counterexample word; Q1
+// answers (start, end) on it, Q2 must not (validated in tests).
+struct SemipathWitness {
+  GraphDb db;
+  NodeId start;
+  NodeId end;
+};
+SemipathWitness BuildSemipathWitness(const Alphabet& alphabet,
+                                     const std::vector<Symbol>& word);
+
+}  // namespace rq
+
+#endif  // RQ_PATHQUERY_CONTAINMENT_H_

@@ -1,0 +1,80 @@
+#include "pathquery/path_query.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rq {
+
+Result<PathQuery> ParsePathQuery(std::string_view text, Alphabet* alphabet) {
+  RQ_ASSIGN_OR_RETURN(RegexPtr regex, ParseRegex(text, alphabet));
+  return PathQuery{std::move(regex)};
+}
+
+std::vector<NodeId> EvalPathQueryFrom(const GraphDb& db, const Nfa& input,
+                                      NodeId start) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  const size_t num_states = nfa.num_states();
+  std::vector<bool> seen(db.num_nodes() * num_states, false);
+  std::deque<std::pair<NodeId, uint32_t>> work;
+  auto push = [&](NodeId node, uint32_t state) {
+    size_t key = static_cast<size_t>(node) * num_states + state;
+    if (!seen[key]) {
+      seen[key] = true;
+      work.emplace_back(node, state);
+    }
+  };
+  for (uint32_t s : nfa.initial()) push(start, s);
+
+  std::vector<bool> answer(db.num_nodes(), false);
+  while (!work.empty()) {
+    auto [node, state] = work.front();
+    work.pop_front();
+    if (nfa.IsAccepting(state)) answer[node] = true;
+    for (const NfaTransition& t : nfa.TransitionsFrom(state)) {
+      for (NodeId next : db.Successors(node, t.symbol)) {
+        push(next, t.to);
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (NodeId y = 0; y < db.num_nodes(); ++y) {
+    if (answer[y]) out.push_back(y);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(const GraphDb& db,
+                                                        const Nfa& input) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId x = 0; x < db.num_nodes(); ++x) {
+    for (NodeId y : EvalPathQueryFrom(db, nfa, x)) {
+      out.emplace_back(x, y);
+    }
+  }
+  return out;  // already sorted: outer loop ascending, inner sorted
+}
+
+namespace {
+
+uint32_t SymbolUniverse(const GraphDb& db, const Regex& regex) {
+  return std::max(static_cast<uint32_t>(db.alphabet().num_symbols()),
+                  regex.MinNumSymbols());
+}
+
+}  // namespace
+
+std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(const GraphDb& db,
+                                                     const Regex& regex) {
+  Nfa nfa = regex.ToNfa(SymbolUniverse(db, regex));
+  return EvalPathQueryNfa(db, nfa);
+}
+
+bool PathQueryAnswers(const GraphDb& db, const Regex& regex, NodeId x,
+                      NodeId y) {
+  Nfa nfa = regex.ToNfa(SymbolUniverse(db, regex));
+  std::vector<NodeId> ys = EvalPathQueryFrom(db, nfa.WithoutEpsilons(), x);
+  return std::binary_search(ys.begin(), ys.end(), y);
+}
+
+}  // namespace rq

@@ -1,0 +1,49 @@
+// Regular path queries and two-way regular path queries (paper §3.1).
+//
+// An RPQ is a regular expression over the edge alphabet; its answer on a
+// graph database D is the set of node pairs connected by a directed path
+// spelling a word of the language. A 2RPQ may use inverse symbols r- and is
+// evaluated over semipaths (paths that may traverse edges backward). Both
+// evaluate with the same product-of-graph-and-automaton BFS, because
+// GraphDb::Successors already resolves inverse symbols to backward steps.
+#ifndef RQ_PATHQUERY_PATH_QUERY_H_
+#define RQ_PATHQUERY_PATH_QUERY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "graph/graph_db.h"
+#include "regex/regex.h"
+
+namespace rq {
+
+// A parsed path query bound to a database alphabet.
+struct PathQuery {
+  RegexPtr regex;
+
+  // True if the query uses inverse symbols (2RPQ rather than RPQ).
+  bool IsTwoWay() const { return regex->UsesInverse(); }
+};
+
+// Parses a path query; labels are interned into db_alphabet.
+Result<PathQuery> ParsePathQuery(std::string_view text, Alphabet* alphabet);
+
+// All nodes y such that (start, y) is in the answer.
+std::vector<NodeId> EvalPathQueryFrom(const GraphDb& db, const Nfa& nfa,
+                                      NodeId start);
+
+// The full answer set, sorted by (x, y).
+std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(const GraphDb& db,
+                                                     const Regex& regex);
+std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(const GraphDb& db,
+                                                        const Nfa& nfa);
+
+// Membership test for one pair.
+bool PathQueryAnswers(const GraphDb& db, const Regex& regex, NodeId x,
+                      NodeId y);
+
+}  // namespace rq
+
+#endif  // RQ_PATHQUERY_PATH_QUERY_H_

@@ -1,0 +1,40 @@
+// Embedding path queries into graph-database Datalog.
+//
+// The paper notes (§3.4) that RPQ, 2RPQ, UC2RPQ and RQ all embed into
+// Datalog over binary EDB predicates. This is the path-query case: the
+// query's automaton becomes one IDB predicate per state,
+//   s_i(X, X)  :- nodes(X).                   for initial states i
+//   s_j(X, Z)  :- s_i(X, Y), l(Y, Z).         for transitions i -l-> j
+//   s_j(X, Z)  :- s_i(X, Y), l(Z, Y).         for transitions i -l⁻-> j
+//   ans(X, Y)  :- s_f(X, Y).                  for accepting states f
+// with nodes(·) ranging over the active domain. The translation is linear
+// Datalog; it is the second evaluation engine the integration tests pit
+// against the product-automaton BFS.
+#ifndef RQ_PATHQUERY_TO_DATALOG_H_
+#define RQ_PATHQUERY_TO_DATALOG_H_
+
+#include "automata/alphabet.h"
+#include "common/status.h"
+#include "datalog/program.h"
+#include "regex/regex.h"
+
+namespace rq {
+
+// Translates a path query over `alphabet` into a Datalog program with goal
+// predicate "ans". Generated predicates are prefixed "rpq_"; label names
+// matching the prefix are rejected.
+Result<DatalogProgram> PathQueryToDatalog(const Regex& regex,
+                                          const Alphabet& alphabet);
+
+// Appends the rules for one path query into an existing program, with all
+// generated predicates named "<prefix>..." and the active-domain predicate
+// "<prefix>nodes". Returns the binary answer predicate. Used by the C2RPQ
+// embedding, which joins several answer predicates in one goal rule.
+Result<PredId> AppendPathAutomaton(DatalogProgram* program,
+                                   const Regex& regex,
+                                   const Alphabet& alphabet,
+                                   const std::string& prefix);
+
+}  // namespace rq
+
+#endif  // RQ_PATHQUERY_TO_DATALOG_H_

@@ -1,0 +1,80 @@
+#include "pathquery/witness.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "automata/nfa.h"
+
+namespace rq {
+
+std::optional<std::vector<SemipathStep>> FindWitnessSemipath(
+    const GraphDb& db, const Regex& regex, NodeId x, NodeId y) {
+  const uint32_t k =
+      std::max(static_cast<uint32_t>(db.alphabet().num_symbols()),
+               regex.MinNumSymbols());
+  Nfa nfa = regex.ToNfa(k).WithoutEpsilons().Trimmed();
+
+  struct Visit {
+    uint32_t parent;  // index into visits, or UINT32_MAX
+    NodeId node;
+    uint32_t state;
+    Symbol via;  // kInvalidSymbol at roots
+  };
+  std::vector<Visit> visits;
+  std::unordered_map<uint64_t, uint32_t> seen;
+  std::deque<uint32_t> work;
+  auto key_of = [&](NodeId node, uint32_t state) {
+    return (static_cast<uint64_t>(node) << 32) | state;
+  };
+  auto push = [&](NodeId node, uint32_t state, uint32_t parent, Symbol via) {
+    uint64_t key = key_of(node, state);
+    if (seen.contains(key)) return;
+    seen.emplace(key, static_cast<uint32_t>(visits.size()));
+    visits.push_back({parent, node, state, via});
+    work.push_back(static_cast<uint32_t>(visits.size() - 1));
+  };
+  for (uint32_t s : nfa.initial()) {
+    push(x, s, 0xffffffffu, kInvalidSymbol);
+  }
+  while (!work.empty()) {
+    uint32_t idx = work.front();
+    work.pop_front();
+    Visit visit = visits[idx];
+    if (visit.node == y && nfa.IsAccepting(visit.state)) {
+      std::vector<SemipathStep> path;
+      for (uint32_t i = idx; visits[i].parent != 0xffffffffu;
+           i = visits[i].parent) {
+        path.push_back({visits[visits[i].parent].node, visits[i].via,
+                        visits[i].node});
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const NfaTransition& t : nfa.TransitionsFrom(visit.state)) {
+      for (NodeId next : db.Successors(visit.node, t.symbol)) {
+        push(next, t.to, idx, t.symbol);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string SemipathToString(const GraphDb& db,
+                             const std::vector<SemipathStep>& path) {
+  if (path.empty()) return "(empty semipath)";
+  std::string out = db.NodeName(path.front().from);
+  for (const SemipathStep& step : path) {
+    const std::string label =
+        db.alphabet().LabelName(SymbolLabel(step.symbol));
+    if (IsInverseSymbol(step.symbol)) {
+      out += " <-" + label + "- ";
+    } else {
+      out += " -" + label + "-> ";
+    }
+    out += db.NodeName(step.to);
+  }
+  return out;
+}
+
+}  // namespace rq

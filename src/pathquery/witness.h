@@ -1,0 +1,38 @@
+// Witness semipaths: provenance for path-query answers.
+//
+// A pair (x, y) is in a 2RPQ's answer iff some semipath from x to y
+// conforms to the expression (paper §3.1). FindWitnessSemipath returns a
+// shortest such semipath — the concrete navigation, edge by edge, with the
+// direction each edge was traversed — so callers can explain or audit an
+// answer rather than trust a boolean.
+#ifndef RQ_PATHQUERY_WITNESS_H_
+#define RQ_PATHQUERY_WITNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_db.h"
+#include "regex/regex.h"
+
+namespace rq {
+
+struct SemipathStep {
+  NodeId from;
+  Symbol symbol;  // inverse symbol = the edge was walked backward
+  NodeId to;
+};
+
+// A shortest conforming semipath from x to y, or nullopt when (x, y) is
+// not in the answer. The empty vector is returned when the empty word
+// matches and x == y.
+std::optional<std::vector<SemipathStep>> FindWitnessSemipath(
+    const GraphDb& db, const Regex& regex, NodeId x, NodeId y);
+
+// Renders "alice -knows-> bob <-knows- carol".
+std::string SemipathToString(const GraphDb& db,
+                             const std::vector<SemipathStep>& path);
+
+}  // namespace rq
+
+#endif  // RQ_PATHQUERY_WITNESS_H_

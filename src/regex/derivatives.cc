@@ -1,0 +1,198 @@
+#include "regex/derivatives.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace rq {
+
+namespace {
+
+// Canonical structural key (symbol ids, not names) used for ACI
+// normalization and memoization.
+void KeyInto(const Regex& re, std::string* out) {
+  switch (re.kind()) {
+    case RegexKind::kEmpty:
+      out->append("0");
+      return;
+    case RegexKind::kEpsilon:
+      out->append("e");
+      return;
+    case RegexKind::kAtom:
+      out->append("a");
+      out->append(std::to_string(re.symbol()));
+      return;
+    case RegexKind::kConcat:
+      out->append("(.");
+      break;
+    case RegexKind::kUnion:
+      out->append("(|");
+      break;
+    case RegexKind::kStar:
+      out->append("(*");
+      break;
+    case RegexKind::kPlus:
+      out->append("(+");
+      break;
+    case RegexKind::kOptional:
+      out->append("(?");
+      break;
+  }
+  for (const RegexPtr& c : re.children()) {
+    out->push_back(' ');
+    KeyInto(*c, out);
+  }
+  out->push_back(')');
+}
+
+std::string Key(const Regex& re) {
+  std::string out;
+  KeyInto(re, &out);
+  return out;
+}
+
+// Smart union: flatten, drop ∅, dedup and sort by key (ACI normalization,
+// which keeps the derivative space finite).
+RegexPtr NormUnion(std::vector<RegexPtr> children) {
+  std::vector<RegexPtr> flat;
+  for (RegexPtr& c : children) {
+    if (c->kind() == RegexKind::kEmpty) continue;
+    if (c->kind() == RegexKind::kUnion) {
+      for (const RegexPtr& g : c->children()) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return Regex::Empty();
+  std::map<std::string, RegexPtr> dedup;
+  for (RegexPtr& c : flat) dedup.emplace(Key(*c), c);
+  std::vector<RegexPtr> out;
+  out.reserve(dedup.size());
+  for (auto& [key, c] : dedup) out.push_back(std::move(c));
+  return Regex::Union(std::move(out));
+}
+
+// Smart concat: flatten, absorb ∅, drop ε.
+RegexPtr NormConcat(std::vector<RegexPtr> children) {
+  std::vector<RegexPtr> flat;
+  for (RegexPtr& c : children) {
+    if (c->kind() == RegexKind::kEmpty) return Regex::Empty();
+    if (c->kind() == RegexKind::kEpsilon) continue;
+    if (c->kind() == RegexKind::kConcat) {
+      for (const RegexPtr& g : c->children()) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  return Regex::Concat(std::move(flat));
+}
+
+}  // namespace
+
+bool IsNullable(const Regex& re) {
+  switch (re.kind()) {
+    case RegexKind::kEmpty:
+    case RegexKind::kAtom:
+      return false;
+    case RegexKind::kEpsilon:
+    case RegexKind::kStar:
+    case RegexKind::kOptional:
+      return true;
+    case RegexKind::kPlus:
+      return IsNullable(*re.children()[0]);
+    case RegexKind::kConcat:
+      for (const RegexPtr& c : re.children()) {
+        if (!IsNullable(*c)) return false;
+      }
+      return true;
+    case RegexKind::kUnion:
+      for (const RegexPtr& c : re.children()) {
+        if (IsNullable(*c)) return true;
+      }
+      return false;
+  }
+  RQ_CHECK(false);
+  return false;
+}
+
+RegexPtr Derivative(const RegexPtr& re, Symbol symbol) {
+  switch (re->kind()) {
+    case RegexKind::kEmpty:
+    case RegexKind::kEpsilon:
+      return Regex::Empty();
+    case RegexKind::kAtom:
+      return re->symbol() == symbol ? Regex::Epsilon() : Regex::Empty();
+    case RegexKind::kConcat: {
+      // d(r1 r2 .. rn) = d(r1)·rest ∪ [nullable(r1)] d(rest).
+      const auto& kids = re->children();
+      std::vector<RegexPtr> rest(kids.begin() + 1, kids.end());
+      RegexPtr rest_re = Regex::Concat(rest);
+      std::vector<RegexPtr> tail{Derivative(kids[0], symbol)};
+      tail.push_back(rest_re);
+      RegexPtr first = NormConcat(std::move(tail));
+      if (!IsNullable(*kids[0])) return first;
+      return NormUnion({first, Derivative(rest_re, symbol)});
+    }
+    case RegexKind::kUnion: {
+      std::vector<RegexPtr> parts;
+      parts.reserve(re->children().size());
+      for (const RegexPtr& c : re->children()) {
+        parts.push_back(Derivative(c, symbol));
+      }
+      return NormUnion(std::move(parts));
+    }
+    case RegexKind::kStar:
+      return NormConcat(
+          {Derivative(re->children()[0], symbol), re});
+    case RegexKind::kPlus: {
+      RegexPtr star = Regex::Star(re->children()[0]);
+      return NormConcat({Derivative(re->children()[0], symbol), star});
+    }
+    case RegexKind::kOptional:
+      return Derivative(re->children()[0], symbol);
+  }
+  RQ_CHECK(false);
+  return Regex::Empty();
+}
+
+bool DerivativeMatch(const RegexPtr& re, const std::vector<Symbol>& word) {
+  RegexPtr current = re;
+  for (Symbol a : word) {
+    if (current->kind() == RegexKind::kEmpty) return false;
+    current = Derivative(current, a);
+  }
+  return IsNullable(*current);
+}
+
+Result<bool> DerivativeContainment(const RegexPtr& r1, const RegexPtr& r2,
+                                   uint32_t num_symbols,
+                                   size_t max_states) {
+  std::unordered_set<std::string> seen;
+  std::deque<std::pair<RegexPtr, RegexPtr>> work;
+  auto push = [&](RegexPtr a, RegexPtr b) {
+    if (a->kind() == RegexKind::kEmpty) return;  // ∅ ⊆ anything
+    std::string key = Key(*a) + "#" + Key(*b);
+    if (seen.insert(std::move(key)).second) {
+      work.emplace_back(std::move(a), std::move(b));
+    }
+  };
+  push(r1, r2);
+  while (!work.empty()) {
+    if (seen.size() > max_states) {
+      return ResourceExhaustedError(
+          "DerivativeContainment: more than " +
+          std::to_string(max_states) + " derivative pairs");
+    }
+    auto [a, b] = std::move(work.front());
+    work.pop_front();
+    if (IsNullable(*a) && !IsNullable(*b)) return false;
+    for (Symbol s = 0; s < num_symbols; ++s) {
+      push(Derivative(a, s), Derivative(b, s));
+    }
+  }
+  return true;
+}
+
+}  // namespace rq

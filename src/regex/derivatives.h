@@ -1,0 +1,41 @@
+// Brzozowski derivatives: a second, automaton-free regular-expression
+// engine.
+//
+// The derivative of a language L by symbol a is a⁻¹L = { w : aw ∈ L };
+// Brzozowski showed derivatives of a regular expression are computable
+// syntactically, giving matching (repeatedly differentiate, test
+// nullability) without ever building an NFA. librq uses it as an
+// independent oracle against the Thompson/subset machinery in tests, and
+// as a lazily-unfolded deterministic automaton for containment checking.
+#ifndef RQ_REGEX_DERIVATIVES_H_
+#define RQ_REGEX_DERIVATIVES_H_
+
+#include <vector>
+
+#include "regex/regex.h"
+
+namespace rq {
+
+// True iff the empty word is in L(re).
+bool IsNullable(const Regex& re);
+
+// The derivative of re by `symbol`, lightly normalized (empties pruned,
+// nested concatenations of epsilon collapsed) so repeated differentiation
+// does not blow up syntactically.
+RegexPtr Derivative(const RegexPtr& re, Symbol symbol);
+
+// Membership by iterated derivatives.
+bool DerivativeMatch(const RegexPtr& re, const std::vector<Symbol>& word);
+
+// Language containment by a product walk over derivative pairs: explores
+// pairs (d_w(r1), d_w(r2)) for growing w, memoized by printed form.
+// Exact for regular expressions (the derivative space is finite modulo the
+// normalization; `max_states` guards the memo table). Returns error if the
+// guard is exceeded.
+Result<bool> DerivativeContainment(const RegexPtr& r1, const RegexPtr& r2,
+                                   uint32_t num_symbols,
+                                   size_t max_states = 100000);
+
+}  // namespace rq
+
+#endif  // RQ_REGEX_DERIVATIVES_H_

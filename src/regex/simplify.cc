@@ -1,0 +1,209 @@
+#include "regex/simplify.h"
+
+#include <map>
+#include <string>
+
+#include "regex/derivatives.h"
+
+namespace rq {
+
+namespace {
+
+// Structural key for union deduplication (mirrors derivatives.cc).
+void KeyInto(const Regex& re, std::string* out) {
+  switch (re.kind()) {
+    case RegexKind::kEmpty:
+      out->append("0");
+      return;
+    case RegexKind::kEpsilon:
+      out->append("e");
+      return;
+    case RegexKind::kAtom:
+      out->append("a");
+      out->append(std::to_string(re.symbol()));
+      return;
+    case RegexKind::kConcat:
+      out->append("(.");
+      break;
+    case RegexKind::kUnion:
+      out->append("(|");
+      break;
+    case RegexKind::kStar:
+      out->append("(*");
+      break;
+    case RegexKind::kPlus:
+      out->append("(+");
+      break;
+    case RegexKind::kOptional:
+      out->append("(?");
+      break;
+  }
+  for (const RegexPtr& c : re.children()) {
+    out->push_back(' ');
+    KeyInto(*c, out);
+  }
+  out->push_back(')');
+}
+
+std::string Key(const Regex& re) {
+  std::string out;
+  KeyInto(re, &out);
+  return out;
+}
+
+RegexPtr SimplifyStar(RegexPtr child) {
+  switch (child->kind()) {
+    case RegexKind::kEmpty:
+    case RegexKind::kEpsilon:
+      return Regex::Epsilon();
+    case RegexKind::kStar:
+      return child;  // (r*)* = r*
+    case RegexKind::kPlus:
+    case RegexKind::kOptional:
+      return Regex::Star(child->children()[0]);  // (r+)* = (r?)* = r*
+    default:
+      return Regex::Star(std::move(child));
+  }
+}
+
+RegexPtr SimplifyPlus(RegexPtr child) {
+  switch (child->kind()) {
+    case RegexKind::kEmpty:
+      return Regex::Empty();
+    case RegexKind::kEpsilon:
+      return Regex::Epsilon();
+    case RegexKind::kStar:
+      return child;  // (r*)+ = r*
+    case RegexKind::kPlus:
+      return child;  // (r+)+ = r+
+    case RegexKind::kOptional:
+      return Regex::Star(child->children()[0]);  // (r?)+ = r*
+    default:
+      if (IsNullable(*child)) {
+        return Regex::Star(std::move(child));  // ε ∈ L(r): r+ = r*
+      }
+      return Regex::Plus(std::move(child));
+  }
+}
+
+RegexPtr SimplifyOptional(RegexPtr child) {
+  switch (child->kind()) {
+    case RegexKind::kEmpty:
+    case RegexKind::kEpsilon:
+      return Regex::Epsilon();
+    case RegexKind::kStar:
+      return child;  // (r*)? = r*
+    case RegexKind::kPlus:
+      return Regex::Star(child->children()[0]);  // (r+)? = r*
+    case RegexKind::kOptional:
+      return child;
+    default:
+      if (IsNullable(*child)) return child;  // ε already in L(r)
+      return Regex::Optional(std::move(child));
+  }
+}
+
+}  // namespace
+
+RegexPtr SimplifyRegex(const RegexPtr& re) {
+  switch (re->kind()) {
+    case RegexKind::kEmpty:
+    case RegexKind::kEpsilon:
+    case RegexKind::kAtom:
+      return re;
+    case RegexKind::kUnion: {
+      // Simplify children, flatten, drop ∅, dedup (keep first occurrence
+      // order for readability).
+      std::vector<RegexPtr> flat;
+      bool saw_epsilon_equivalent = false;
+      for (const RegexPtr& c : re->children()) {
+        RegexPtr s = SimplifyRegex(c);
+        if (s->kind() == RegexKind::kEmpty) continue;
+        if (s->kind() == RegexKind::kUnion) {
+          for (const RegexPtr& g : s->children()) flat.push_back(g);
+        } else {
+          flat.push_back(std::move(s));
+        }
+      }
+      std::map<std::string, size_t> seen;
+      std::vector<RegexPtr> out;
+      bool union_nullable = false;
+      for (RegexPtr& c : flat) {
+        std::string key = Key(*c);
+        if (seen.contains(key)) continue;
+        seen.emplace(std::move(key), out.size());
+        union_nullable = union_nullable || IsNullable(*c);
+        out.push_back(std::move(c));
+      }
+      if (out.empty()) return Regex::Empty();
+      // ε | r with nullable r collapses: drop explicit ε if another
+      // disjunct is nullable.
+      if (out.size() > 1) {
+        std::vector<RegexPtr> kept;
+        for (RegexPtr& c : out) {
+          if (c->kind() == RegexKind::kEpsilon) {
+            bool other_nullable = false;
+            for (const RegexPtr& other : out) {
+              if (other.get() != c.get() && IsNullable(*other)) {
+                other_nullable = true;
+                break;
+              }
+            }
+            if (other_nullable) continue;
+          }
+          kept.push_back(std::move(c));
+        }
+        out = std::move(kept);
+      }
+      (void)saw_epsilon_equivalent;
+      return Regex::Union(std::move(out));
+    }
+    case RegexKind::kConcat: {
+      std::vector<RegexPtr> flat;
+      for (const RegexPtr& c : re->children()) {
+        RegexPtr s = SimplifyRegex(c);
+        if (s->kind() == RegexKind::kEmpty) return Regex::Empty();
+        if (s->kind() == RegexKind::kEpsilon) continue;
+        if (s->kind() == RegexKind::kConcat) {
+          for (const RegexPtr& g : s->children()) flat.push_back(g);
+        } else {
+          flat.push_back(std::move(s));
+        }
+      }
+      // r* r* = r*; r* r+ = r+ (and symmetric).
+      std::vector<RegexPtr> out;
+      for (RegexPtr& c : flat) {
+        if (!out.empty()) {
+          RegexPtr& prev = out.back();
+          bool prev_star = prev->kind() == RegexKind::kStar;
+          bool cur_star = c->kind() == RegexKind::kStar;
+          if (prev_star && cur_star &&
+              Key(*prev->children()[0]) == Key(*c->children()[0])) {
+            continue;  // r* r* = r*
+          }
+          if (prev_star && c->kind() == RegexKind::kPlus &&
+              Key(*prev->children()[0]) == Key(*c->children()[0])) {
+            prev = c;  // r* r+ = r+
+            continue;
+          }
+          if (prev->kind() == RegexKind::kPlus && cur_star &&
+              Key(*prev->children()[0]) == Key(*c->children()[0])) {
+            continue;  // r+ r* = r+
+          }
+        }
+        out.push_back(std::move(c));
+      }
+      return Regex::Concat(std::move(out));
+    }
+    case RegexKind::kStar:
+      return SimplifyStar(SimplifyRegex(re->children()[0]));
+    case RegexKind::kPlus:
+      return SimplifyPlus(SimplifyRegex(re->children()[0]));
+    case RegexKind::kOptional:
+      return SimplifyOptional(SimplifyRegex(re->children()[0]));
+  }
+  RQ_CHECK(false);
+  return re;
+}
+
+}  // namespace rq

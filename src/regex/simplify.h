@@ -1,0 +1,23 @@
+// Equivalence-preserving regular-expression simplification.
+//
+// A bottom-up rewriting pass applying the classical identities
+//   ∅ | r = r      ∅ · r = ∅       ε · r = r       r | r = r
+//   (r*)* = r*     (r?)* = r*      (r+)* = r*      ε* = ε      ∅* = ε
+//   (r*)+ = r*     (r?)+ = r*      (r*)? = r*      ε? = ε
+//   r* r* = r*     nested unions/concats flatten, unions dedup (ACI)
+// plus nullability-based ones (r? = r when ε ∈ L(r)). Used as a
+// normalization pre-pass by the optimizer; equivalence is property-tested
+// against the automata and derivative engines.
+#ifndef RQ_REGEX_SIMPLIFY_H_
+#define RQ_REGEX_SIMPLIFY_H_
+
+#include "regex/regex.h"
+
+namespace rq {
+
+// Returns an equivalent, usually smaller expression. Idempotent.
+RegexPtr SimplifyRegex(const RegexPtr& re);
+
+}  // namespace rq
+
+#endif  // RQ_REGEX_SIMPLIFY_H_

@@ -1,0 +1,33 @@
+#include "relational/incremental.h"
+
+#include <vector>
+
+namespace rq {
+
+size_t IncrementalClosure::AddEdge(Value x, Value y) {
+  base_.Insert({x, y});
+  if (closure_.Contains({x, y})) {
+    // x already reaches y, so every pair the product below would produce is
+    // already derivable through the old closure.
+    return 0;
+  }
+  // Sources: everything reaching x, plus x itself.
+  std::vector<Value> sources{x};
+  for (uint32_t row : closure_.RowsWithValue(1, x)) {
+    sources.push_back(closure_.tuples()[row][0]);
+  }
+  // Targets: everything reachable from y, plus y itself.
+  std::vector<Value> targets{y};
+  for (uint32_t row : closure_.RowsWithValue(0, y)) {
+    targets.push_back(closure_.tuples()[row][1]);
+  }
+  size_t added = 0;
+  for (Value a : sources) {
+    for (Value b : targets) {
+      if (closure_.Insert({a, b})) ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace rq

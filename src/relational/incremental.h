@@ -1,0 +1,38 @@
+// Incremental maintenance of a binary transitive closure under edge
+// insertions.
+//
+// Recursion-as-transitive-closure is the paper's central restriction
+// (§3.4/§4.1); maintaining TC incrementally is the corresponding systems
+// concern. On inserting (x, y), the new closure pairs are exactly
+// (pred*(x) ∪ {x}) × (succ*(y) ∪ {y}) minus what is already present —
+// computable from the old closure alone, no recomputation of the fixpoint.
+// bench_incremental measures the payoff against recomputation.
+#ifndef RQ_RELATIONAL_INCREMENTAL_H_
+#define RQ_RELATIONAL_INCREMENTAL_H_
+
+#include "relational/relation.h"
+
+namespace rq {
+
+class IncrementalClosure {
+ public:
+  IncrementalClosure() : base_(2), closure_(2) {}
+
+  // Inserts a base edge and updates the closure. Returns the number of new
+  // closure pairs (0 if the edge adds nothing).
+  size_t AddEdge(Value x, Value y);
+
+  // True if (x, y) is in the current closure.
+  bool Reaches(Value x, Value y) const { return closure_.Contains({x, y}); }
+
+  const Relation& base() const { return base_; }
+  const Relation& closure() const { return closure_; }
+
+ private:
+  Relation base_;
+  Relation closure_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_RELATIONAL_INCREMENTAL_H_

@@ -1,0 +1,166 @@
+#include "relational/matcher.h"
+
+#include <algorithm>
+
+namespace rq {
+
+namespace {
+
+struct SearchState {
+  const std::vector<MatchAtom>* atoms;
+  bool reorder = true;
+  std::vector<bool> used;            // atom already matched
+  std::vector<Value> binding;        // per var, kUnboundValue if free
+  std::vector<uint32_t> bound_count; // per atom, number of bound vars
+  const std::function<bool(const std::vector<Value>&)>* on_match;
+  size_t matches = 0;
+  bool stopped = false;
+};
+
+// Picks the unmatched atom with the most bound variables, breaking ties by
+// smaller relation (cheap greedy join order).
+int PickAtom(const SearchState& st) {
+  int best = -1;
+  for (size_t i = 0; i < st.atoms->size(); ++i) {
+    if (st.used[i]) continue;
+    if (!st.reorder) return static_cast<int>(i);
+    if (best == -1) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const MatchAtom& a = (*st.atoms)[i];
+    const MatchAtom& b = (*st.atoms)[best];
+    if (st.bound_count[i] > st.bound_count[best] ||
+        (st.bound_count[i] == st.bound_count[best] &&
+         a.relation->size() < b.relation->size())) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void Recurse(SearchState& st) {
+  if (st.stopped) return;
+  int pick = PickAtom(st);
+  if (pick < 0) {
+    ++st.matches;
+    if (!(*st.on_match)(st.binding)) st.stopped = true;
+    return;
+  }
+  const MatchAtom& atom = (*st.atoms)[pick];
+  st.used[pick] = true;
+
+  // Candidate rows: restrict by the first bound column if any.
+  const std::vector<Tuple>& tuples = atom.relation->tuples();
+  const std::vector<uint32_t>* rows = nullptr;
+  int bound_col = -1;
+  for (size_t c = 0; c < atom.vars.size(); ++c) {
+    if (st.binding[atom.vars[c]] != kUnboundValue) {
+      bound_col = static_cast<int>(c);
+      break;
+    }
+  }
+  std::vector<uint32_t> all_rows;
+  if (bound_col >= 0) {
+    rows = &atom.relation->RowsWithValue(
+        static_cast<size_t>(bound_col),
+        st.binding[atom.vars[static_cast<size_t>(bound_col)]]);
+  } else {
+    all_rows.resize(tuples.size());
+    for (uint32_t i = 0; i < tuples.size(); ++i) all_rows[i] = i;
+    rows = &all_rows;
+  }
+
+  for (uint32_t row : *rows) {
+    if (st.stopped) break;
+    const Tuple& tuple = tuples[row];
+    // Try to extend the binding with this tuple.
+    std::vector<VarId> newly_bound;
+    bool ok = true;
+    for (size_t c = 0; c < atom.vars.size(); ++c) {
+      VarId v = atom.vars[c];
+      if (st.binding[v] == kUnboundValue) {
+        st.binding[v] = tuple[c];
+        newly_bound.push_back(v);
+        // A repeated variable bound later in this same tuple must agree;
+        // the check below handles it because binding[v] is now set.
+      } else if (st.binding[v] != tuple[c]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      // Update bound counts for remaining atoms.
+      std::vector<std::pair<size_t, uint32_t>> saved_counts;
+      if (!newly_bound.empty()) {
+        for (size_t i = 0; i < st.atoms->size(); ++i) {
+          if (st.used[i]) continue;
+          uint32_t add = 0;
+          for (VarId v : (*st.atoms)[i].vars) {
+            for (VarId nb : newly_bound) {
+              if (v == nb) ++add;
+            }
+          }
+          if (add > 0) {
+            saved_counts.emplace_back(i, st.bound_count[i]);
+            st.bound_count[i] += add;
+          }
+        }
+      }
+      Recurse(st);
+      for (auto& [i, old] : saved_counts) st.bound_count[i] = old;
+    }
+    for (VarId v : newly_bound) st.binding[v] = kUnboundValue;
+  }
+  st.used[pick] = false;
+}
+
+}  // namespace
+
+namespace {
+
+size_t MatchImpl(const std::vector<MatchAtom>& atoms, uint32_t num_vars,
+                 const std::function<bool(const std::vector<Value>&)>&
+                     on_match,
+                 bool reorder) {
+  for (const MatchAtom& atom : atoms) {
+    RQ_CHECK(atom.relation != nullptr);
+    RQ_CHECK(atom.relation->arity() == atom.vars.size());
+    for (VarId v : atom.vars) RQ_CHECK(v < num_vars);
+  }
+  SearchState st;
+  st.atoms = &atoms;
+  st.reorder = reorder;
+  st.used.assign(atoms.size(), false);
+  st.binding.assign(num_vars, kUnboundValue);
+  st.bound_count.assign(atoms.size(), 0);
+  st.on_match = &on_match;
+  Recurse(st);
+  return st.matches;
+}
+
+}  // namespace
+
+size_t MatchConjunction(const std::vector<MatchAtom>& atoms, uint32_t num_vars,
+                        const std::function<bool(const std::vector<Value>&)>&
+                            on_match) {
+  return MatchImpl(atoms, num_vars, on_match, /*reorder=*/true);
+}
+
+size_t MatchConjunctionInOrder(
+    const std::vector<MatchAtom>& atoms, uint32_t num_vars,
+    const std::function<bool(const std::vector<Value>&)>& on_match) {
+  return MatchImpl(atoms, num_vars, on_match, /*reorder=*/false);
+}
+
+bool ConjunctionSatisfiable(const std::vector<MatchAtom>& atoms,
+                            uint32_t num_vars) {
+  bool found = false;
+  MatchConjunction(atoms, num_vars, [&](const std::vector<Value>&) {
+    found = true;
+    return false;  // stop at first match
+  });
+  return found;
+}
+
+}  // namespace rq

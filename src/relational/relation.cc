@@ -1,0 +1,115 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace rq {
+
+bool Relation::Insert(const Tuple& tuple) {
+  RQ_CHECK(tuple.size() == arity_);
+  auto [it, inserted] = set_.insert(tuple);
+  if (inserted) {
+    tuples_.push_back(tuple);
+    if (!index_dirty_) {
+      // Keep an already-built index current instead of invalidating it —
+      // interleaved insert/lookup workloads (semi-naive deltas,
+      // incremental closure) would otherwise rebuild per insertion.
+      uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
+      for (size_t c = 0; c < arity_; ++c) {
+        column_index_[c][tuple[c]].push_back(row);
+      }
+    }
+  }
+  return inserted;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out = tuples_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t Relation::InsertAll(const Relation& other) {
+  RQ_CHECK(other.arity_ == arity_);
+  size_t added = 0;
+  for (const Tuple& t : other.tuples_) {
+    if (Insert(t)) ++added;
+  }
+  return added;
+}
+
+const std::vector<uint32_t>& Relation::RowsWithValue(size_t column,
+                                                     Value value) const {
+  RQ_CHECK(column < arity_);
+  if (index_dirty_) {
+    column_index_.assign(arity_, {});
+    for (uint32_t row = 0; row < tuples_.size(); ++row) {
+      for (size_t c = 0; c < arity_; ++c) {
+        column_index_[c][tuples_[row][c]].push_back(row);
+      }
+    }
+    index_dirty_ = false;
+  }
+  auto it = column_index_[column].find(value);
+  if (it == column_index_[column].end()) return empty_rows_;
+  return it->second;
+}
+
+Result<Relation*> Database::GetOrCreate(std::string_view name, size_t arity) {
+  auto it = relations_.find(std::string(name));
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return InvalidArgumentError(
+          "relation " + std::string(name) + " has arity " +
+          std::to_string(it->second.arity()) + ", requested " +
+          std::to_string(arity));
+    }
+    return &it->second;
+  }
+  auto [inserted, ok] =
+      relations_.emplace(std::string(name), Relation(arity));
+  (void)ok;
+  return &inserted->second;
+}
+
+const Relation* Database::Find(std::string_view name) const {
+  auto it = relations_.find(std::string(name));
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(std::string_view name) {
+  auto it = relations_.find(std::string(name));
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const std::string& name : RelationNames()) {
+    const Relation* rel = Find(name);
+    for (const Tuple& t : rel->SortedTuples()) {
+      out += name;
+      out.push_back('(');
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += std::to_string(t[i]);
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rq

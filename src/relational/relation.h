@@ -1,0 +1,105 @@
+// Relations and relational databases of arbitrary arity (paper §2).
+//
+// These back three things: the Datalog engine (§2.2), canonical databases
+// for homomorphism-based containment (§2.3), and the relational view of
+// graph databases (each edge label is a binary relation, §3.1).
+#ifndef RQ_RELATIONAL_RELATION_H_
+#define RQ_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rq {
+
+// Values are opaque 64-bit constants (node ids, frozen variables, ...).
+using Value = uint64_t;
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (Value v : t) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// A set of tuples of fixed arity with lazy per-column hash indexes.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Inserts a tuple; returns true if it was new.
+  bool Insert(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return set_.contains(tuple);
+  }
+
+  // Insertion-ordered tuples.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  // Sorted copy (for deterministic comparisons and printing).
+  std::vector<Tuple> SortedTuples() const;
+
+  // Inserts every tuple of `other` (arity must match); returns the number of
+  // new tuples.
+  size_t InsertAll(const Relation& other);
+
+  // Row indexes of tuples whose `column` equals `value`. The reference is
+  // invalidated by the next Insert.
+  const std::vector<uint32_t>& RowsWithValue(size_t column,
+                                             Value value) const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.arity_ == b.arity_ && a.set_ == b.set_;
+  }
+
+ private:
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> set_;
+
+  mutable bool index_dirty_ = true;
+  mutable std::vector<std::unordered_map<Value, std::vector<uint32_t>>>
+      column_index_;
+  mutable std::vector<uint32_t> empty_rows_;
+};
+
+// A named collection of relations.
+class Database {
+ public:
+  Database() = default;
+
+  // Gets or creates a relation. Fails on arity mismatch with an existing
+  // relation of the same name.
+  Result<Relation*> GetOrCreate(std::string_view name, size_t arity);
+
+  // nullptr if absent.
+  const Relation* Find(std::string_view name) const;
+  Relation* FindMutable(std::string_view name);
+
+  std::vector<std::string> RelationNames() const;
+
+  size_t TotalTuples() const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_RELATIONAL_RELATION_H_

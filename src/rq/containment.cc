@@ -1,0 +1,124 @@
+#include "rq/containment.h"
+
+#include "graph/generators.h"
+#include "pathquery/containment.h"
+#include "rq/eval.h"
+#include "rq/lower.h"
+#include "rq/structural.h"
+
+namespace rq {
+
+const char* CertaintyName(Certainty certainty) {
+  switch (certainty) {
+    case Certainty::kProved:
+      return "proved";
+    case Certainty::kRefuted:
+      return "refuted";
+    case Certainty::kUnknownUpToBound:
+      return "unknown-up-to-bound";
+  }
+  return "?";
+}
+
+namespace {
+
+// Converts a 2RPQ counterexample word into a relational counterexample
+// database (the canonical semipath) plus the witness pair.
+void AttachSemipathCounterexample(const Alphabet& alphabet,
+                                  const std::vector<Symbol>& word,
+                                  RqContainmentResult* result) {
+  SemipathWitness witness = BuildSemipathWitness(alphabet, word);
+  result->counterexample = GraphToDatabase(witness.db);
+  result->witness_tuple = {witness.start, witness.end};
+}
+
+}  // namespace
+
+Result<RqContainmentResult> CheckRqContainment(
+    const RqQuery& q1, const RqQuery& q2,
+    const RqContainmentOptions& options) {
+  RQ_RETURN_IF_ERROR(q1.Validate());
+  RQ_RETURN_IF_ERROR(q2.Validate());
+  if (q1.arity() != q2.arity()) {
+    return InvalidArgumentError("CheckRqContainment: head arity mismatch");
+  }
+  RqContainmentResult result;
+
+  // Step 1: exact 2RPQ dispatch (Theorem 5) when both sides are
+  // path-shaped binary queries.
+  if (options.try_two_rpq_dispatch && q1.arity() == 2) {
+    Alphabet alphabet;
+    std::optional<RegexPtr> r1 = TryLowerQuery(q1, &alphabet);
+    std::optional<RegexPtr> r2 = TryLowerQuery(q2, &alphabet);
+    if (r1.has_value() && r2.has_value()) {
+      PathContainmentResult path =
+          CheckPathQueryContainment(**r1, **r2, alphabet);
+      result.method = "2rpq-fold";
+      if (path.contained) {
+        result.certainty = Certainty::kProved;
+      } else {
+        result.certainty = Certainty::kRefuted;
+        AttachSemipathCounterexample(alphabet, path.counterexample, &result);
+      }
+      return result;
+    }
+  }
+
+  // Step 1.5: UC2RPQ dispatch (Theorem 6 level) when both sides lower to
+  // unions of conjunctive 2RPQs. The UC2RPQ checker is exact on
+  // finite-language instances and on single-atom pairs; its bounded
+  // verdicts are ignored in favor of the RQ machinery below.
+  if (options.try_two_rpq_dispatch) {
+    Alphabet alphabet;
+    std::optional<Uc2Rpq> u1 = TryLowerToUc2Rpq(q1, &alphabet);
+    std::optional<Uc2Rpq> u2 =
+        u1.has_value() ? TryLowerToUc2Rpq(q2, &alphabet) : std::nullopt;
+    if (u1.has_value() && u2.has_value()) {
+      RQ_ASSIGN_OR_RETURN(CrpqContainmentResult crpq,
+                          CheckUc2RpqContainment(*u1, *u2, alphabet));
+      if (crpq.certainty != Certainty::kUnknownUpToBound) {
+        result.method = "uc2rpq:" + crpq.method;
+        result.certainty = crpq.certainty;
+        if (crpq.counterexample.has_value()) {
+          result.counterexample = GraphToDatabase(*crpq.counterexample);
+          result.witness_tuple = crpq.witness_tuple;
+        }
+        return result;
+      }
+    }
+  }
+
+  // Steps 2-3: expansion-based testing. Q2 evaluated on the canonical
+  // database of each expansion of Q1 must answer the frozen head.
+  RQ_ASSIGN_OR_RETURN(RqExpansions expansions,
+                      ExpandRq(q1, options.expand));
+  result.method =
+      expansions.complete ? "expansion-exact" : "expansion-bounded";
+  for (const ConjunctiveQuery& cq : expansions.expansions) {
+    ++result.expansions_checked;
+    Database canonical = cq.CanonicalDatabase();
+    RQ_ASSIGN_OR_RETURN(Relation answers, EvalRqQuery(canonical, q2));
+    if (!answers.Contains(cq.FrozenHead())) {
+      result.certainty = Certainty::kRefuted;
+      result.counterexample = std::move(canonical);
+      result.witness_tuple = cq.FrozenHead();
+      return result;
+    }
+  }
+  if (expansions.complete) {
+    result.certainty = Certainty::kProved;
+    return result;
+  }
+  // No counterexample within the bound and the expansion set is
+  // incomplete: try the sound structural proof rules (TC-monotonicity,
+  // disjunct selection, congruences) before settling for unknown.
+  if (StructurallyContained(q1, q2, options)) {
+    result.certainty = Certainty::kProved;
+    result.method = "structural";
+    return result;
+  }
+  result.certainty = Certainty::kUnknownUpToBound;
+  return result;
+}
+
+}  // namespace rq

@@ -1,0 +1,40 @@
+#include "rq/equivalence.h"
+
+namespace rq {
+
+const char* EquivalenceVerdictName(EquivalenceVerdict verdict) {
+  switch (verdict) {
+    case EquivalenceVerdict::kEquivalent:
+      return "equivalent";
+    case EquivalenceVerdict::kNotEquivalent:
+      return "not-equivalent";
+    case EquivalenceVerdict::kUnknownUpToBound:
+      return "unknown-up-to-bound";
+  }
+  return "?";
+}
+
+Result<RqEquivalenceResult> CheckRqEquivalence(
+    const RqQuery& q1, const RqQuery& q2,
+    const RqContainmentOptions& options) {
+  RqEquivalenceResult out;
+  RQ_ASSIGN_OR_RETURN(out.forward, CheckRqContainment(q1, q2, options));
+  if (out.forward.certainty == Certainty::kRefuted) {
+    out.verdict = EquivalenceVerdict::kNotEquivalent;
+    return out;
+  }
+  RQ_ASSIGN_OR_RETURN(out.backward, CheckRqContainment(q2, q1, options));
+  if (out.backward.certainty == Certainty::kRefuted) {
+    out.verdict = EquivalenceVerdict::kNotEquivalent;
+    return out;
+  }
+  if (out.forward.certainty == Certainty::kProved &&
+      out.backward.certainty == Certainty::kProved) {
+    out.verdict = EquivalenceVerdict::kEquivalent;
+  } else {
+    out.verdict = EquivalenceVerdict::kUnknownUpToBound;
+  }
+  return out;
+}
+
+}  // namespace rq

@@ -1,0 +1,32 @@
+// Query equivalence — the problem the paper reduces to containment
+// ("Q is equivalent to Q' if Q is contained in Q' and Q' is contained in
+// Q", §2.3). A thin two-direction wrapper that combines the verdicts
+// honestly: equivalence is proved only when both containments are.
+#ifndef RQ_RQ_EQUIVALENCE_H_
+#define RQ_RQ_EQUIVALENCE_H_
+
+#include "rq/containment.h"
+
+namespace rq {
+
+enum class EquivalenceVerdict {
+  kEquivalent,        // both directions proved
+  kNotEquivalent,     // some direction refuted (certificate attached)
+  kUnknownUpToBound,  // neither refuted, at least one direction unproved
+};
+const char* EquivalenceVerdictName(EquivalenceVerdict verdict);
+
+struct RqEquivalenceResult {
+  EquivalenceVerdict verdict = EquivalenceVerdict::kUnknownUpToBound;
+  // The two directional results (q1 ⊑ q2, then q2 ⊑ q1).
+  RqContainmentResult forward;
+  RqContainmentResult backward;
+};
+
+Result<RqEquivalenceResult> CheckRqEquivalence(
+    const RqQuery& q1, const RqQuery& q2,
+    const RqContainmentOptions& options = {});
+
+}  // namespace rq
+
+#endif  // RQ_RQ_EQUIVALENCE_H_

@@ -1,0 +1,41 @@
+// Evaluation of Regular Queries over relational databases.
+//
+// Graph databases evaluate RQs through their relational view (each edge
+// label is a binary relation; see GraphToDatabase). Operators evaluate
+// bottom-up into materialized relations; transitive closure runs a
+// semi-naive fixpoint. This engine is also the oracle the containment
+// machinery uses: a query is evaluated over canonical databases of the
+// other query's expansions.
+#ifndef RQ_RQ_EVAL_H_
+#define RQ_RQ_EVAL_H_
+
+#include "common/status.h"
+#include "graph/graph_db.h"
+#include "relational/relation.h"
+#include "rq/rq_expr.h"
+
+namespace rq {
+
+// An intermediate result: a relation whose columns are the sorted free
+// variables of the producing expression.
+struct RqRelation {
+  std::vector<VarId> vars;  // sorted; relation columns in this order
+  Relation relation{0};
+};
+
+// Evaluates an expression; columns follow e.FreeVars() order.
+Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e);
+
+// Evaluates a query; columns follow query.head order (variables may repeat).
+Result<Relation> EvalRqQuery(const Database& db, const RqQuery& query);
+
+// The relational view of a graph database: one binary relation per edge
+// label, tuples (src, dst).
+Database GraphToDatabase(const GraphDb& graph);
+
+// Transitive closure of a binary relation by semi-naive iteration.
+Relation BinaryTransitiveClosure(const Relation& base);
+
+}  // namespace rq
+
+#endif  // RQ_RQ_EVAL_H_

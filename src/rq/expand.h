@@ -1,0 +1,41 @@
+// Expansions of Regular Queries into conjunctive queries.
+//
+// Like Datalog (paper §2.2 / [46]), an RQ equals a union of conjunctive
+// queries: finite when the query is closure-free, infinite otherwise. Each
+// transitive closure contributes one chain per unrolling length, so
+// ExpandRq enumerates the expansions whose closures unroll at most
+// `max_tc_unroll` times. The `complete` flag reports whether the returned
+// set is the whole (finite) union. Bounded expansions are the refutation
+// engine of RQ/GRQ containment: the exact problem is 2EXPSPACE-complete
+// (Theorem 7), but any expansion whose canonical database defeats the
+// candidate container is a concrete, checkable counterexample.
+#ifndef RQ_RQ_EXPAND_H_
+#define RQ_RQ_EXPAND_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "relational/cq.h"
+#include "rq/rq_expr.h"
+
+namespace rq {
+
+struct RqExpandLimits {
+  size_t max_tc_unroll = 3;
+  size_t max_expansions = 20000;
+  size_t max_atoms_per_expansion = 400;
+};
+
+struct RqExpansions {
+  std::vector<ConjunctiveQuery> expansions;
+  bool complete = false;   // true iff the query is closure-free and nothing
+                           // was truncated: the union is exact
+  bool truncated = false;  // max_expansions or max_atoms cut enumeration
+};
+
+Result<RqExpansions> ExpandRq(const RqQuery& query,
+                              const RqExpandLimits& limits = {});
+
+}  // namespace rq
+
+#endif  // RQ_RQ_EXPAND_H_

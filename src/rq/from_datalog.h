@@ -1,0 +1,52 @@
+// GRQ: Generalized Regular Queries (paper §4.1, Theorem 8).
+//
+// GRQ is the fragment of Datalog where recursion is used only to express
+// transitive closure. This module recognizes that fragment structurally and
+// extracts an equivalent RqQuery, which lifts every RQ facility (evaluation
+// cross-checking, containment with certificates) to Datalog programs in the
+// fragment.
+//
+// Accepted recursion shapes, per recursive SCC:
+//   * the SCC is a single binary predicate P;
+//   * "base" rules derive P without using P in the body (arbitrary positive
+//     bodies over earlier predicates);
+//   * "step" rules extend P linearly on the right
+//         P(x, z) :- P(x, y), tail(y, .., z).
+//     or on the left
+//         P(x, z) :- head(x, .., y), P(y, z).
+//     where the non-P part is over earlier predicates and chains y to z
+//     (resp. x to y);
+//   * optionally the nonlinear rule  P(x, z) :- P(x, y), P(y, z).
+// The least fixpoint of such an SCC is  L* ∘ U ∘ R*  (U the base union,
+// L/R the left/right step relations), wrapped in a transitive closure when
+// the nonlinear rule is present — all expressible in RQ. The §4.1 embedding
+// (RqToDatalog) emits exactly the strict TC shape, so round-tripping is
+// exact (tested).
+#ifndef RQ_RQ_FROM_DATALOG_H_
+#define RQ_RQ_FROM_DATALOG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "rq/rq_expr.h"
+
+namespace rq {
+
+struct GrqAnalysis {
+  bool is_grq = false;
+  // When !is_grq: which SCC/rule violated the fragment and why.
+  std::string reason;
+};
+
+// Structural recognition (the program's goal is not required).
+GrqAnalysis AnalyzeGrq(const DatalogProgram& program);
+
+// Extracts an RqQuery equivalent to the program's goal predicate. Fails
+// with InvalidArgument when the program is not (recognizably) GRQ; the
+// message carries the reason.
+Result<RqQuery> DatalogToRq(const DatalogProgram& program);
+
+}  // namespace rq
+
+#endif  // RQ_RQ_FROM_DATALOG_H_

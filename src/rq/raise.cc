@@ -1,0 +1,120 @@
+#include "rq/raise.h"
+
+#include <algorithm>
+
+namespace rq {
+
+std::optional<RqExprPtr> RaiseRegexToRq(const Regex& regex, VarId from,
+                                        VarId to, const Alphabet& alphabet,
+                                        uint32_t* next_var) {
+  if (from == to) return std::nullopt;
+  switch (regex.kind()) {
+    case RegexKind::kEmpty:
+    case RegexKind::kEpsilon:
+      return std::nullopt;
+    case RegexKind::kAtom: {
+      uint32_t label = SymbolLabel(regex.symbol());
+      if (label >= alphabet.num_labels()) return std::nullopt;
+      const std::string& name = alphabet.LabelName(label);
+      if (IsInverseSymbol(regex.symbol())) {
+        return RqExpr::Atom(name, {to, from});
+      }
+      return RqExpr::Atom(name, {from, to});
+    }
+    case RegexKind::kConcat: {
+      // from -c1-> m1 -c2-> m2 ... -cn-> to, middles projected.
+      const auto& kids = regex.children();
+      if (kids.empty()) return std::nullopt;
+      std::vector<RqExprPtr> pieces;
+      std::vector<VarId> middles;
+      VarId current = from;
+      for (size_t i = 0; i < kids.size(); ++i) {
+        VarId next = (i + 1 == kids.size()) ? to : (*next_var)++;
+        if (i + 1 < kids.size()) middles.push_back(next);
+        std::optional<RqExprPtr> piece =
+            RaiseRegexToRq(*kids[i], current, next, alphabet, next_var);
+        if (!piece.has_value()) return std::nullopt;
+        pieces.push_back(std::move(*piece));
+        current = next;
+      }
+      RqExprPtr body = RqExpr::And(std::move(pieces));
+      if (middles.empty()) return body;
+      return RqExpr::Exists(std::move(middles), std::move(body));
+    }
+    case RegexKind::kUnion: {
+      std::vector<RqExprPtr> parts;
+      for (const RegexPtr& c : regex.children()) {
+        std::optional<RqExprPtr> part =
+            RaiseRegexToRq(*c, from, to, alphabet, next_var);
+        if (!part.has_value()) return std::nullopt;
+        parts.push_back(std::move(*part));
+      }
+      if (parts.empty()) return std::nullopt;
+      return RqExpr::Or(std::move(parts));
+    }
+    case RegexKind::kPlus: {
+      std::optional<RqExprPtr> child =
+          RaiseRegexToRq(*regex.children()[0], from, to, alphabet, next_var);
+      if (!child.has_value()) return std::nullopt;
+      return RqExpr::Closure(from, to, std::move(*child));
+    }
+    case RegexKind::kStar:
+    case RegexKind::kOptional:
+      // Would require the identity relation (the empty word connects a
+      // node to itself), which the algebra lacks.
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<RqQuery> RaiseUc2RpqToRq(const Uc2Rpq& query,
+                                       const Alphabet& alphabet) {
+  if (!query.Validate().ok()) return std::nullopt;
+  RqQuery out;
+  out.head = query.disjuncts[0].head;
+  // Fresh variables start above every disjunct's variable space.
+  uint32_t next_var = 0;
+  for (const Crpq& disjunct : query.disjuncts) {
+    next_var = std::max(next_var, disjunct.num_vars);
+  }
+  std::vector<RqExprPtr> disjuncts;
+  for (const Crpq& disjunct : query.disjuncts) {
+    if (disjunct.head != out.head) {
+      // Or-nodes need identical free variables; require syntactically
+      // aligned heads (parsers produce this naturally).
+      return std::nullopt;
+    }
+    std::vector<RqExprPtr> conjuncts;
+    for (const CrpqAtom& atom : disjunct.atoms) {
+      if (atom.from == atom.to) return std::nullopt;
+      std::optional<RqExprPtr> raised = RaiseRegexToRq(
+          *atom.regex, atom.from, atom.to, alphabet, &next_var);
+      if (!raised.has_value()) return std::nullopt;
+      conjuncts.push_back(std::move(*raised));
+    }
+    RqExprPtr body = RqExpr::And(std::move(conjuncts));
+    // Project everything that is not a head variable.
+    std::vector<VarId> to_project;
+    for (VarId v : body->FreeVars()) {
+      if (std::find(out.head.begin(), out.head.end(), v) ==
+          out.head.end()) {
+        to_project.push_back(v);
+      }
+    }
+    if (!to_project.empty()) {
+      body = RqExpr::Exists(std::move(to_project), std::move(body));
+    }
+    // Every head variable must be free (guaranteed by Crpq::Validate).
+    disjuncts.push_back(std::move(body));
+  }
+  for (size_t i = 1; i < disjuncts.size(); ++i) {
+    if (disjuncts[i]->FreeVars() != disjuncts[0]->FreeVars()) {
+      return std::nullopt;
+    }
+  }
+  out.root = RqExpr::Or(std::move(disjuncts));
+  if (!out.Validate().ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace rq

@@ -1,0 +1,36 @@
+// Raising path-query fragments into the RQ algebra — the converse of
+// rq/lower.h, and the formal content of §3.4's observation that RQ
+// subsumes UC2RPQ.
+//
+// An ε-free regular expression between two variables maps directly:
+// atoms to (possibly swapped) binary atoms, concatenation to projected
+// composition, union to disjunction, + to transitive closure. Expressions
+// whose language contains the empty word (star, optional, ε) would need an
+// identity relation, which the RQ algebra does not provide — raising those
+// returns nullopt. A UC2RPQ raises disjunct-by-disjunct, with non-head
+// variables projected so the disjuncts share their free variables.
+#ifndef RQ_RQ_RAISE_H_
+#define RQ_RQ_RAISE_H_
+
+#include <optional>
+
+#include "crpq/crpq.h"
+#include "regex/regex.h"
+#include "rq/rq_expr.h"
+
+namespace rq {
+
+// Raises a regex viewed as a binary query from `from` to `to`. `next_var`
+// supplies fresh middle variables. nullopt if the expression (or a
+// required subexpression) can accept the empty word or the empty language.
+std::optional<RqExprPtr> RaiseRegexToRq(const Regex& regex, VarId from,
+                                        VarId to, const Alphabet& alphabet,
+                                        uint32_t* next_var);
+
+// Raises a whole UC2RPQ. nullopt if any atom fails to raise.
+std::optional<RqQuery> RaiseUc2RpqToRq(const Uc2Rpq& query,
+                                       const Alphabet& alphabet);
+
+}  // namespace rq
+
+#endif  // RQ_RQ_RAISE_H_

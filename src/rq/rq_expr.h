@@ -1,0 +1,111 @@
+// The Regular Query algebra (paper §3.4).
+//
+// RQ is the closure of atomic queries under selection, projection,
+// disjunction, conjunction, and transitive closure:
+//   * Atom        — r(x1,...,xk); binary over graph databases (RQ proper),
+//                   arbitrary arity for the GRQ generalization (§4.1).
+//   * And / Or    — conjunction and disjunction. Disjuncts must share the
+//                   same free variables.
+//   * Exists      — projection: existentially quantifies variables away.
+//   * Eq          — selection Q ∧ y = z; both variables stay free.
+//   * Closure     — transitive closure Q+ of a binary query Q(x, y).
+//
+// Expressions are immutable trees built through the static factories, which
+// enforce the well-formedness rules above (RQ_CHECK: violations are
+// programming errors; the parser reports user errors as Status before
+// constructing nodes). Free variables are computed at construction.
+#ifndef RQ_RQ_RQ_EXPR_H_
+#define RQ_RQ_RQ_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/matcher.h"
+
+namespace rq {
+
+class RqExpr;
+using RqExprPtr = std::shared_ptr<const RqExpr>;
+
+class RqExpr {
+ public:
+  enum class Kind { kAtom, kAnd, kOr, kExists, kEq, kClosure };
+
+  static RqExprPtr Atom(std::string predicate, std::vector<VarId> vars);
+  // Conjunction; at least one child.
+  static RqExprPtr And(std::vector<RqExprPtr> children);
+  // Disjunction; children must have identical free-variable sets.
+  static RqExprPtr Or(std::vector<RqExprPtr> children);
+  // Projection: `vars` (nonempty, free in child) become bound.
+  static RqExprPtr Exists(std::vector<VarId> vars, RqExprPtr child);
+  // Selection: a and b must be free in child and distinct.
+  static RqExprPtr Eq(VarId a, VarId b, RqExprPtr child);
+  // Transitive closure of a binary query: child's free variables must be
+  // exactly {from, to}, from != to.
+  static RqExprPtr Closure(VarId from, VarId to, RqExprPtr child);
+
+  Kind kind() const { return kind_; }
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<VarId>& atom_vars() const { return atom_vars_; }
+  const std::vector<RqExprPtr>& children() const { return children_; }
+  const std::vector<VarId>& bound_vars() const { return bound_vars_; }
+  VarId eq_a() const { return var_a_; }
+  VarId eq_b() const { return var_b_; }
+  VarId closure_from() const { return var_a_; }
+  VarId closure_to() const { return var_b_; }
+
+  // Sorted, deduplicated free variables.
+  const std::vector<VarId>& FreeVars() const { return free_vars_; }
+
+  size_t Size() const;
+  bool UsesClosure() const;
+  // One past the largest variable id anywhere in the tree (free or bound).
+  uint32_t MaxVarIdPlus1() const;
+  // Predicate names used, sorted and deduplicated.
+  std::vector<std::string> Predicates() const;
+
+  // Renders with names[v] when available, else "v<k>".
+  std::string ToString(const std::vector<std::string>& names = {}) const;
+
+ private:
+  RqExpr() = default;
+
+  Kind kind_ = Kind::kAtom;
+  std::string predicate_;
+  std::vector<VarId> atom_vars_;
+  std::vector<RqExprPtr> children_;
+  std::vector<VarId> bound_vars_;
+  VarId var_a_ = 0;
+  VarId var_b_ = 0;
+  std::vector<VarId> free_vars_;
+};
+
+// A complete query: an expression plus the output variable order.
+struct RqQuery {
+  RqExprPtr root;
+  std::vector<VarId> head;             // each must be free in root
+  std::vector<std::string> var_names;  // id -> name (optional)
+
+  size_t arity() const { return head.size(); }
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+// Substitutes free variables per `mapping` (identity where absent) and
+// renames every bound variable to a fresh id drawn from *next_var. Callers
+// embedding one expression inside another use this to keep variable scopes
+// disjoint.
+RqExprPtr SubstituteFreeVars(
+    const RqExprPtr& expr,
+    const std::vector<std::pair<VarId, VarId>>& mapping, uint32_t* next_var);
+
+// Compose(e1, e2): both binary with free vars {0, 1}; the relational
+// composition Exists[m](e1(0,m) & e2(m,1)) with fresh m, free vars {0, 1}.
+RqExprPtr ComposeBinary(const RqExprPtr& e1, const RqExprPtr& e2,
+                        uint32_t* next_var);
+
+}  // namespace rq
+
+#endif  // RQ_RQ_RQ_EXPR_H_

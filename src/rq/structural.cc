@@ -1,0 +1,218 @@
+#include "rq/structural.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rq {
+
+namespace {
+
+// Structural equality under a growing variable bijection.
+bool EqualExpr(const RqExpr& a, const RqExpr& b,
+               std::unordered_map<VarId, VarId>& fwd,
+               std::unordered_map<VarId, VarId>& bwd) {
+  auto bind = [&](VarId va, VarId vb) {
+    auto fit = fwd.find(va);
+    auto bit = bwd.find(vb);
+    if (fit == fwd.end() && bit == bwd.end()) {
+      fwd.emplace(va, vb);
+      bwd.emplace(vb, va);
+      return true;
+    }
+    return fit != fwd.end() && bit != bwd.end() && fit->second == vb &&
+           bit->second == va;
+  };
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case RqExpr::Kind::kAtom: {
+      if (a.predicate() != b.predicate()) return false;
+      if (a.atom_vars().size() != b.atom_vars().size()) return false;
+      for (size_t i = 0; i < a.atom_vars().size(); ++i) {
+        if (!bind(a.atom_vars()[i], b.atom_vars()[i])) return false;
+      }
+      return true;
+    }
+    case RqExpr::Kind::kAnd:
+    case RqExpr::Kind::kOr: {
+      if (a.children().size() != b.children().size()) return false;
+      for (size_t i = 0; i < a.children().size(); ++i) {
+        if (!EqualExpr(*a.children()[i], *b.children()[i], fwd, bwd)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RqExpr::Kind::kExists: {
+      if (a.bound_vars().size() != b.bound_vars().size()) return false;
+      for (size_t i = 0; i < a.bound_vars().size(); ++i) {
+        if (!bind(a.bound_vars()[i], b.bound_vars()[i])) return false;
+      }
+      return EqualExpr(*a.children()[0], *b.children()[0], fwd, bwd);
+    }
+    case RqExpr::Kind::kEq:
+      if (!bind(a.eq_a(), b.eq_a()) || !bind(a.eq_b(), b.eq_b())) {
+        return false;
+      }
+      return EqualExpr(*a.children()[0], *b.children()[0], fwd, bwd);
+    case RqExpr::Kind::kClosure:
+      if (!bind(a.closure_from(), b.closure_from()) ||
+          !bind(a.closure_to(), b.closure_to())) {
+        return false;
+      }
+      return EqualExpr(*a.children()[0], *b.children()[0], fwd, bwd);
+  }
+  return false;
+}
+
+// Discharges a subgoal with the full checker.
+bool Subgoal(const RqQuery& q1, const RqQuery& q2,
+             const RqContainmentOptions& options) {
+  Result<RqContainmentResult> result = CheckRqContainment(q1, q2, options);
+  return result.ok() && result->certainty == Certainty::kProved;
+}
+
+RqQuery MakeQuery(RqExprPtr root, std::vector<VarId> head) {
+  RqQuery q;
+  q.root = std::move(root);
+  q.head = std::move(head);
+  return q;
+}
+
+bool HeadIsClosurePair(const RqQuery& q) {
+  return q.head.size() == 2 && q.head[0] != q.head[1] &&
+         q.root->kind() == RqExpr::Kind::kClosure &&
+         ((q.head[0] == q.root->closure_from() &&
+           q.head[1] == q.root->closure_to()) ||
+          (q.head[0] == q.root->closure_to() &&
+           q.head[1] == q.root->closure_from()));
+}
+
+}  // namespace
+
+bool StructurallyEqual(const RqQuery& q1, const RqQuery& q2) {
+  if (q1.head.size() != q2.head.size()) return false;
+  std::unordered_map<VarId, VarId> fwd;
+  std::unordered_map<VarId, VarId> bwd;
+  for (size_t i = 0; i < q1.head.size(); ++i) {
+    auto fit = fwd.find(q1.head[i]);
+    auto bit = bwd.find(q2.head[i]);
+    if (fit == fwd.end() && bit == bwd.end()) {
+      fwd.emplace(q1.head[i], q2.head[i]);
+      bwd.emplace(q2.head[i], q1.head[i]);
+    } else if (fit == fwd.end() || bit == bwd.end() ||
+               fit->second != q2.head[i] || bit->second != q1.head[i]) {
+      return false;
+    }
+  }
+  return EqualExpr(*q1.root, *q2.root, fwd, bwd);
+}
+
+bool StructurallyContained(const RqQuery& q1, const RqQuery& q2,
+                           const RqContainmentOptions& options,
+                           int depth) {
+  if (depth <= 0) return false;
+  // EQ.
+  if (StructurallyEqual(q1, q2)) return true;
+
+  // OR-L (exact decomposition): a union is contained iff every disjunct
+  // is.
+  if (q1.root->kind() == RqExpr::Kind::kOr) {
+    bool all = true;
+    for (const RqExprPtr& child : q1.root->children()) {
+      if (!Subgoal(MakeQuery(child, q1.head), q2, options)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+
+  // OR-R: q1 ⊑ some disjunct of q2.
+  if (q2.root->kind() == RqExpr::Kind::kOr) {
+    for (const RqExprPtr& child : q2.root->children()) {
+      if (Subgoal(q1, MakeQuery(child, q2.head), options)) return true;
+    }
+  }
+
+  // TC-MONO: body1 ⊑ body2 ⟹ body1⁺ ⊑ body2⁺ (closure commutes with
+  // orientation, so the query heads carry over).
+  if (HeadIsClosurePair(q1) && HeadIsClosurePair(q2)) {
+    if (Subgoal(MakeQuery(q1.root->children()[0], q1.head),
+                MakeQuery(q2.root->children()[0], q2.head), options)) {
+      return true;
+    }
+  }
+
+  // TC-INTRO-R: q1 ⊑ body2 ⟹ q1 ⊑ body2⁺ (a single step is in the
+  // closure).
+  if (HeadIsClosurePair(q2) && q1.head.size() == 2) {
+    if (Subgoal(q1, MakeQuery(q2.root->children()[0], q2.head), options)) {
+      return true;
+    }
+  }
+
+  // Congruences require identical head vectors and free-variable sets
+  // (projections then commute with the childwise containments).
+  if (q1.head != q2.head ||
+      q1.root->FreeVars() != q2.root->FreeVars()) {
+    return false;
+  }
+
+  // EX-CONG.
+  if (q1.root->kind() == RqExpr::Kind::kExists &&
+      q2.root->kind() == RqExpr::Kind::kExists &&
+      q1.root->bound_vars() == q2.root->bound_vars()) {
+    const RqExprPtr& c1 = q1.root->children()[0];
+    const RqExprPtr& c2 = q2.root->children()[0];
+    if (c1->FreeVars() == c2->FreeVars() &&
+        Subgoal(MakeQuery(c1, c1->FreeVars()),
+                MakeQuery(c2, c2->FreeVars()), options)) {
+      return true;
+    }
+  }
+
+  // EQ-CONG (selection).
+  if (q1.root->kind() == RqExpr::Kind::kEq &&
+      q2.root->kind() == RqExpr::Kind::kEq &&
+      q1.root->eq_a() == q2.root->eq_a() &&
+      q1.root->eq_b() == q2.root->eq_b()) {
+    const RqExprPtr& c1 = q1.root->children()[0];
+    const RqExprPtr& c2 = q2.root->children()[0];
+    if (c1->FreeVars() == c2->FreeVars() &&
+        Subgoal(MakeQuery(c1, c1->FreeVars()),
+                MakeQuery(c2, c2->FreeVars()), options)) {
+      return true;
+    }
+  }
+
+  // AND-CONG / AND-WKN: every conjunct of q2 is entailed by some conjunct
+  // of q1 with the same free variables (reuse allowed, so dropping
+  // conjuncts — weakening — is covered).
+  if (q2.root->kind() == RqExpr::Kind::kAnd) {
+    std::vector<RqExprPtr> left =
+        q1.root->kind() == RqExpr::Kind::kAnd
+            ? q1.root->children()
+            : std::vector<RqExprPtr>{q1.root};
+    bool all = true;
+    for (const RqExprPtr& b : q2.root->children()) {
+      bool matched = false;
+      for (const RqExprPtr& a : left) {
+        if (a->FreeVars() != b->FreeVars()) continue;
+        if (Subgoal(MakeQuery(a, a->FreeVars()),
+                    MakeQuery(b, b->FreeVars()), options)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+
+  return false;
+}
+
+}  // namespace rq

@@ -1,0 +1,39 @@
+// Sound structural proof rules for RQ containment.
+//
+// The exact RQ containment problem is 2EXPSPACE-complete (Theorem 7); the
+// expansion engine refutes exactly but can prove only closure-free left
+// sides. These rules recover exact YES verdicts for a large class of
+// closure-bearing pairs by recursing on query structure:
+//
+//   EQ       q1 ≡ q2 up to a variable bijection            ⟹ q1 ⊑ q2
+//   OR-R     q1 ⊑ some disjunct of q2                       ⟹ q1 ⊑ q2
+//   TC-MONO  body1 ⊑ body2                                  ⟹ body1⁺ ⊑ body2⁺
+//   AND-CONG pairwise child containment (same free vars)    ⟹ ∧ ⊑ ∧
+//   AND-WKN  q2's conjuncts a subset of q1's (same frees)   ⟹ ∧big ⊑ ∧small
+//   EX-CONG  child containment under same projection        ⟹ ∃ ⊑ ∃
+//   EQ-CONG  child containment under same selection         ⟹ σ ⊑ σ
+//
+// Subgoals are discharged with the full checker (so a TC-MONO subgoal over
+// closure-free bodies lands in the exact expansion test). Every rule is
+// sound; the set is deliberately incomplete.
+#ifndef RQ_RQ_STRUCTURAL_H_
+#define RQ_RQ_STRUCTURAL_H_
+
+#include "rq/containment.h"
+#include "rq/rq_expr.h"
+
+namespace rq {
+
+// True if the rules (recursively, with full containment checks on
+// subgoals) prove q1 ⊑ q2. `depth` bounds rule recursion.
+bool StructurallyContained(const RqQuery& q1, const RqQuery& q2,
+                           const RqContainmentOptions& options,
+                           int depth = 8);
+
+// Structural equality up to a bijective variable renaming consistent with
+// the two heads.
+bool StructurallyEqual(const RqQuery& q1, const RqQuery& q2);
+
+}  // namespace rq
+
+#endif  // RQ_RQ_STRUCTURAL_H_

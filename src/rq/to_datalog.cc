@@ -1,0 +1,164 @@
+#include "rq/to_datalog.h"
+
+#include <algorithm>
+
+namespace rq {
+
+namespace {
+
+struct Translator {
+  DatalogProgram program;
+  std::string prefix;
+  uint32_t next_pred = 0;
+  uint32_t next_var;
+
+  Result<PredId> FreshPred(size_t arity) {
+    std::string name = prefix + "_" + std::to_string(next_pred++);
+    return program.InternPredicate(name, arity);
+  }
+
+  // Builds a rule whose variables are global expr var ids.
+  static void FinishRule(DatalogRule* rule) {
+    uint32_t max_var = 0;
+    auto scan = [&max_var](const DatalogAtom& atom) {
+      for (VarId v : atom.vars) max_var = std::max(max_var, v + 1);
+    };
+    scan(rule->head);
+    for (const DatalogAtom& atom : rule->body) scan(atom);
+    rule->num_vars = max_var;
+  }
+
+  Result<PredId> Translate(const RqExpr& e) {
+    const std::vector<VarId>& frees = e.FreeVars();
+    switch (e.kind()) {
+      case RqExpr::Kind::kAtom: {
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(frees.size()));
+        RQ_ASSIGN_OR_RETURN(
+            PredId edb,
+            program.InternPredicate(e.predicate(), e.atom_vars().size()));
+        DatalogRule rule;
+        rule.head = {self, frees};
+        rule.body = {{edb, e.atom_vars()}};
+        FinishRule(&rule);
+        program.AddRule(std::move(rule));
+        return self;
+      }
+      case RqExpr::Kind::kAnd: {
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(frees.size()));
+        DatalogRule rule;
+        rule.head = {self, frees};
+        for (const RqExprPtr& c : e.children()) {
+          RQ_ASSIGN_OR_RETURN(PredId child, Translate(*c));
+          rule.body.push_back({child, c->FreeVars()});
+        }
+        FinishRule(&rule);
+        program.AddRule(std::move(rule));
+        return self;
+      }
+      case RqExpr::Kind::kOr: {
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(frees.size()));
+        for (const RqExprPtr& c : e.children()) {
+          RQ_ASSIGN_OR_RETURN(PredId child, Translate(*c));
+          DatalogRule rule;
+          rule.head = {self, frees};
+          rule.body = {{child, frees}};
+          FinishRule(&rule);
+          program.AddRule(std::move(rule));
+        }
+        return self;
+      }
+      case RqExpr::Kind::kExists: {
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(frees.size()));
+        RQ_ASSIGN_OR_RETURN(PredId child, Translate(*e.children()[0]));
+        DatalogRule rule;
+        rule.head = {self, frees};
+        rule.body = {{child, e.children()[0]->FreeVars()}};
+        FinishRule(&rule);
+        program.AddRule(std::move(rule));
+        return self;
+      }
+      case RqExpr::Kind::kEq: {
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(frees.size()));
+        RQ_ASSIGN_OR_RETURN(PredId child, Translate(*e.children()[0]));
+        // Selection: use one variable for both selected columns.
+        auto substituted = [&](const std::vector<VarId>& vars) {
+          std::vector<VarId> out = vars;
+          for (VarId& v : out) {
+            if (v == e.eq_b()) v = e.eq_a();
+          }
+          return out;
+        };
+        DatalogRule rule;
+        rule.head = {self, substituted(frees)};
+        rule.body = {{child, substituted(e.children()[0]->FreeVars())}};
+        FinishRule(&rule);
+        program.AddRule(std::move(rule));
+        return self;
+      }
+      case RqExpr::Kind::kClosure: {
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(2));
+        RQ_ASSIGN_OR_RETURN(PredId child, Translate(*e.children()[0]));
+        const VarId from = e.closure_from();
+        const VarId to = e.closure_to();
+        const VarId mid = next_var++;
+        size_t pf = frees[0] == from ? 0 : 1;  // position of `from`
+        auto pair_vars = [&](VarId at_from, VarId at_to) {
+          std::vector<VarId> vars(2);
+          vars[pf] = at_from;
+          vars[1 - pf] = at_to;
+          return vars;
+        };
+        // Base: self(x, y) :- child(x, y).
+        DatalogRule base;
+        base.head = {self, frees};
+        base.body = {{child, frees}};
+        FinishRule(&base);
+        program.AddRule(std::move(base));
+        // Step: self(x, z) :- self(x, m), child(m, z).
+        DatalogRule step;
+        step.head = {self, pair_vars(from, to)};
+        step.body = {{self, pair_vars(from, mid)},
+                     {child, pair_vars(mid, to)}};
+        FinishRule(&step);
+        program.AddRule(std::move(step));
+        return self;
+      }
+    }
+    RQ_CHECK(false);
+    return InvalidArgumentError("unreachable");
+  }
+};
+
+}  // namespace
+
+Result<DatalogProgram> RqToDatalog(const RqQuery& query,
+                                   std::string_view goal_name) {
+  RQ_RETURN_IF_ERROR(query.Validate());
+  for (const std::string& pred : query.root->Predicates()) {
+    if (pred == goal_name ||
+        (pred.size() > goal_name.size() &&
+         pred.compare(0, goal_name.size(), goal_name) == 0 &&
+         pred[goal_name.size()] == '_')) {
+      return InvalidArgumentError(
+          "RqToDatalog: query predicate '" + pred +
+          "' collides with generated names; pick another goal_name");
+    }
+  }
+  Translator translator;
+  translator.prefix = std::string(goal_name);
+  translator.next_var = query.root->MaxVarIdPlus1();
+  RQ_ASSIGN_OR_RETURN(PredId root_pred, translator.Translate(*query.root));
+  RQ_ASSIGN_OR_RETURN(
+      PredId goal,
+      translator.program.InternPredicate(goal_name, query.head.size()));
+  DatalogRule goal_rule;
+  goal_rule.head = {goal, query.head};
+  goal_rule.body = {{root_pred, query.root->FreeVars()}};
+  Translator::FinishRule(&goal_rule);
+  translator.program.AddRule(std::move(goal_rule));
+  translator.program.SetGoal(goal);
+  RQ_RETURN_IF_ERROR(translator.program.Validate());
+  return translator.program;
+}
+
+}  // namespace rq

@@ -1,0 +1,31 @@
+// The RQ → Datalog embedding of paper §4.1.
+//
+// Every RQ operator maps to nonrecursive Datalog rules except transitive
+// closure, which maps to the two TC rules
+//     Qtc(x, y) :- Q(x, y).
+//     Qtc(x, z) :- Qtc(x, y), Q(y, z).
+// — recursion is used only to express transitive closure, which is exactly
+// the GRQ fragment. The translated program therefore always satisfies
+// AnalyzeGrq (tested), and evaluating it agrees with direct RQ evaluation
+// (tested + benchmarked in bench_rq_to_datalog).
+#ifndef RQ_RQ_TO_DATALOG_H_
+#define RQ_RQ_TO_DATALOG_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "rq/rq_expr.h"
+
+namespace rq {
+
+// Translates the query into a Datalog program whose goal predicate
+// `goal_name` computes EvalRqQuery's answer. Subquery predicates are named
+// "<goal_name>_<k>". Fails if a predicate in the query collides with a
+// generated name.
+Result<DatalogProgram> RqToDatalog(const RqQuery& query,
+                                   std::string_view goal_name = "q");
+
+}  // namespace rq
+
+#endif  // RQ_RQ_TO_DATALOG_H_

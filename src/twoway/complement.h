@@ -1,0 +1,34 @@
+// Single-exponential complementation of 2NFAs (paper Lemma 4, Vardi 1989).
+//
+// A word w = w_1..w_n is rejected by a 2NFA A iff there is a certificate:
+// sets U_0..U_{n+1} of states, one per tape cell of ⊢w⊣, such that
+//   (1) every initial state is in U_0,
+//   (2) the sets are closed under transitions: s ∈ U_i and (s',c) ∈
+//       ρ(s, tape_i) with i+c on the tape imply s' ∈ U_{i+c}, and
+//   (3) U_{n+1} contains no accepting state.
+// (The reachable-configuration sets are the minimal certificate.) An NFA can
+// guess the certificate cell by cell, holding the two sets flanking the
+// current cell: states are pairs (U_{i-1}, U_i), giving 2^O(n) states.
+//
+// This materializes that NFA explicitly. It is exponential by design — the
+// benchmark bench_2nfa_complement measures exactly this growth — so callers
+// must pass a state budget.
+#ifndef RQ_TWOWAY_COMPLEMENT_H_
+#define RQ_TWOWAY_COMPLEMENT_H_
+
+#include <cstddef>
+
+#include "automata/nfa.h"
+#include "common/status.h"
+#include "twoway/two_nfa.h"
+
+namespace rq {
+
+// Builds an NFA over the 2NFA's regular symbols accepting the complement of
+// L(m). Requires m.num_states() <= 20 (subset masks). Fails with
+// ResourceExhausted if more than `max_states` pair-states are reachable.
+Result<Nfa> VardiComplementNfa(const TwoNfa& m, size_t max_states);
+
+}  // namespace rq
+
+#endif  // RQ_TWOWAY_COMPLEMENT_H_

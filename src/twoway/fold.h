@@ -1,0 +1,41 @@
+// The fold construction (paper §3.2, Lemmas 2-3).
+//
+// A word v over Sigma± folds onto u (v ; u) when v can be traced on u
+// moving forward and backward: there are positions i_0=0,...,i_m=|u| with
+// each step either i_{j+1}=i_j+1 and v_{j+1}=u_{i_{j+1}}, or i_{j+1}=i_j-1
+// and v_{j+1}=(u_{i_j})⁻. fold(L) = { u : v ; u for some v ∈ L }.
+//
+// Lemma 3: if A is an n-state NFA over Sigma±, fold(L(A)) is accepted by a
+// 2NFA with n·(|Sigma±|+1) states. FoldTwoNfa builds exactly that 2NFA: each
+// state is (s, pending) where pending is either "none" (fold position is one
+// left of the head) or a letter b of Sigma± that A just consumed on a
+// backward step, to be checked against the tape cell to the left.
+#ifndef RQ_TWOWAY_FOLD_H_
+#define RQ_TWOWAY_FOLD_H_
+
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "twoway/two_nfa.h"
+
+namespace rq {
+
+// Word-level folding predicate, straight from the paper's definition
+// (dynamic program over (prefix of v, position in u)). Ground truth for
+// tests of the 2NFA construction.
+bool Folds(const std::vector<Symbol>& v, const std::vector<Symbol>& u);
+
+// Lemma 3 construction: 2NFA accepting fold(L(a)) with
+// a.num_states() * (num_symbols + 1) states. `a` may contain epsilons (they
+// are eliminated first; the bound applies to the epsilon-free automaton).
+TwoNfa FoldTwoNfa(const Nfa& a);
+
+// Independent membership check u ∈ fold(L(a)) by BFS over pairs
+// (state of a, fold position in u), not via the 2NFA. Used to cross-validate
+// FoldTwoNfa in tests.
+bool FoldsOntoWord(const Nfa& a, const std::vector<Symbol>& u);
+
+}  // namespace rq
+
+#endif  // RQ_TWOWAY_FOLD_H_

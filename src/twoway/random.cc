@@ -1,0 +1,42 @@
+#include "twoway/random.h"
+
+namespace rq {
+
+TwoNfa RandomTwoNfa(size_t num_states, uint32_t num_symbols,
+                    size_t transitions_per_state, uint64_t seed) {
+  RQ_CHECK(num_states > 0 && num_symbols > 0);
+  TwoNfa m(num_symbols);
+  Rng rng(seed);
+  for (size_t s = 0; s < num_states; ++s) m.AddState();
+  for (uint32_t s = 0; s < num_states; ++s) {
+    for (size_t t = 0; t < transitions_per_state; ++t) {
+      uint32_t to = static_cast<uint32_t>(rng.Below(num_states));
+      double roll = rng.NextDouble();
+      if (roll < 0.08) {
+        // Leave the left marker (only sensible move there).
+        m.AddTransition(s, m.LeftMarker(), to,
+                        rng.Chance(0.5) ? Dir::kRight : Dir::kStay);
+      } else if (roll < 0.16) {
+        // At the right marker: stay or walk back in.
+        m.AddTransition(s, m.RightMarker(), to,
+                        rng.Chance(0.5) ? Dir::kLeft : Dir::kStay);
+      } else {
+        Symbol a = static_cast<Symbol>(rng.Below(num_symbols));
+        int d = static_cast<int>(rng.Below(3)) - 1;
+        m.AddTransition(s, a, to, static_cast<Dir>(d));
+      }
+    }
+  }
+  // One or two initial and accepting states.
+  m.AddInitial(static_cast<uint32_t>(rng.Below(num_states)));
+  if (rng.Chance(0.3)) {
+    m.AddInitial(static_cast<uint32_t>(rng.Below(num_states)));
+  }
+  m.SetAccepting(static_cast<uint32_t>(rng.Below(num_states)));
+  if (rng.Chance(0.3)) {
+    m.SetAccepting(static_cast<uint32_t>(rng.Below(num_states)));
+  }
+  return m;
+}
+
+}  // namespace rq

@@ -1,0 +1,21 @@
+// Random 2NFA generation for property tests and the Lemma 4 benchmarks.
+#ifndef RQ_TWOWAY_RANDOM_H_
+#define RQ_TWOWAY_RANDOM_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "twoway/two_nfa.h"
+
+namespace rq {
+
+// A random 2NFA with `num_states` states over `num_symbols` regular
+// symbols. `transitions_per_state` transitions are drawn per state with
+// random symbols (including occasional marker transitions: stay/right on ⊢,
+// stay/left on ⊣) and random directions.
+TwoNfa RandomTwoNfa(size_t num_states, uint32_t num_symbols,
+                    size_t transitions_per_state, uint64_t seed);
+
+}  // namespace rq
+
+#endif  // RQ_TWOWAY_RANDOM_H_

@@ -1,0 +1,171 @@
+#include "twoway/tables.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace rq {
+
+size_t TwoNfaTable::Hash() const {
+  size_t h = init.Hash();
+  for (const Bitset& b : back) {
+    h ^= b.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+TwoNfaSimulator::TwoNfaSimulator(const TwoNfa& m)
+    : num_states_(m.num_states()),
+      num_symbols_(m.num_symbols()),
+      accepting_(m.num_states()),
+      initial_(m.num_states()),
+      by_symbol_from_(m.num_tape_symbols()) {
+  for (auto& per_state : by_symbol_from_) per_state.resize(m.num_states());
+  for (uint32_t s = 0; s < m.num_states(); ++s) {
+    if (m.IsAccepting(s)) accepting_.Set(s);
+    for (const TwoNfaTransition& t : m.TransitionsFrom(s)) {
+      by_symbol_from_[t.symbol][s].push_back({t.to, t.dir});
+    }
+  }
+  for (uint32_t s : m.initial()) initial_.Set(s);
+}
+
+Bitset TwoNfaSimulator::CellClosure(const Bitset& seed, Symbol tape_symbol,
+                                    const std::vector<Bitset>* back,
+                                    Bitset* exits) const {
+  Bitset in_cell = seed;
+  std::deque<uint32_t> work;
+  seed.ForEach([&](size_t s) { work.push_back(static_cast<uint32_t>(s)); });
+  auto add = [&](uint32_t s) {
+    if (!in_cell.Test(s)) {
+      in_cell.Set(s);
+      work.push_back(s);
+    }
+  };
+  const auto& arrows_from = by_symbol_from_[tape_symbol];
+  while (!work.empty()) {
+    uint32_t s = work.front();
+    work.pop_front();
+    for (const Arrow& arrow : arrows_from[s]) {
+      switch (arrow.dir) {
+        case Dir::kStay:
+          add(arrow.to);
+          break;
+        case Dir::kLeft:
+          if (back != nullptr) {
+            (*back)[arrow.to].ForEach(
+                [&](size_t r) { add(static_cast<uint32_t>(r)); });
+          }
+          break;
+        case Dir::kRight:
+          if (exits != nullptr) exits->Set(arrow.to);
+          break;
+      }
+    }
+  }
+  return in_cell;
+}
+
+TwoNfaTable TwoNfaSimulator::InitialTable() const {
+  const Symbol left = num_symbols_;  // LeftMarker tape symbol id
+  TwoNfaTable table;
+  {
+    Bitset exits(num_states_);
+    CellClosure(initial_, left, /*back=*/nullptr, &exits);
+    table.init = exits;
+  }
+  table.back.reserve(num_states_);
+  for (uint32_t s = 0; s < num_states_; ++s) {
+    Bitset seed(num_states_);
+    seed.Set(s);
+    Bitset exits(num_states_);
+    CellClosure(seed, left, /*back=*/nullptr, &exits);
+    table.back.push_back(std::move(exits));
+  }
+  return table;
+}
+
+TwoNfaTable TwoNfaSimulator::Step(const TwoNfaTable& table, Symbol a) const {
+  RQ_CHECK(a < num_symbols_);
+  TwoNfaTable next;
+  // A state exiting right of the old prefix arrives at the new cell; within
+  // the new cell, left moves re-enter the old prefix and return via its back
+  // table. States exiting the new cell rightward exit the extended prefix.
+  {
+    Bitset exits(num_states_);
+    CellClosure(table.init, a, &table.back, &exits);
+    next.init = exits;
+  }
+  next.back.reserve(num_states_);
+  for (uint32_t s = 0; s < num_states_; ++s) {
+    Bitset seed(num_states_);
+    seed.Set(s);
+    Bitset exits(num_states_);
+    CellClosure(seed, a, &table.back, &exits);
+    next.back.push_back(std::move(exits));
+  }
+  return next;
+}
+
+bool TwoNfaSimulator::Accepts(const TwoNfaTable& table) const {
+  const Symbol right = num_symbols_ + 1;  // RightMarker tape symbol id
+  Bitset at_marker =
+      CellClosure(table.init, right, &table.back, /*exits=*/nullptr);
+  return at_marker.Intersects(accepting_);
+}
+
+bool TwoNfaSimulator::AcceptsWord(const std::vector<Symbol>& word) const {
+  TwoNfaTable table = InitialTable();
+  for (Symbol a : word) table = Step(table, a);
+  return Accepts(table);
+}
+
+Result<Dfa> MaterializeTableDfa(const TwoNfa& m, size_t max_states) {
+  TwoNfaSimulator sim(m);
+  std::unordered_map<TwoNfaTable, uint32_t, TwoNfaTableHash> ids;
+  std::vector<TwoNfaTable> tables;
+  std::deque<uint32_t> work;
+
+  auto intern = [&](TwoNfaTable table) {
+    auto it = ids.find(table);
+    if (it != ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(tables.size());
+    ids.emplace(table, id);
+    tables.push_back(std::move(table));
+    work.push_back(id);
+    return id;
+  };
+
+  intern(sim.InitialTable());
+  std::vector<std::vector<uint32_t>> rows;
+  while (!work.empty()) {
+    uint32_t id = work.front();
+    work.pop_front();
+    if (tables.size() > max_states) {
+      return ResourceExhaustedError(
+          "table DFA exceeds max_states=" + std::to_string(max_states));
+    }
+    if (rows.size() <= id) rows.resize(id + 1);
+    rows[id].resize(sim.num_symbols());
+    for (Symbol a = 0; a < sim.num_symbols(); ++a) {
+      TwoNfaTable next = sim.Step(tables[id], a);
+      rows[id][a] = intern(std::move(next));
+    }
+  }
+  if (tables.size() > max_states) {
+    return ResourceExhaustedError(
+        "table DFA exceeds max_states=" + std::to_string(max_states));
+  }
+  rows.resize(tables.size());
+
+  Dfa dfa(static_cast<uint32_t>(tables.size()), sim.num_symbols());
+  dfa.SetInitial(0);
+  for (uint32_t id = 0; id < tables.size(); ++id) {
+    dfa.SetAccepting(id, sim.Accepts(tables[id]));
+    for (Symbol a = 0; a < sim.num_symbols(); ++a) {
+      dfa.SetTransition(id, a, rows[id][a]);
+    }
+  }
+  return dfa;
+}
+
+}  // namespace rq

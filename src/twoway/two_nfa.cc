@@ -1,0 +1,69 @@
+#include "twoway/two_nfa.h"
+
+#include <deque>
+
+namespace rq {
+
+bool TwoNfa::Accepts(const std::vector<Symbol>& word) const {
+  const size_t n = word.size();
+  const size_t num_cells = n + 2;  // ⊢ w ⊣
+  auto tape_symbol = [&](size_t cell) -> Symbol {
+    if (cell == 0) return LeftMarker();
+    if (cell == n + 1) return RightMarker();
+    return word[cell - 1];
+  };
+
+  std::vector<bool> seen(static_cast<size_t>(num_states()) * num_cells,
+                         false);
+  std::deque<std::pair<uint32_t, size_t>> work;
+  auto push = [&](uint32_t state, size_t cell) {
+    size_t key = static_cast<size_t>(state) * num_cells + cell;
+    if (!seen[key]) {
+      seen[key] = true;
+      work.emplace_back(state, cell);
+    }
+  };
+  for (uint32_t s : initial_) push(s, 0);
+
+  while (!work.empty()) {
+    auto [state, cell] = work.front();
+    work.pop_front();
+    if (cell == n + 1 && accepting_[state]) return true;
+    Symbol sym = tape_symbol(cell);
+    for (const TwoNfaTransition& t : transitions_[state]) {
+      if (t.symbol != sym) continue;
+      int64_t next = static_cast<int64_t>(cell) + static_cast<int>(t.dir);
+      if (next < 0 || next > static_cast<int64_t>(n + 1)) continue;
+      push(t.to, static_cast<size_t>(next));
+    }
+  }
+  return false;
+}
+
+std::string TwoNfa::ToString(const Alphabet& alphabet) const {
+  auto symbol_name = [&](Symbol s) -> std::string {
+    if (s == LeftMarker()) return "<|";
+    if (s == RightMarker()) return "|>";
+    return alphabet.SymbolName(s);
+  };
+  std::string out = "2NFA states=" + std::to_string(num_states()) + "\n";
+  out += "initial:";
+  for (uint32_t s : initial_) out += " " + std::to_string(s);
+  out += "\naccepting:";
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) out += " " + std::to_string(s);
+  }
+  out += "\n";
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    for (const TwoNfaTransition& t : transitions_[s]) {
+      const char* dir = t.dir == Dir::kLeft    ? "<"
+                        : t.dir == Dir::kRight ? ">"
+                                               : "=";
+      out += std::to_string(s) + " -" + symbol_name(t.symbol) + "," + dir +
+             "-> " + std::to_string(t.to) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rq

@@ -1,0 +1,93 @@
+// Two-way nondeterministic finite automata (paper §3.2).
+//
+// The paper defines 2NFA runs directly on the word w_1..w_n, starting at
+// position 1 and accepting at position n+1. To let an automaton inspect the
+// word boundaries (which the fold construction of Lemma 3 needs: a fold can
+// turn around at either end of the word), our 2NFA runs on the end-marked
+// tape  ⊢ w_1 .. w_n ⊣  with cells 0..n+1. The head starts on ⊢ (cell 0);
+// the automaton accepts if some run reaches an accepting state on ⊣
+// (cell n+1). Moves that would leave the tape kill the run. This model is
+// interconvertible with the paper's and keeps Lemma 3's state count.
+#ifndef RQ_TWOWAY_TWO_NFA_H_
+#define RQ_TWOWAY_TWO_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/status.h"
+
+namespace rq {
+
+// Head movement of a two-way transition.
+enum class Dir : int8_t { kLeft = -1, kStay = 0, kRight = 1 };
+
+struct TwoNfaTransition {
+  Symbol symbol;  // tape symbol: a regular symbol, or the marker below
+  uint32_t to;
+  Dir dir;
+};
+
+class TwoNfa {
+ public:
+  // `num_symbols` regular symbols; two extra tape symbols are defined:
+  // LeftMarker() and RightMarker().
+  explicit TwoNfa(uint32_t num_symbols) : num_symbols_(num_symbols) {}
+
+  Symbol LeftMarker() const { return num_symbols_; }
+  Symbol RightMarker() const { return num_symbols_ + 1; }
+  uint32_t num_symbols() const { return num_symbols_; }
+  uint32_t num_tape_symbols() const { return num_symbols_ + 2; }
+
+  uint32_t AddState() {
+    transitions_.emplace_back();
+    accepting_.push_back(false);
+    return static_cast<uint32_t>(transitions_.size() - 1);
+  }
+
+  void AddTransition(uint32_t from, Symbol tape_symbol, uint32_t to, Dir dir) {
+    RQ_CHECK(from < num_states() && to < num_states());
+    RQ_CHECK(tape_symbol < num_tape_symbols());
+    transitions_[from].push_back({tape_symbol, to, dir});
+  }
+
+  void AddInitial(uint32_t state) {
+    RQ_CHECK(state < num_states());
+    initial_.push_back(state);
+  }
+  void SetAccepting(uint32_t state, bool accepting = true) {
+    RQ_CHECK(state < num_states());
+    accepting_[state] = accepting;
+  }
+
+  uint32_t num_states() const {
+    return static_cast<uint32_t>(transitions_.size());
+  }
+  const std::vector<uint32_t>& initial() const { return initial_; }
+  bool IsAccepting(uint32_t state) const { return accepting_[state]; }
+  const std::vector<TwoNfaTransition>& TransitionsFrom(uint32_t state) const {
+    return transitions_[state];
+  }
+  size_t CountTransitions() const {
+    size_t n = 0;
+    for (const auto& t : transitions_) n += t.size();
+    return n;
+  }
+
+  // Direct membership test by BFS over configurations (state, cell).
+  // O(num_states * (|word|+2) * transitions). Ground truth for tests.
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  uint32_t num_symbols_;
+  std::vector<uint32_t> initial_;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<TwoNfaTransition>> transitions_;
+};
+
+}  // namespace rq
+
+#endif  // RQ_TWOWAY_TWO_NFA_H_

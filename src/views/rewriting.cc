@@ -1,0 +1,215 @@
+#include "views/rewriting.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "automata/containment.h"
+#include "automata/ops.h"
+#include "common/strings.h"
+#include "pathquery/path_query.h"
+
+namespace rq {
+
+namespace {
+
+struct SubsetHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t x : v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Substitutes each view symbol in the rewriting by the view's definition,
+// yielding an NFA over the data alphabet for the rewriting's expansion.
+// Implemented by splicing a copy of the view NFA in place of each view
+// transition.
+Nfa ExpandRewriting(const Nfa& rewriting, const std::vector<View>& views,
+                    uint32_t data_num_symbols) {
+  Nfa out(data_num_symbols);
+  for (uint32_t s = 0; s < rewriting.num_states(); ++s) {
+    out.AddState();
+    out.SetAccepting(s, rewriting.IsAccepting(s));
+  }
+  for (uint32_t s : rewriting.initial()) out.AddInitial(s);
+  for (uint32_t s = 0; s < rewriting.num_states(); ++s) {
+    for (const NfaTransition& t : rewriting.TransitionsFrom(s)) {
+      const View& view = views[SymbolLabel(t.symbol)];
+      Nfa piece = view.definition->ToNfa(data_num_symbols);
+      // Splice: offset piece states into `out`, link s -ε-> piece initials
+      // and piece accepting -ε-> t.to.
+      uint32_t offset = out.num_states();
+      for (uint32_t p = 0; p < piece.num_states(); ++p) out.AddState();
+      for (uint32_t p = 0; p < piece.num_states(); ++p) {
+        for (const NfaTransition& pt : piece.TransitionsFrom(p)) {
+          out.AddTransition(offset + p, pt.symbol, offset + pt.to);
+        }
+        for (uint32_t e : piece.EpsilonsFrom(p)) {
+          out.AddEpsilon(offset + p, offset + e);
+        }
+        if (piece.IsAccepting(p)) out.AddEpsilon(offset + p, t.to);
+      }
+      for (uint32_t i : piece.initial()) out.AddEpsilon(s, offset + i);
+    }
+    for (uint32_t e : rewriting.EpsilonsFrom(s)) out.AddEpsilon(s, e);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ViewRewriting> MaximalRewriting(const Regex& query,
+                                       const std::vector<View>& views,
+                                       const Alphabet& alphabet,
+                                       size_t max_states) {
+  if (query.UsesInverse()) {
+    return UnimplementedError(
+        "MaximalRewriting: two-way queries are not supported (see header)");
+  }
+  if (views.empty()) {
+    return InvalidArgumentError("MaximalRewriting: no views");
+  }
+  ViewRewriting out;
+  for (size_t vi = 0; vi < views.size(); ++vi) {
+    const View& view = views[vi];
+    if (view.definition == nullptr || view.definition->UsesInverse()) {
+      return UnimplementedError(
+          "MaximalRewriting: two-way views are not supported");
+    }
+    if (!IsIdentifier(view.name)) {
+      return InvalidArgumentError("MaximalRewriting: bad view name '" +
+                                  view.name + "'");
+    }
+    uint32_t label = out.view_alphabet.InternLabel(view.name);
+    if (label != vi) {
+      return InvalidArgumentError("MaximalRewriting: duplicate view name '" +
+                                  view.name + "'");
+    }
+  }
+
+  const uint32_t k =
+      std::max(static_cast<uint32_t>(alphabet.num_symbols()),
+               query.MinNumSymbols());
+  Dfa dfa = Minimize(Determinize(query.ToNfa(k)));
+  const uint32_t n = dfa.num_states();
+
+  // Per view: relation R_V over D-states.
+  std::vector<std::vector<std::vector<bool>>> reach(views.size());
+  for (size_t vi = 0; vi < views.size(); ++vi) {
+    Nfa vnfa = views[vi].definition->ToNfa(k).WithoutEpsilons().Trimmed();
+    reach[vi].assign(n, std::vector<bool>(n, false));
+    for (uint32_t s = 0; s < n; ++s) {
+      // BFS over (dfa state, view state) from (s, init).
+      std::vector<bool> seen(static_cast<size_t>(n) * vnfa.num_states(),
+                             false);
+      std::deque<std::pair<uint32_t, uint32_t>> work;
+      auto push = [&](uint32_t d, uint32_t v) {
+        size_t key = static_cast<size_t>(d) * vnfa.num_states() + v;
+        if (!seen[key]) {
+          seen[key] = true;
+          work.emplace_back(d, v);
+        }
+      };
+      for (uint32_t v0 : vnfa.initial()) push(s, v0);
+      while (!work.empty()) {
+        auto [d, v] = work.front();
+        work.pop_front();
+        if (vnfa.IsAccepting(v)) reach[vi][s][d] = true;
+        for (const NfaTransition& t : vnfa.TransitionsFrom(v)) {
+          push(dfa.Next(d, t.symbol), t.to);
+        }
+      }
+    }
+  }
+
+  // Subset construction over the view alphabet.
+  const uint32_t view_symbols =
+      static_cast<uint32_t>(out.view_alphabet.num_symbols());
+  out.automaton = Nfa(view_symbols);
+  std::unordered_map<std::vector<uint32_t>, uint32_t, SubsetHash> ids;
+  std::vector<std::vector<uint32_t>> subsets;
+  std::deque<uint32_t> work;
+  auto accepting = [&](const std::vector<uint32_t>& subset) {
+    for (uint32_t s : subset) {
+      if (!dfa.IsAccepting(s)) return false;
+    }
+    return true;
+  };
+  auto intern = [&](std::vector<uint32_t> subset) -> Result<uint32_t> {
+    auto it = ids.find(subset);
+    if (it != ids.end()) return it->second;
+    if (subsets.size() >= max_states) {
+      return ResourceExhaustedError("MaximalRewriting: subset budget");
+    }
+    uint32_t id = out.automaton.AddState();
+    out.automaton.SetAccepting(id, accepting(subset));
+    ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    work.push_back(id);
+    return id;
+  };
+  RQ_ASSIGN_OR_RETURN(uint32_t start, intern({dfa.initial()}));
+  out.automaton.AddInitial(start);
+  while (!work.empty()) {
+    uint32_t id = work.front();
+    work.pop_front();
+    std::vector<uint32_t> subset = subsets[id];
+    for (size_t vi = 0; vi < views.size(); ++vi) {
+      std::vector<bool> next_mask(n, false);
+      for (uint32_t s : subset) {
+        for (uint32_t t = 0; t < n; ++t) {
+          if (reach[vi][s][t]) next_mask[t] = true;
+        }
+      }
+      std::vector<uint32_t> next;
+      for (uint32_t t = 0; t < n; ++t) {
+        if (next_mask[t]) next.push_back(t);
+      }
+      RQ_ASSIGN_OR_RETURN(uint32_t next_id, intern(std::move(next)));
+      out.automaton.AddTransition(
+          id, ForwardSymbolOf(static_cast<uint32_t>(vi)), next_id);
+    }
+  }
+  out.automaton = out.automaton.Trimmed();
+  out.empty = out.automaton.IsEmptyLanguage();
+  return out;
+}
+
+Result<bool> RewritingIsExact(const ViewRewriting& rewriting,
+                              const Regex& query,
+                              const std::vector<View>& views,
+                              const Alphabet& alphabet) {
+  const uint32_t k =
+      std::max(static_cast<uint32_t>(alphabet.num_symbols()),
+               query.MinNumSymbols());
+  Nfa expansion = ExpandRewriting(rewriting.automaton, views, k);
+  // Containment expansion ⊆ Q holds by construction (asserted in tests);
+  // exactness is the converse.
+  return CheckLanguageContainment(query.ToNfa(k), expansion).contained;
+}
+
+Result<Relation> AnswerUsingViews(const GraphDb& db,
+                                  const ViewRewriting& rewriting,
+                                  const std::vector<View>& views) {
+  // Materialize view answers and build the view graph.
+  GraphDb view_graph;
+  view_graph.EnsureNodes(db.num_nodes());
+  for (size_t vi = 0; vi < views.size(); ++vi) {
+    uint32_t label = view_graph.alphabet().InternLabel(views[vi].name);
+    for (const auto& [x, y] : EvalPathQuery(db, *views[vi].definition)) {
+      view_graph.AddEdge(x, label, y);
+    }
+  }
+  Relation out(2);
+  if (rewriting.empty) return out;
+  for (const auto& [x, y] : EvalPathQueryNfa(view_graph,
+                                             rewriting.automaton)) {
+    out.Insert({x, y});
+  }
+  return out;
+}
+
+}  // namespace rq

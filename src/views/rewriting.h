@@ -1,0 +1,80 @@
+// Maximal rewriting of RPQs using views (the paper's reference [12],
+// Calvanese, De Giacomo, Lenzerini & Vardi: "Query processing using views
+// for regular path queries").
+//
+// Given views V1..Vk (RPQs over the data alphabet) and a query Q, the
+// maximal rewriting is the largest language R over the *view* alphabet
+// such that every word v_{i1}..v_{im} ∈ R expands (substituting each view
+// by its language) into a language contained in L(Q). It is regular and
+// computable with the same automata toolkit the containment results use:
+//
+//   * determinize Q into D;
+//   * for each view V, compute its transition relation on D's states:
+//     (s, t) ∈ R_V  iff  some u ∈ L(V) drives D from s to t;
+//   * run the subset construction over the view alphabet with these
+//     relations; a subset is accepting iff it contains only accepting
+//     D-states (so *every* expansion of the word is accepted by Q).
+//
+// Answering a query from view answers alone is then evaluation of the
+// rewriting automaton over the "view graph" whose edges are the
+// materialized view tuples. This is sound for every rewriting and complete
+// exactly when the rewriting's expansion covers L(Q) (RewritingIsExact).
+//
+// Scope: one-way queries and views (no inverse symbols) — the exact 2RPQ
+// generalization needs the two-way machinery of [12] and is future work.
+#ifndef RQ_VIEWS_REWRITING_H_
+#define RQ_VIEWS_REWRITING_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/status.h"
+#include "graph/graph_db.h"
+#include "regex/regex.h"
+#include "relational/relation.h"
+
+namespace rq {
+
+struct View {
+  std::string name;
+  RegexPtr definition;
+};
+
+struct ViewRewriting {
+  // One label per view, in the order given (label id = view index).
+  Alphabet view_alphabet;
+  // Automaton over forward view symbols accepting the maximal rewriting.
+  Nfa automaton{0};
+  // True if the rewriting language is empty (the views cannot answer any
+  // part of the query).
+  bool empty = true;
+};
+
+// Computes the maximal rewriting. Query and views must be one-way (no
+// inverse atoms); view names must be distinct identifiers. `max_states`
+// bounds the subset construction.
+Result<ViewRewriting> MaximalRewriting(const Regex& query,
+                                       const std::vector<View>& views,
+                                       const Alphabet& alphabet,
+                                       size_t max_states = 100000);
+
+// True if the rewriting is exact: substituting each view's language back
+// into the rewriting yields exactly L(Q) (it is always contained; exactness
+// adds the converse). Exact rewritings answer Q completely from view
+// answers on every database.
+Result<bool> RewritingIsExact(const ViewRewriting& rewriting,
+                              const Regex& query,
+                              const std::vector<View>& views,
+                              const Alphabet& alphabet);
+
+// Builds the view graph (one edge per materialized view tuple) and runs
+// the rewriting automaton over it. Sound: the result is always a subset of
+// Q(db); equal to Q(db) on every db iff the rewriting is exact.
+Result<Relation> AnswerUsingViews(const GraphDb& db,
+                                  const ViewRewriting& rewriting,
+                                  const std::vector<View>& views);
+
+}  // namespace rq
+
+#endif  // RQ_VIEWS_REWRITING_H_

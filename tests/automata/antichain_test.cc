@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "automata/containment.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+class AntichainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("a");
+    alphabet_.InternLabel("b");
+    alphabet_.InternLabel("c");
+  }
+  Alphabet alphabet_;
+};
+
+TEST_F(AntichainTest, AgreesWithPlainSearchOnRandomPairs) {
+  Rng rng(2468);
+  uint64_t plain_total = 0;
+  uint64_t antichain_total = 0;
+  for (int round = 0; round < 80; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 3, false, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 3, false, rng);
+    Nfa n1 = r1->ToNfa(6);
+    Nfa n2 = r2->ToNfa(6);
+    LanguageContainmentResult plain = CheckLanguageContainment(n1, n2);
+    LanguageContainmentResult pruned =
+        CheckLanguageContainmentAntichain(n1, n2);
+    EXPECT_EQ(plain.contained, pruned.contained)
+        << r1->ToString(alphabet_) << " vs " << r2->ToString(alphabet_);
+    if (!pruned.contained) {
+      // The (possibly non-shortest) counterexample must still separate.
+      EXPECT_TRUE(n1.Accepts(pruned.counterexample));
+      EXPECT_FALSE(n2.Accepts(pruned.counterexample));
+    }
+    plain_total += plain.explored_states;
+    antichain_total += pruned.explored_states;
+  }
+  // The pruning must never explore more nodes overall.
+  EXPECT_LE(antichain_total, plain_total);
+}
+
+TEST_F(AntichainTest, PrunesOnUnionHeavyRightSides) {
+  // Right side with many overlapping disjuncts produces comparable
+  // subsets; the antichain should strictly reduce exploration.
+  auto r1 = ParseRegex("(a | b | c)* a (a | b | c)*", &alphabet_);
+  auto r2 = ParseRegex(
+      "(a | b | c)* (a | a b | a c | a a) (a | b | c)* | (b | c)*",
+      &alphabet_);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  Nfa n1 = (*r1)->ToNfa(6);
+  Nfa n2 = (*r2)->ToNfa(6);
+  LanguageContainmentResult plain = CheckLanguageContainment(n1, n2);
+  LanguageContainmentResult pruned =
+      CheckLanguageContainmentAntichain(n1, n2);
+  EXPECT_EQ(plain.contained, pruned.contained);
+  EXPECT_LE(pruned.explored_states, plain.explored_states);
+}
+
+TEST_F(AntichainTest, ReflexiveContainmentHolds) {
+  Rng rng(1357);
+  for (int round = 0; round < 20; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, false, rng);
+    Nfa nfa = re->ToNfa(6);
+    EXPECT_TRUE(CheckLanguageContainmentAntichain(nfa, nfa).contained)
+        << re->ToString(alphabet_);
+  }
+}
+
+}  // namespace
+}  // namespace rq

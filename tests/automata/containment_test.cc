@@ -1,0 +1,154 @@
+#include "automata/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/words.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+class LanguageContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("a");
+    alphabet_.InternLabel("b");
+  }
+
+  Nfa FromRegex(const std::string& text) {
+    auto re = ParseRegex(text, &alphabet_);
+    RQ_CHECK(re.ok());
+    return re.value()->ToNfa(4);
+  }
+
+  Alphabet alphabet_;
+};
+
+TEST_F(LanguageContainmentTest, BasicContainments) {
+  EXPECT_TRUE(
+      CheckLanguageContainment(FromRegex("a b"), FromRegex("a b* ")).contained);
+  EXPECT_TRUE(
+      CheckLanguageContainment(FromRegex("a+"), FromRegex("a*")).contained);
+  EXPECT_FALSE(
+      CheckLanguageContainment(FromRegex("a*"), FromRegex("a+")).contained);
+  EXPECT_TRUE(CheckLanguageContainment(FromRegex("(a b)+"),
+                                       FromRegex("a (b a)* b"))
+                  .contained);
+}
+
+TEST_F(LanguageContainmentTest, CounterexampleIsValid) {
+  Nfa q1 = FromRegex("a* b");
+  Nfa q2 = FromRegex("a a* b");
+  LanguageContainmentResult result = CheckLanguageContainment(q1, q2);
+  ASSERT_FALSE(result.contained);
+  EXPECT_TRUE(q1.Accepts(result.counterexample));
+  EXPECT_FALSE(q2.Accepts(result.counterexample));
+  // Shortest counterexample is "b".
+  EXPECT_EQ(result.counterexample.size(), 1u);
+}
+
+TEST_F(LanguageContainmentTest, EmptyLanguageIsContainedInEverything) {
+  Nfa empty = Regex::Empty()->ToNfa(4);
+  EXPECT_TRUE(CheckLanguageContainment(empty, FromRegex("a")).contained);
+  EXPECT_FALSE(CheckLanguageContainment(FromRegex("a"), empty).contained);
+}
+
+TEST_F(LanguageContainmentTest, EqualityViaBothDirections) {
+  EXPECT_TRUE(LanguagesEqual(FromRegex("a (b a)*"), FromRegex("(a b)* a")));
+  EXPECT_FALSE(LanguagesEqual(FromRegex("a*"), FromRegex("a+")));
+}
+
+TEST_F(LanguageContainmentTest, AgreesWithExplicitConstruction) {
+  Rng rng(2026);
+  for (int round = 0; round < 60; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    Nfa n1 = r1->ToNfa(4);
+    Nfa n2 = r2->ToNfa(4);
+    LanguageContainmentResult on_the_fly = CheckLanguageContainment(n1, n2);
+    LanguageContainmentResult explicit_route =
+        CheckLanguageContainmentExplicit(n1, n2);
+    EXPECT_EQ(on_the_fly.contained, explicit_route.contained)
+        << r1->ToString(alphabet_) << " vs " << r2->ToString(alphabet_);
+    if (!on_the_fly.contained) {
+      EXPECT_TRUE(n1.Accepts(on_the_fly.counterexample));
+      EXPECT_FALSE(n2.Accepts(on_the_fly.counterexample));
+    }
+  }
+}
+
+TEST_F(LanguageContainmentTest, ContainmentImpliesWordwiseContainment) {
+  Rng rng(555);
+  for (int round = 0; round < 40; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    Nfa n1 = r1->ToNfa(4);
+    Nfa n2 = r2->ToNfa(4);
+    if (CheckLanguageContainment(n1, n2).contained) {
+      for (const auto& w : EnumerateAcceptedWords(n1, 5, 80)) {
+        EXPECT_TRUE(n2.Accepts(w))
+            << r1->ToString(alphabet_) << " ⊑ " << r2->ToString(alphabet_);
+      }
+    }
+  }
+}
+
+TEST_F(LanguageContainmentTest, SelfContainmentAlwaysHolds) {
+  Rng rng(9);
+  for (int round = 0; round < 30; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, /*allow_inverse=*/false, rng);
+    Nfa nfa = re->ToNfa(4);
+    EXPECT_TRUE(CheckLanguageContainment(nfa, nfa).contained)
+        << re->ToString(alphabet_);
+  }
+}
+
+TEST(WordsTest, EnumerateAcceptedWordsInLengthOrder) {
+  Alphabet alphabet;
+  alphabet.InternLabel("a");
+  auto re = ParseRegex("a*", &alphabet);
+  ASSERT_TRUE(re.ok());
+  Nfa nfa = re.value()->ToNfa(2);
+  auto words = EnumerateAcceptedWords(nfa, 3, 10);
+  ASSERT_EQ(words.size(), 4u);  // eps, a, aa, aaa
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    EXPECT_LE(words[i].size(), words[i + 1].size());
+  }
+}
+
+TEST(WordsTest, FinitenessDetection) {
+  Alphabet alphabet;
+  alphabet.InternLabel("a");
+  alphabet.InternLabel("b");
+  auto finite = ParseRegex("a b | b a b", &alphabet);
+  auto infinite = ParseRegex("a b*", &alphabet);
+  ASSERT_TRUE(finite.ok() && infinite.ok());
+  EXPECT_TRUE(IsFiniteLanguage(finite.value()->ToNfa(4)));
+  EXPECT_FALSE(IsFiniteLanguage(infinite.value()->ToNfa(4)));
+  EXPECT_EQ(CountWordsUpTo(finite.value()->ToNfa(4), 100), 2u);
+  EXPECT_FALSE(CountWordsUpTo(infinite.value()->ToNfa(4), 100).has_value());
+}
+
+TEST(WordsTest, SampleAcceptedWordIsAccepted) {
+  Alphabet alphabet;
+  alphabet.InternLabel("a");
+  alphabet.InternLabel("b");
+  auto re = ParseRegex("a (a | b)* b", &alphabet);
+  ASSERT_TRUE(re.ok());
+  Nfa nfa = re.value()->ToNfa(4);
+  Rng rng(11);
+  int found = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto word = SampleAcceptedWord(nfa, 8, 50, rng);
+    if (word.has_value()) {
+      ++found;
+      EXPECT_TRUE(nfa.Accepts(*word));
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+}  // namespace
+}  // namespace rq

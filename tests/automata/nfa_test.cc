@@ -1,0 +1,182 @@
+#include "automata/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+
+namespace rq {
+namespace {
+
+// Builds an NFA for (ab)* over a 2-label alphabet (forward symbols only).
+Nfa AbStar() {
+  Nfa nfa(4);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.SetAccepting(s0);
+  nfa.AddTransition(s0, ForwardSymbolOf(0), s1);
+  nfa.AddTransition(s1, ForwardSymbolOf(1), s0);
+  return nfa;
+}
+
+TEST(NfaTest, AcceptsBasicWords) {
+  Nfa nfa = AbStar();
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({a, b}));
+  EXPECT_TRUE(nfa.Accepts({a, b, a, b}));
+  EXPECT_FALSE(nfa.Accepts({a}));
+  EXPECT_FALSE(nfa.Accepts({b, a}));
+  EXPECT_FALSE(nfa.Accepts({a, a}));
+}
+
+TEST(NfaTest, EpsilonClosureFollowsChains) {
+  Nfa nfa(2);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  uint32_t s2 = nfa.AddState();
+  nfa.AddEpsilon(s0, s1);
+  nfa.AddEpsilon(s1, s2);
+  std::vector<uint32_t> closure = nfa.EpsilonClosure({s0});
+  EXPECT_EQ(closure, (std::vector<uint32_t>{s0, s1, s2}));
+}
+
+TEST(NfaTest, WithoutEpsilonsPreservesLanguage) {
+  // a then epsilon to accepting.
+  Nfa nfa(2);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  uint32_t s2 = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddEpsilon(s1, s2);
+  nfa.SetAccepting(s2);
+  Nfa ef = nfa.WithoutEpsilons();
+  EXPECT_FALSE(ef.HasEpsilons());
+  EXPECT_TRUE(ef.Accepts({0}));
+  EXPECT_FALSE(ef.Accepts({}));
+  EXPECT_FALSE(ef.Accepts({1}));
+}
+
+TEST(NfaTest, IsEmptyLanguageFindsShortestWitness) {
+  Nfa nfa = AbStar();
+  std::vector<Symbol> witness{99};
+  EXPECT_FALSE(nfa.IsEmptyLanguage(&witness));
+  EXPECT_TRUE(witness.empty());  // epsilon is the shortest accepted word
+
+  Nfa empty(2);
+  uint32_t s0 = empty.AddState();
+  uint32_t s1 = empty.AddState();
+  empty.AddInitial(s0);
+  empty.SetAccepting(s1);  // unreachable
+  EXPECT_TRUE(empty.IsEmptyLanguage());
+}
+
+TEST(NfaTest, ShortestWitnessHasMinimalLength) {
+  // Language: aab | b. Shortest is "b".
+  Nfa nfa(2);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  uint32_t s2 = nfa.AddState();
+  uint32_t acc = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.SetAccepting(acc);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 0, s2);
+  nfa.AddTransition(s2, 1, acc);
+  nfa.AddTransition(s0, 1, acc);
+  std::vector<Symbol> witness;
+  EXPECT_FALSE(nfa.IsEmptyLanguage(&witness));
+  EXPECT_EQ(witness, (std::vector<Symbol>{1}));
+}
+
+TEST(NfaTest, ReversedAcceptsMirrorWords) {
+  // Language: ab. Reverse: ba.
+  Nfa nfa(2);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  uint32_t s2 = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.SetAccepting(s2);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 1, s2);
+  Nfa rev = nfa.Reversed();
+  EXPECT_TRUE(rev.Accepts({1, 0}));
+  EXPECT_FALSE(rev.Accepts({0, 1}));
+}
+
+TEST(NfaTest, TrimmedDropsUselessStates) {
+  Nfa nfa(2);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  uint32_t dead = nfa.AddState();      // reachable, cannot reach accept
+  uint32_t orphan = nfa.AddState();    // unreachable
+  nfa.AddInitial(s0);
+  nfa.SetAccepting(s1);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s0, 1, dead);
+  nfa.AddTransition(orphan, 0, s1);
+  Nfa trimmed = nfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 2u);
+  EXPECT_TRUE(trimmed.Accepts({0}));
+  EXPECT_FALSE(trimmed.Accepts({1}));
+}
+
+TEST(NfaTest, TrimmedEmptyLanguageYieldsOneStateAutomaton) {
+  Nfa nfa(2);
+  uint32_t s0 = nfa.AddState();
+  nfa.AddInitial(s0);
+  Nfa trimmed = nfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 1u);
+  EXPECT_TRUE(trimmed.IsEmptyLanguage());
+}
+
+TEST(AlphabetTest, InverseSymbolArithmetic) {
+  Alphabet alphabet;
+  uint32_t knows = alphabet.InternLabel("knows");
+  Symbol fwd = ForwardSymbolOf(knows);
+  Symbol inv = InverseSymbolOf(knows);
+  EXPECT_EQ(InverseSymbol(fwd), inv);
+  EXPECT_EQ(InverseSymbol(inv), fwd);
+  EXPECT_FALSE(IsInverseSymbol(fwd));
+  EXPECT_TRUE(IsInverseSymbol(inv));
+  EXPECT_EQ(SymbolLabel(fwd), knows);
+  EXPECT_EQ(SymbolLabel(inv), knows);
+  EXPECT_EQ(alphabet.SymbolName(fwd), "knows");
+  EXPECT_EQ(alphabet.SymbolName(inv), "knows-");
+}
+
+TEST(AlphabetTest, InternIsIdempotent) {
+  Alphabet alphabet;
+  EXPECT_EQ(alphabet.InternLabel("a"), alphabet.InternLabel("a"));
+  EXPECT_NE(alphabet.InternLabel("a"), alphabet.InternLabel("b"));
+  EXPECT_EQ(alphabet.num_labels(), 2u);
+  EXPECT_EQ(alphabet.num_symbols(), 4u);
+}
+
+TEST(AlphabetTest, ParseSymbolHandlesInverseSuffix) {
+  Alphabet alphabet;
+  uint32_t a = alphabet.InternLabel("a");
+  auto fwd = alphabet.ParseSymbol("a");
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_EQ(*fwd, ForwardSymbolOf(a));
+  auto inv = alphabet.ParseSymbol(" a- ");
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(*inv, InverseSymbolOf(a));
+  EXPECT_FALSE(alphabet.ParseSymbol("missing").ok());
+}
+
+TEST(AlphabetTest, InverseWordReversesAndFlips) {
+  Alphabet alphabet;
+  Symbol a = alphabet.InternForward("a");
+  Symbol b = alphabet.InternForward("b");
+  std::vector<Symbol> word{a, b, InverseSymbol(a)};
+  std::vector<Symbol> inv = InverseWord(word);
+  EXPECT_EQ(inv,
+            (std::vector<Symbol>{a, InverseSymbol(b), InverseSymbol(a)}));
+  EXPECT_EQ(InverseWord(inv), word);
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,140 @@
+#include "automata/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/words.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+Nfa FromRegex(const std::string& text, Alphabet* alphabet) {
+  auto re = ParseRegex(text, alphabet);
+  RQ_CHECK(re.ok());
+  return re.value()->ToNfa(4);  // two labels a, b (plus unused inverses)
+}
+
+class OpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("a");
+    alphabet_.InternLabel("b");
+  }
+  Alphabet alphabet_;
+};
+
+TEST_F(OpsTest, DeterminizeMatchesNfaOnRandomWords) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, /*allow_inverse=*/false, rng);
+    Nfa nfa = re->ToNfa(4);
+    Dfa dfa = Determinize(nfa);
+    for (int w = 0; w < 40; ++w) {
+      std::vector<Symbol> word;
+      size_t len = rng.Below(6);
+      for (size_t i = 0; i < len; ++i) {
+        word.push_back(ForwardSymbolOf(static_cast<uint32_t>(rng.Below(2))));
+      }
+      EXPECT_EQ(nfa.Accepts(word), dfa.Accepts(word))
+          << re->ToString(alphabet_);
+    }
+  }
+}
+
+TEST_F(OpsTest, ComplementFlipsMembership) {
+  Nfa nfa = FromRegex("a b*", &alphabet_);
+  Dfa comp = ComplementToDfa(nfa);
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_FALSE(comp.Accepts({a}));
+  EXPECT_FALSE(comp.Accepts({a, b, b}));
+  EXPECT_TRUE(comp.Accepts({}));
+  EXPECT_TRUE(comp.Accepts({b}));
+  EXPECT_TRUE(comp.Accepts({a, a}));
+}
+
+TEST_F(OpsTest, IntersectIsConjunction) {
+  Nfa lhs = FromRegex("a* b*", &alphabet_);
+  Nfa rhs = FromRegex("a b* | b a*", &alphabet_);
+  Nfa both = Intersect(lhs, rhs);
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_TRUE(both.Accepts({a, b, b}));
+  EXPECT_TRUE(both.Accepts({b}));
+  EXPECT_FALSE(both.Accepts({b, a}));  // in rhs but not lhs
+  EXPECT_FALSE(both.Accepts({a, a})); // in lhs but not rhs
+}
+
+TEST_F(OpsTest, UnionIsDisjunction) {
+  Nfa u = Union(FromRegex("a a", &alphabet_), FromRegex("b", &alphabet_));
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_TRUE(u.Accepts({a, a}));
+  EXPECT_TRUE(u.Accepts({b}));
+  EXPECT_FALSE(u.Accepts({a}));
+  EXPECT_FALSE(u.Accepts({a, b}));
+}
+
+TEST_F(OpsTest, ConcatComposesLanguages) {
+  Nfa c = Concat(FromRegex("a+", &alphabet_), FromRegex("b", &alphabet_));
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_TRUE(c.Accepts({a, b}));
+  EXPECT_TRUE(c.Accepts({a, a, b}));
+  EXPECT_FALSE(c.Accepts({b}));
+  EXPECT_FALSE(c.Accepts({a}));
+  EXPECT_FALSE(c.Accepts({a, b, b}));
+}
+
+TEST_F(OpsTest, MinimizeReducesAndPreserves) {
+  // (a|b)(a|b) has a 3-state minimal DFA plus dead state = 4.
+  Nfa nfa = FromRegex("(a | b)(a | b)", &alphabet_);
+  Dfa dfa = Determinize(nfa);
+  Dfa min = Minimize(dfa);
+  EXPECT_LE(min.num_states(), dfa.num_states());
+  Rng rng(3);
+  for (int w = 0; w < 60; ++w) {
+    std::vector<Symbol> word;
+    size_t len = rng.Below(5);
+    for (size_t i = 0; i < len; ++i) {
+      word.push_back(ForwardSymbolOf(static_cast<uint32_t>(rng.Below(2))));
+    }
+    EXPECT_EQ(dfa.Accepts(word), min.Accepts(word));
+  }
+}
+
+TEST_F(OpsTest, MinimizeIsCanonicalAcrossEquivalentRegexes) {
+  // Two syntactically different, equivalent regexes.
+  Nfa n1 = FromRegex("a (b a)*", &alphabet_);
+  Nfa n2 = FromRegex("(a b)* a", &alphabet_);
+  EXPECT_TRUE(LanguagesEqualByMinimization(n1, n2));
+  Nfa n3 = FromRegex("a (b a)* b", &alphabet_);
+  EXPECT_FALSE(LanguagesEqualByMinimization(n1, n3));
+}
+
+TEST_F(OpsTest, MinimizeRandomizedAgainstEnumeration) {
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    Nfa nfa = re->ToNfa(4);
+    Dfa min = Minimize(Determinize(nfa));
+    for (const auto& w : EnumerateAcceptedWords(nfa, 5, 60)) {
+      EXPECT_TRUE(min.Accepts(w)) << re->ToString(alphabet_);
+    }
+  }
+}
+
+TEST_F(OpsTest, NfaFromDfaPreservesLanguage) {
+  Nfa nfa = FromRegex("a b+ a?", &alphabet_);
+  Nfa back = NfaFromDfa(Determinize(nfa));
+  for (const auto& w : EnumerateAcceptedWords(nfa, 5, 50)) {
+    EXPECT_TRUE(back.Accepts(w));
+  }
+  for (const auto& w : EnumerateAcceptedWords(back, 5, 50)) {
+    EXPECT_TRUE(nfa.Accepts(w));
+  }
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,99 @@
+#include "automata/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/containment.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("a");
+    alphabet_.InternLabel("b");
+  }
+  RegexPtr Re(const std::string& text) {
+    auto re = ParseRegex(text, &alphabet_);
+    RQ_CHECK(re.ok());
+    return *re;
+  }
+  Alphabet alphabet_;
+};
+
+TEST_F(ReduceTest, MergesDuplicateBranches) {
+  // a b | a b (structurally duplicated): Thompson yields parallel copies;
+  // simulation quotient must merge them.
+  Nfa nfa = Regex::Union({Re("a b"), Re("a b")})
+                ->ToNfa(4)
+                .WithoutEpsilons()
+                .Trimmed();
+  Nfa reduced = ReduceBySimulation(nfa);
+  EXPECT_LT(reduced.num_states(), nfa.num_states());
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_TRUE(reduced.Accepts({a, b}));
+  EXPECT_FALSE(reduced.Accepts({a}));
+}
+
+TEST_F(ReduceTest, SimulationPreorderBasics) {
+  // s0 -a-> s1(acc); s2 -a-> s3(acc), s2 -b-> s3: s0 ≼ s2 but not
+  // conversely.
+  Nfa nfa(4);
+  uint32_t s0 = nfa.AddState();
+  uint32_t s1 = nfa.AddState();
+  uint32_t s2 = nfa.AddState();
+  uint32_t s3 = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.SetAccepting(s1);
+  nfa.SetAccepting(s3);
+  nfa.AddTransition(s0, ForwardSymbolOf(0), s1);
+  nfa.AddTransition(s2, ForwardSymbolOf(0), s3);
+  nfa.AddTransition(s2, ForwardSymbolOf(1), s3);
+  auto sim = SimulationPreorder(nfa);
+  EXPECT_TRUE(sim[s0][s2]);
+  EXPECT_FALSE(sim[s2][s0]);
+  EXPECT_TRUE(sim[s1][s3]);
+  EXPECT_TRUE(sim[s3][s1]);
+}
+
+TEST_F(ReduceTest, PreservesLanguageOnRandomRegexes) {
+  Rng rng(515);
+  for (int round = 0; round < 60; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, true, rng);
+    Nfa nfa = re->ToNfa(4).WithoutEpsilons().Trimmed();
+    Nfa reduced = ReduceBySimulation(nfa);
+    EXPECT_LE(reduced.num_states(), nfa.num_states());
+    EXPECT_TRUE(LanguagesEqual(nfa, reduced)) << re->ToString(alphabet_);
+  }
+}
+
+TEST_F(ReduceTest, IsIdempotentInSize) {
+  Rng rng(626);
+  for (int round = 0; round < 20; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, true, rng);
+    Nfa once = ReduceBySimulation(re->ToNfa(4));
+    Nfa twice = ReduceBySimulation(once);
+    EXPECT_EQ(once.num_states(), twice.num_states())
+        << re->ToString(alphabet_);
+  }
+}
+
+TEST_F(ReduceTest, ReductionShrinksThompsonNfas) {
+  // Thompson NFAs are verbose; measure aggregate shrinkage.
+  Rng rng(737);
+  size_t before = 0;
+  size_t after = 0;
+  for (int round = 0; round < 30; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, false, rng);
+    Nfa nfa = re->ToNfa(4).WithoutEpsilons().Trimmed();
+    before += nfa.num_states();
+    after += ReduceBySimulation(nfa).num_states();
+  }
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace rq

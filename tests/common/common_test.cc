@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace rq {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "Ok");
+  Status err = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> value(42);
+  EXPECT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  Result<int> error(NotFoundError("nope"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  RQ_ASSIGN_OR_RETURN(int half, Half(x));
+  RQ_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StringsTest, SplitJoinStrip) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringsTest, IdentifierChecks) {
+  EXPECT_TRUE(IsIdentifier("abc_12"));
+  EXPECT_TRUE(IsIdentifier("_x"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1ab"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(10), 10u);
+    int64_t v = r.Between(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng r(3);
+  std::vector<bool> seen(6, false);
+  for (int i = 0; i < 200; ++i) seen[r.Below(6)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(BitsetTest, BasicOperations) {
+  Bitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  Bitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  Bitset u = a;
+  EXPECT_TRUE(u.UnionWith(b));
+  EXPECT_FALSE(u.UnionWith(b));  // already included
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  EXPECT_TRUE(b.IsSubsetOf(u));
+  u.IntersectWith(a);
+  EXPECT_TRUE(u == a);
+}
+
+TEST(BitsetTest, ForEachVisitsInOrder) {
+  Bitset b(200);
+  b.Set(3);
+  b.Set(77);
+  b.Set(199);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 77, 199}));
+}
+
+TEST(BitsetTest, HashDistinguishesContents) {
+  Bitset a(100), b(100);
+  a.Set(5);
+  b.Set(6);
+  EXPECT_NE(a.Hash(), b.Hash());
+  b.Reset(6);
+  b.Set(5);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,111 @@
+#include "crpq/to_datalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace {
+
+// A random graph with no isolated nodes (cycle backbone + random chords),
+// since the Datalog embedding quantifies over the active domain.
+GraphDb ConnectedRandomGraph(size_t nodes, size_t chords, uint64_t seed) {
+  GraphDb db = CycleGraph(nodes, "a");
+  uint32_t b = db.alphabet().InternLabel("b");
+  Rng rng(seed);
+  for (size_t i = 0; i < chords; ++i) {
+    db.AddEdge(static_cast<NodeId>(rng.Below(nodes)), b,
+               static_cast<NodeId>(rng.Below(nodes)));
+  }
+  return db;
+}
+
+TEST(Uc2RpqToDatalogTest, SingleAtomMatchesEvaluation) {
+  GraphDb graph = ConnectedRandomGraph(10, 15, 1);
+  auto query = ParseUc2Rpq("q(x, y) :- (a b)(x, y)", &graph.alphabet());
+  ASSERT_TRUE(query.ok());
+  auto program = Uc2RpqToDatalog(*query, graph.alphabet());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Relation direct = EvalUc2Rpq(graph, *query).value();
+  Relation translated =
+      EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+  EXPECT_EQ(direct.SortedTuples(), translated.SortedTuples());
+}
+
+TEST(Uc2RpqToDatalogTest, ConjunctionAndUnionMatchEvaluation) {
+  GraphDb graph = ConnectedRandomGraph(9, 12, 2);
+  auto query = ParseUc2Rpq(
+      "q(x, y) :- (a+)(x, z), (b)(z, y)\n"
+      "q(x, y) :- (b a)(x, y), (a-)(x, w)\n",
+      &graph.alphabet());
+  ASSERT_TRUE(query.ok());
+  auto program = Uc2RpqToDatalog(*query, graph.alphabet());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Relation direct = EvalUc2Rpq(graph, *query).value();
+  Relation translated =
+      EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+  EXPECT_EQ(direct.SortedTuples(), translated.SortedTuples());
+}
+
+TEST(Uc2RpqToDatalogTest, RandomizedAgreement) {
+  Rng rng(99);
+  for (int round = 0; round < 12; ++round) {
+    GraphDb graph = ConnectedRandomGraph(8, 10, rng.Next());
+    // Random single-disjunct query with 2 atoms over shared variables.
+    Crpq q;
+    q.num_vars = 3;
+    q.head = {0, 2};
+    RegexPtr r1 = RandomRegex(graph.alphabet(), 2, true, rng);
+    RegexPtr r2 = RandomRegex(graph.alphabet(), 2, true, rng);
+    q.atoms = {{r1, 0, 1}, {r2, 1, 2}};
+    Uc2Rpq u;
+    u.disjuncts.push_back(q);
+    auto program = Uc2RpqToDatalog(u, graph.alphabet());
+    ASSERT_TRUE(program.ok());
+    Relation direct = EvalUc2Rpq(graph, u).value();
+    Relation translated =
+        EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+    EXPECT_EQ(direct.SortedTuples(), translated.SortedTuples())
+        << r1->ToString(graph.alphabet()) << " / "
+        << r2->ToString(graph.alphabet());
+  }
+}
+
+TEST(Uc2RpqToDatalogTest, GeneratedProgramIsLinearDatalog) {
+  Alphabet alphabet;
+  auto query = ParseUc2Rpq(
+      "q(x, y) :- (a+ b-)(x, z), ((a | b)*)(z, y)", &alphabet);
+  ASSERT_TRUE(query.ok());
+  auto program = Uc2RpqToDatalog(*query, alphabet);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->IsLinear());
+  EXPECT_TRUE(program->IsRecursive());
+}
+
+TEST(MatcherAblationTest, InOrderMatcherAgreesWithGreedy) {
+  Rng rng(7);
+  Database db;
+  Relation* p0 = db.GetOrCreate("p0", 2).value();
+  Relation* p1 = db.GetOrCreate("p1", 2).value();
+  for (int i = 0; i < 120; ++i) {
+    p0->Insert({rng.Below(15), rng.Below(15)});
+    p1->Insert({rng.Below(15), rng.Below(15)});
+  }
+  std::vector<MatchAtom> atoms = {{p0, {0, 1}}, {p1, {1, 2}}, {p0, {2, 0}}};
+  Relation greedy(3), in_order(3);
+  MatchConjunction(atoms, 3, [&](const std::vector<Value>& b) {
+    greedy.Insert({b[0], b[1], b[2]});
+    return true;
+  });
+  MatchConjunctionInOrder(atoms, 3, [&](const std::vector<Value>& b) {
+    in_order.Insert({b[0], b[1], b[2]});
+    return true;
+  });
+  EXPECT_EQ(greedy.SortedTuples(), in_order.SortedTuples());
+}
+
+}  // namespace
+}  // namespace rq

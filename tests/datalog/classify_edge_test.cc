@@ -1,0 +1,142 @@
+// Additional classification and robustness tests for the Datalog engine.
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "datalog/unfold.h"
+
+namespace rq {
+namespace {
+
+DatalogProgram Parse(const std::string& text) {
+  auto p = ParseDatalog(text);
+  RQ_CHECK(p.ok());
+  return *p;
+}
+
+TEST(DatalogEdgeTest, SelfLoopOnNonHeadPredicateIsFine) {
+  // e appears only in bodies: EDB, no recursion.
+  DatalogProgram p = Parse("q(X, Y) :- e(X, Y), e(Y, X).\n?- q.");
+  EXPECT_FALSE(p.IsRecursive());
+  EXPECT_EQ(p.EdbPredicates().size(), 1u);
+  EXPECT_EQ(p.IdbPredicates().size(), 1u);
+}
+
+TEST(DatalogEdgeTest, IndirectRecursionThroughTwoLevels) {
+  DatalogProgram p = Parse(R"(
+    a(X, Y) :- b(X, Y).
+    b(X, Y) :- c(X, Y).
+    c(X, Y) :- a(X, Y), e(X, X).
+    ?- a.
+  )");
+  EXPECT_TRUE(p.IsRecursive());
+  std::vector<bool> recursive = p.RecursivePredicates();
+  EXPECT_TRUE(recursive[p.FindPredicate("a").value()]);
+  EXPECT_TRUE(recursive[p.FindPredicate("b").value()]);
+  EXPECT_TRUE(recursive[p.FindPredicate("c").value()]);
+  EXPECT_FALSE(recursive[p.FindPredicate("e").value()]);
+}
+
+TEST(DatalogEdgeTest, MonadicMixedWithBinaryNonrecursive) {
+  // The recursive predicate is monadic; a binary nonrecursive goal on top
+  // keeps the program monadic per §2.3 ("Monadic Datalog can have
+  // non-monadic goals").
+  DatalogProgram p = Parse(R"(
+    reach(X) :- src(X, X).
+    reach(X) :- e(X, Y), reach(Y).
+    pair(X, Y) :- reach(X), reach(Y), e(X, Y).
+    ?- pair.
+  )");
+  EXPECT_TRUE(p.IsRecursive());
+  EXPECT_TRUE(p.IsMonadic());
+  EXPECT_EQ(p.PredicateArity(p.goal()), 2u);
+}
+
+TEST(DatalogEdgeTest, UnaryRelationsEvaluate) {
+  DatalogProgram p = Parse(R"(
+    good(X) :- person(X), trusted(X).
+    ?- good.
+  )");
+  Database db;
+  db.GetOrCreate("person", 1).value()->Insert({1});
+  db.GetOrCreate("person", 1).value()->Insert({2});
+  db.GetOrCreate("trusted", 1).value()->Insert({2});
+  db.GetOrCreate("trusted", 1).value()->Insert({3});
+  Relation out = EvalDatalogGoal(p, db).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{2}}));
+}
+
+TEST(DatalogEdgeTest, TernaryPredicatesEvaluate) {
+  DatalogProgram p = Parse(R"(
+    joined(A, C) :- t(A, B, C), label(B).
+    ?- joined.
+  )");
+  Database db;
+  Relation* t = db.GetOrCreate("t", 3).value();
+  t->Insert({1, 10, 2});
+  t->Insert({3, 20, 4});
+  db.GetOrCreate("label", 1).value()->Insert({10});
+  Relation out = EvalDatalogGoal(p, db).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1, 2}}));
+}
+
+TEST(DatalogEdgeTest, RepeatedVariableInHeadAndBody) {
+  DatalogProgram p = Parse(R"(
+    diag(X, X) :- e(X, X).
+    ?- diag.
+  )");
+  Database db;
+  Relation* e = db.GetOrCreate("e", 2).value();
+  e->Insert({1, 1});
+  e->Insert({1, 2});
+  Relation out = EvalDatalogGoal(p, db).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1, 1}}));
+}
+
+TEST(DatalogEdgeTest, DisconnectedRulesStillEvaluate) {
+  // Cartesian product body (no shared variables).
+  DatalogProgram p = Parse(R"(
+    prod(X, Y) :- a(X), b(Y).
+    ?- prod.
+  )");
+  Database db;
+  db.GetOrCreate("a", 1).value()->Insert({1});
+  db.GetOrCreate("a", 1).value()->Insert({2});
+  db.GetOrCreate("b", 1).value()->Insert({7});
+  Relation out = EvalDatalogGoal(p, db).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DatalogEdgeTest, ExpansionOfMutualRecursionRespectsDepth) {
+  DatalogProgram p = Parse(R"(
+    even(X, Y) :- zero(X, Y).
+    even(X, Z) :- odd(X, Y), e(Y, Z).
+    odd(X, Z) :- even(X, Y), e(Y, Z).
+    ?- even.
+  )");
+  ExpandLimits limits;
+  limits.max_depth = 5;
+  auto expanded = ExpandDatalog(p, limits);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_TRUE(expanded->depth_limited);
+  // even-expansions have an even number of e-atoms: 0, 2, 4 within depth.
+  for (const ConjunctiveQuery& cq : expanded->expansions) {
+    size_t e_atoms = 0;
+    for (const CqAtom& atom : cq.atoms) {
+      if (atom.predicate == "e") ++e_atoms;
+    }
+    EXPECT_EQ(e_atoms % 2, 0u) << cq.ToString();
+  }
+}
+
+TEST(DatalogEdgeTest, GoalOnEmptyProgramBody) {
+  // A program whose goal has no rules and is EDB.
+  DatalogProgram p = Parse("aux(X, Y) :- e(X, Y).\n?- e.");
+  Database db;
+  db.GetOrCreate("e", 2).value()->Insert({4, 5});
+  Relation out = EvalDatalogGoal(p, db).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{4, 5}}));
+}
+
+}  // namespace
+}  // namespace rq

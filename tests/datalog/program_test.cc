@@ -1,0 +1,137 @@
+#include "datalog/program.h"
+
+#include <gtest/gtest.h>
+
+namespace rq {
+namespace {
+
+DatalogProgram Parse(const std::string& text) {
+  auto p = ParseDatalog(text);
+  RQ_CHECK(p.ok());
+  return *p;
+}
+
+constexpr char kTransitiveClosure[] = R"(
+  tc(X, Y) :- edge(X, Y).
+  tc(X, Z) :- tc(X, Y), edge(Y, Z).
+  ?- tc.
+)";
+
+// The paper's §2.3 Monadic Datalog example: reachability INTO a set P.
+constexpr char kMonadicReachability[] = R"(
+  q(X) :- edge(X, Y), p(Y).
+  q(X) :- edge(X, Y), q(Y).
+  ?- q.
+)";
+
+TEST(DatalogParseTest, ParsesRulesAndGoal) {
+  DatalogProgram p = Parse(kTransitiveClosure);
+  EXPECT_EQ(p.rules().size(), 2u);
+  EXPECT_EQ(p.PredicateName(p.goal()), "tc");
+  EXPECT_EQ(p.PredicateArity(p.goal()), 2u);
+}
+
+TEST(DatalogParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDatalog("tc(X, Y) :- edge(X, Y)").ok());   // no period
+  EXPECT_FALSE(ParseDatalog("tc(X, Y).").ok());                // no body
+  EXPECT_FALSE(ParseDatalog("tc(X, Y) :- edge(X).").ok() &&
+               ParseDatalog("tc(X, Y) :- edge(X, Y), edge(X).").ok());
+  EXPECT_FALSE(ParseDatalog("t(X, W) :- e(X, Y).").ok());      // unsafe head
+  EXPECT_FALSE(ParseDatalog("?- nothing.").ok());              // unknown goal
+}
+
+TEST(DatalogParseTest, ArityConflictRejected) {
+  EXPECT_FALSE(
+      ParseDatalog("a(X) :- e(X, Y).\na(X, Y) :- e(X, Y).").ok());
+}
+
+TEST(DatalogClassifyTest, IdbEdbSplit) {
+  DatalogProgram p = Parse(kTransitiveClosure);
+  PredId tc = p.FindPredicate("tc").value();
+  PredId edge = p.FindPredicate("edge").value();
+  EXPECT_TRUE(p.IsIdb(tc));
+  EXPECT_FALSE(p.IsIdb(edge));
+}
+
+TEST(DatalogClassifyTest, RecursionDetection) {
+  EXPECT_TRUE(Parse(kTransitiveClosure).IsRecursive());
+  EXPECT_FALSE(
+      Parse("two(X, Z) :- e(X, Y), e(Y, Z).\n?- two.").IsRecursive());
+}
+
+// The paper's point in §2.3: the reachability program is monadic, but the
+// transitive-closure program is not (its recursive predicate is binary).
+TEST(DatalogClassifyTest, MonadicPerPaperSection23) {
+  EXPECT_TRUE(Parse(kMonadicReachability).IsMonadic());
+  EXPECT_FALSE(Parse(kTransitiveClosure).IsMonadic());
+  // Nonrecursive programs are vacuously monadic.
+  EXPECT_TRUE(Parse("two(X, Z) :- e(X, Y), e(Y, Z).\n?- two.").IsMonadic());
+}
+
+TEST(DatalogClassifyTest, LinearityDetection) {
+  EXPECT_TRUE(Parse(kTransitiveClosure).IsLinear());
+  DatalogProgram nonlinear = Parse(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- tc(X, Y), tc(Y, Z).
+    ?- tc.
+  )");
+  EXPECT_FALSE(nonlinear.IsLinear());
+}
+
+TEST(DatalogSccTest, TopologicalOrder) {
+  DatalogProgram p = Parse(R"(
+    a(X, Y) :- e(X, Y).
+    b(X, Y) :- a(X, Y), f(X, X).
+    c(X, Y) :- b(X, Y).
+    c(X, Y) :- c(X, Z), b(Z, Y).
+    ?- c.
+  )");
+  std::vector<DatalogProgram::Scc> sccs = p.DependencySccs();
+  // Every predicate's dependencies appear in earlier SCCs.
+  std::vector<int> position(p.num_predicates(), -1);
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    for (PredId pred : sccs[i].predicates) {
+      position[pred] = static_cast<int>(i);
+    }
+  }
+  for (const DatalogRule& rule : p.rules()) {
+    for (const DatalogAtom& atom : rule.body) {
+      EXPECT_LE(position[atom.predicate], position[rule.head.predicate]);
+    }
+  }
+  // Only c is recursive.
+  PredId c = p.FindPredicate("c").value();
+  std::vector<bool> recursive = p.RecursivePredicates();
+  EXPECT_TRUE(recursive[c]);
+  EXPECT_FALSE(recursive[p.FindPredicate("a").value()]);
+  EXPECT_FALSE(recursive[p.FindPredicate("b").value()]);
+}
+
+TEST(DatalogSccTest, MutualRecursionFormsOneScc) {
+  DatalogProgram p = Parse(R"(
+    even(X, Y) :- base(X, Y).
+    even(X, Z) :- odd(X, Y), e(Y, Z).
+    odd(X, Z) :- even(X, Y), e(Y, Z).
+    ?- even.
+  )");
+  std::vector<DatalogProgram::Scc> sccs = p.DependencySccs();
+  bool found_pair = false;
+  for (const auto& scc : sccs) {
+    if (scc.predicates.size() == 2) {
+      found_pair = true;
+      EXPECT_TRUE(scc.recursive);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(DatalogPrintTest, ToStringRoundTrips) {
+  DatalogProgram p = Parse(kTransitiveClosure);
+  auto reparsed = ParseDatalog(p.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->rules().size(), 2u);
+  EXPECT_EQ(reparsed->ToString(), p.ToString());
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,79 @@
+#include "datalog/random.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/unfold.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+#include "rq/from_datalog.h"
+
+namespace rq {
+namespace {
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, GeneratedProgramsAreValid) {
+  Rng rng(GetParam());
+  RandomDatalogOptions options;
+  for (int i = 0; i < 5; ++i) {
+    DatalogProgram program = RandomDatalogProgram(options, rng);
+    EXPECT_TRUE(program.Validate().ok());
+    EXPECT_NE(program.goal(), kInvalidPred);
+  }
+}
+
+TEST_P(RandomProgramTest, NaiveAndSemiNaiveAgreeOnRandomPrograms) {
+  Rng rng(GetParam() * 3 + 1);
+  RandomDatalogOptions options;
+  DatalogProgram program = RandomDatalogProgram(options, rng);
+  GraphDb graph = RandomGraph(8, 18, {"e0", "e1"}, GetParam() + 99);
+  Database db = GraphToDatabase(graph);
+  Relation naive =
+      EvalDatalogGoal(program, db, DatalogEvalMode::kNaive).value();
+  Relation semi =
+      EvalDatalogGoal(program, db, DatalogEvalMode::kSemiNaive).value();
+  EXPECT_EQ(naive.SortedTuples(), semi.SortedTuples())
+      << program.ToString();
+}
+
+TEST_P(RandomProgramTest, ExpansionsAnswerCanonicalDatabases) {
+  Rng rng(GetParam() * 7 + 2);
+  RandomDatalogOptions options;
+  options.num_idb = 2;
+  DatalogProgram program = RandomDatalogProgram(options, rng);
+  ExpandLimits limits;
+  limits.max_depth = 3;
+  limits.max_expansions = 50;
+  auto expanded = ExpandDatalog(program, limits);
+  ASSERT_TRUE(expanded.ok());
+  for (const ConjunctiveQuery& cq : expanded->expansions) {
+    Database canonical = cq.CanonicalDatabase();
+    Relation answers = EvalDatalogGoal(program, canonical).value();
+    EXPECT_TRUE(answers.Contains(cq.FrozenHead()))
+        << program.ToString() << "\nexpansion: " << cq.ToString();
+  }
+}
+
+TEST_P(RandomProgramTest, GrqGeneratorAlwaysPassesAnalysis) {
+  Rng rng(GetParam() * 11 + 3);
+  DatalogProgram program = RandomGrqProgram(1 + rng.Below(4), rng);
+  GrqAnalysis analysis = AnalyzeGrq(program);
+  EXPECT_TRUE(analysis.is_grq) << analysis.reason << "\n"
+                               << program.ToString();
+  // Extraction agrees with direct evaluation.
+  auto query = DatalogToRq(program);
+  ASSERT_TRUE(query.ok()) << program.ToString();
+  GraphDb graph = RandomGraph(7, 16, {"base0", "base1"}, GetParam() + 5);
+  Database db = GraphToDatabase(graph);
+  Relation direct = EvalDatalogGoal(program, db).value();
+  Relation via_rq = EvalRqQuery(db, *query).value();
+  EXPECT_EQ(direct.SortedTuples(), via_rq.SortedTuples())
+      << program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,157 @@
+#include "datalog/unfold.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace {
+
+DatalogProgram Parse(const std::string& text) {
+  auto p = ParseDatalog(text);
+  RQ_CHECK(p.ok());
+  return *p;
+}
+
+TEST(UnfoldTest, NonrecursiveUnfoldsToUcq) {
+  DatalogProgram p = Parse(R"(
+    two(X, Z) :- e(X, Y), e(Y, Z).
+    q(X, Z) :- two(X, Z).
+    q(X, Z) :- f(X, Z).
+    ?- q.
+  )");
+  auto ucq = UnfoldNonrecursive(p);
+  ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+  EXPECT_EQ(ucq->disjuncts.size(), 2u);
+}
+
+TEST(UnfoldTest, RecursiveProgramRejected) {
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    ?- tc.
+  )");
+  auto ucq = UnfoldNonrecursive(p);
+  EXPECT_FALSE(ucq.ok());
+}
+
+TEST(UnfoldTest, UnfoldingPreservesSemantics) {
+  DatalogProgram p = Parse(R"(
+    two(X, Z) :- e(X, Y), e(Y, Z).
+    mix(X, Z) :- two(X, Y), f(Y, Z).
+    mix(X, Z) :- f(X, Y), two(Y, Z).
+    ?- mix.
+  )");
+  auto ucq = UnfoldNonrecursive(p);
+  ASSERT_TRUE(ucq.ok());
+  Rng rng(12);
+  for (int round = 0; round < 10; ++round) {
+    GraphDb graph = RandomGraph(8, 20, {"e", "f"}, rng.Next());
+    Database db = GraphToDatabase(graph);
+    Relation direct = EvalDatalogGoal(p, db).value();
+    Relation via_ucq = EvalUcq(db, *ucq).value();
+    EXPECT_EQ(direct.SortedTuples(), via_ucq.SortedTuples());
+  }
+}
+
+TEST(UnfoldTest, ExponentialUnfoldingHitsLimits) {
+  // Each level doubles the number of disjuncts: 2^10 > 100.
+  std::string text;
+  text += "l0(X, Y) :- e(X, Y).\nl0(X, Y) :- f(X, Y).\n";
+  for (int i = 1; i <= 10; ++i) {
+    std::string cur = "l" + std::to_string(i);
+    std::string prev = "l" + std::to_string(i - 1);
+    text += cur + "(X, Z) :- " + prev + "(X, Y), " + prev + "(Y, Z).\n";
+  }
+  text += "?- l10.\n";
+  DatalogProgram p = Parse(text);
+  UnfoldLimits limits;
+  limits.max_disjuncts = 100;
+  auto ucq = UnfoldNonrecursive(p, limits);
+  EXPECT_FALSE(ucq.ok());
+  EXPECT_EQ(ucq.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExpandTest, TcExpansionsAreChains) {
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    ?- tc.
+  )");
+  ExpandLimits limits;
+  limits.max_depth = 4;
+  auto expanded = ExpandDatalog(p, limits);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_TRUE(expanded->depth_limited);  // deeper chains exist
+  // Depth 4 yields chains of length 1..4.
+  EXPECT_EQ(expanded->expansions.size(), 4u);
+  for (const ConjunctiveQuery& cq : expanded->expansions) {
+    // Each expansion is a simple e-chain: k atoms, k+1 distinct vars.
+    for (const CqAtom& atom : cq.atoms) EXPECT_EQ(atom.predicate, "e");
+  }
+}
+
+TEST(ExpandTest, ExpansionsAnswerTheirCanonicalDatabases) {
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    ?- tc.
+  )");
+  auto expanded = ExpandDatalog(p, {});
+  ASSERT_TRUE(expanded.ok());
+  ASSERT_FALSE(expanded->expansions.empty());
+  for (const ConjunctiveQuery& cq : expanded->expansions) {
+    Database canonical = cq.CanonicalDatabase();
+    Relation answers = EvalDatalogGoal(p, canonical).value();
+    EXPECT_TRUE(answers.Contains(cq.FrozenHead())) << cq.ToString();
+  }
+}
+
+TEST(ExpandTest, EdbGoalYieldsIdentityExpansion) {
+  DatalogProgram p = Parse(R"(
+    unused(X, Y) :- e(X, Y).
+    ?- e.
+  )");
+  auto expanded = ExpandDatalog(p, {});
+  ASSERT_TRUE(expanded.ok());
+  ASSERT_EQ(expanded->expansions.size(), 1u);
+  EXPECT_EQ(expanded->expansions[0].atoms.size(), 1u);
+  EXPECT_EQ(expanded->expansions[0].atoms[0].predicate, "e");
+}
+
+TEST(ExpandTest, RepeatedHeadVariablesUnify) {
+  DatalogProgram p = Parse(R"(
+    loop(X, X) :- e(X, X).
+    q(A, B) :- loop(A, B).
+    ?- q.
+  )");
+  auto expanded = ExpandDatalog(p, {});
+  ASSERT_TRUE(expanded.ok());
+  ASSERT_EQ(expanded->expansions.size(), 1u);
+  const ConjunctiveQuery& cq = expanded->expansions[0];
+  // The expansion must equate A and B: head vars identical.
+  EXPECT_EQ(cq.head[0], cq.head[1]);
+  ASSERT_EQ(cq.atoms.size(), 1u);
+  EXPECT_EQ(cq.atoms[0].vars[0], cq.atoms[0].vars[1]);
+}
+
+TEST(ExpandTest, NonrecursiveExpansionMatchesUnfold) {
+  DatalogProgram p = Parse(R"(
+    a(X, Y) :- e(X, Y).
+    a(X, Y) :- f(X, Y).
+    b(X, Z) :- a(X, Y), a(Y, Z).
+    ?- b.
+  )");
+  auto expanded = ExpandDatalog(p, {});
+  auto unfolded = UnfoldNonrecursive(p);
+  ASSERT_TRUE(expanded.ok() && unfolded.ok());
+  EXPECT_FALSE(expanded->depth_limited);
+  EXPECT_EQ(expanded->expansions.size(), unfolded->disjuncts.size());
+  EXPECT_EQ(expanded->expansions.size(), 4u);  // 2 choices x 2 choices
+}
+
+}  // namespace
+}  // namespace rq

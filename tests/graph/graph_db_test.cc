@@ -1,0 +1,132 @@
+#include "graph/graph_db.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rq {
+namespace {
+
+TEST(GraphDbTest, AddNodesAndEdges) {
+  GraphDb db;
+  NodeId a = db.AddNamedNode("alice");
+  NodeId b = db.AddNamedNode("bob");
+  db.AddEdge(a, "knows", b);
+  EXPECT_EQ(db.num_nodes(), 2u);
+  EXPECT_EQ(db.num_edges(), 1u);
+  EXPECT_EQ(db.NodeName(a), "alice");
+  EXPECT_EQ(db.AddNamedNode("alice"), a);  // idempotent
+  EXPECT_TRUE(db.FindNode("bob").ok());
+  EXPECT_FALSE(db.FindNode("carol").ok());
+}
+
+TEST(GraphDbTest, SuccessorsForwardAndBackward) {
+  GraphDb db;
+  NodeId a = db.AddNode();
+  NodeId b = db.AddNode();
+  NodeId c = db.AddNode();
+  uint32_t e = db.alphabet().InternLabel("e");
+  db.AddEdge(a, e, b);
+  db.AddEdge(a, e, c);
+  EXPECT_EQ(db.Successors(a, ForwardSymbolOf(e)),
+            (std::vector<NodeId>{b, c}));
+  EXPECT_TRUE(db.Successors(b, ForwardSymbolOf(e)).empty());
+  EXPECT_EQ(db.Successors(b, InverseSymbolOf(e)), (std::vector<NodeId>{a}));
+  EXPECT_EQ(db.Successors(c, InverseSymbolOf(e)), (std::vector<NodeId>{a}));
+}
+
+TEST(GraphDbTest, IndexRebuildsAfterMutation) {
+  GraphDb db;
+  NodeId a = db.AddNode();
+  NodeId b = db.AddNode();
+  uint32_t e = db.alphabet().InternLabel("e");
+  db.AddEdge(a, e, b);
+  EXPECT_EQ(db.Successors(a, ForwardSymbolOf(e)).size(), 1u);
+  NodeId c = db.AddNode();
+  db.AddEdge(a, e, c);
+  EXPECT_EQ(db.Successors(a, ForwardSymbolOf(e)).size(), 2u);
+}
+
+TEST(GraphDbTest, SymbolPairsRespectsDirection) {
+  GraphDb db;
+  NodeId a = db.AddNode();
+  NodeId b = db.AddNode();
+  uint32_t e = db.alphabet().InternLabel("e");
+  db.AddEdge(a, e, b);
+  EXPECT_EQ(db.SymbolPairs(ForwardSymbolOf(e)),
+            (std::vector<std::pair<NodeId, NodeId>>{{a, b}}));
+  EXPECT_EQ(db.SymbolPairs(InverseSymbolOf(e)),
+            (std::vector<std::pair<NodeId, NodeId>>{{b, a}}));
+}
+
+TEST(GraphDbTest, TextRoundTrip) {
+  GraphDb db;
+  NodeId a = db.AddNamedNode("a");
+  NodeId b = db.AddNamedNode("b");
+  NodeId c = db.AddNamedNode("c");
+  db.AddEdge(a, "knows", b);
+  db.AddEdge(b, "likes", c);
+  std::string text = db.ToText();
+  auto restored = GraphDb::FromText(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_nodes(), 3u);
+  EXPECT_EQ(restored->num_edges(), 2u);
+  EXPECT_EQ(restored->ToText(), text);
+}
+
+TEST(GraphDbTest, FromTextRejectsMalformedLines) {
+  EXPECT_FALSE(GraphDb::FromText("a knows").ok());
+  EXPECT_FALSE(GraphDb::FromText("a knows b extra").ok());
+  EXPECT_TRUE(GraphDb::FromText("# comment\n\na knows b\n").ok());
+}
+
+TEST(GeneratorsTest, PathAndCycleShapes) {
+  GraphDb path = PathGraph(5, "e");
+  EXPECT_EQ(path.num_nodes(), 5u);
+  EXPECT_EQ(path.num_edges(), 4u);
+  GraphDb cycle = CycleGraph(5, "e");
+  EXPECT_EQ(cycle.num_edges(), 5u);
+}
+
+TEST(GeneratorsTest, GridHasRightAndDownEdges) {
+  GraphDb grid = GridGraph(3, 2);
+  EXPECT_EQ(grid.num_nodes(), 6u);
+  // right edges: 2 per row * 2 rows = 4; down edges: 3.
+  EXPECT_EQ(grid.num_edges(), 7u);
+}
+
+TEST(GeneratorsTest, RandomGraphIsDeterministicPerSeed) {
+  GraphDb g1 = RandomGraph(20, 40, {"a", "b"}, 42);
+  GraphDb g2 = RandomGraph(20, 40, {"a", "b"}, 42);
+  GraphDb g3 = RandomGraph(20, 40, {"a", "b"}, 43);
+  EXPECT_EQ(g1.ToText(), g2.ToText());
+  EXPECT_NE(g1.ToText(), g3.ToText());
+}
+
+TEST(GeneratorsTest, LayeredDagEdgesGoForwardOneLayer) {
+  GraphDb dag = LayeredDag(4, 5, 8, {"f"}, 7);
+  for (const Edge& e : dag.edges()) {
+    EXPECT_EQ(e.dst / 5, e.src / 5 + 1);
+  }
+}
+
+TEST(GeneratorsTest, SocialNetworkHasAllLabelKinds) {
+  GraphDb net = SocialNetwork(50, 5, 30, 11);
+  EXPECT_TRUE(net.alphabet().FindLabel("knows").ok());
+  EXPECT_TRUE(net.alphabet().FindLabel("member").ok());
+  EXPECT_TRUE(net.alphabet().FindLabel("posted").ok());
+  EXPECT_TRUE(net.alphabet().FindLabel("likes").ok());
+  EXPECT_GT(net.num_edges(), 50u);
+}
+
+TEST(GeneratorsTest, AppendSemipathOrientation) {
+  GraphDb db;
+  Symbol a = db.alphabet().InternForward("a");
+  SemipathEndpoints fwd = AppendSemipath(&db, {a});
+  EXPECT_EQ(db.Successors(fwd.start, a), (std::vector<NodeId>{fwd.end}));
+  SemipathEndpoints bwd = AppendSemipath(&db, {InverseSymbol(a)});
+  EXPECT_EQ(db.Successors(bwd.end, a), (std::vector<NodeId>{bwd.start}));
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,181 @@
+// End-to-end scenario walking the paper's whole ladder on one dataset:
+// evaluation at every level, the containment relationships between levels,
+// certificates, optimization, and view-based answering. This is the
+// "downstream user" flow the examples demonstrate, as assertions.
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "crpq/crpq.h"
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "optimize/minimize.h"
+#include "pathquery/containment.h"
+#include "pathquery/path_query.h"
+#include "pathquery/witness.h"
+#include "rq/equivalence.h"
+#include "rq/eval.h"
+#include "rq/from_datalog.h"
+#include "rq/parser.h"
+#include "rq/to_datalog.h"
+#include "views/rewriting.h"
+
+namespace rq {
+namespace {
+
+class LadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The data/team.graph org, inlined.
+    auto parsed = GraphDb::FromText(R"(
+      ana knows bo
+      bo knows cy
+      cy knows ana
+      bo knows dee
+      dee knows eve
+      ana member core
+      bo member core
+      cy member infra
+      dee member infra
+      eve member apps
+      core owns auth
+      infra owns db
+      infra owns cache
+      apps owns web
+      web calls auth
+      web calls db
+      auth calls db
+      db calls cache
+    )");
+    RQ_CHECK(parsed.ok());
+    graph_ = std::move(*parsed);
+  }
+
+  GraphDb graph_;
+};
+
+TEST_F(LadderTest, Level1RpqReachability) {
+  auto q = ParsePathQuery("calls+", &graph_.alphabet()).value();
+  NodeId web = graph_.FindNode("web").value();
+  NodeId cache = graph_.FindNode("cache").value();
+  EXPECT_TRUE(PathQueryAnswers(graph_, *q.regex, web, cache));
+  // And the witness explains the chain.
+  auto witness = FindWitnessSemipath(graph_, *q.regex, web, cache);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_GE(witness->size(), 2u);
+}
+
+TEST_F(LadderTest, Level2TwoWayTeammates) {
+  auto q = ParsePathQuery("member member-", &graph_.alphabet()).value();
+  NodeId ana = graph_.FindNode("ana").value();
+  NodeId bo = graph_.FindNode("bo").value();
+  NodeId cy = graph_.FindNode("cy").value();
+  EXPECT_TRUE(PathQueryAnswers(graph_, *q.regex, ana, bo));
+  EXPECT_FALSE(PathQueryAnswers(graph_, *q.regex, ana, cy));
+}
+
+TEST_F(LadderTest, Level3ConjunctionOfPaths) {
+  auto q = ParseCrpq(
+      "q(x, y) :- (knows)(x, y), (member)(x, t), (member)(y, t)",
+      &graph_.alphabet());
+  ASSERT_TRUE(q.ok());
+  Relation in_team_knows = EvalCrpq(graph_, *q).value();
+  NodeId ana = graph_.FindNode("ana").value();
+  NodeId bo = graph_.FindNode("bo").value();
+  NodeId dee = graph_.FindNode("dee").value();
+  EXPECT_TRUE(in_team_knows.Contains({ana, bo}));
+  EXPECT_FALSE(in_team_knows.Contains({bo, dee}));  // different teams
+}
+
+TEST_F(LadderTest, Level4RegularQueryClosure) {
+  RqQuery chains =
+      ParseRq(
+          "q(x, y) := tc[x,y]( exists[t]( member(x, t) & member(y, t) & "
+          "knows(x, y) ) )")
+          .value();
+  Relation result = EvalRqQuery(GraphToDatabase(graph_), chains).value();
+  NodeId ana = graph_.FindNode("ana").value();
+  NodeId bo = graph_.FindNode("bo").value();
+  EXPECT_TRUE(result.Contains({ana, bo}));
+  // The chain cannot jump teams.
+  NodeId eve = graph_.FindNode("eve").value();
+  EXPECT_FALSE(result.Contains({ana, eve}));
+}
+
+TEST_F(LadderTest, Level5DatalogAndGrqRoundTrip) {
+  DatalogProgram impact = ParseDatalog(R"(
+    impact(X, Y) :- calls(X, Y).
+    impact(X, Z) :- impact(X, Y), calls(Y, Z).
+    ?- impact.
+  )")
+                              .value();
+  EXPECT_TRUE(AnalyzeGrq(impact).is_grq);
+  Database db = GraphToDatabase(graph_);
+  Relation direct = EvalDatalogGoal(impact, db).value();
+  RqQuery extracted = DatalogToRq(impact).value();
+  Relation via_rq = EvalRqQuery(db, extracted).value();
+  EXPECT_EQ(direct.SortedTuples(), via_rq.SortedTuples());
+  // Translate the RQ back to Datalog; still equivalent.
+  DatalogProgram round = RqToDatalog(extracted).value();
+  Relation via_round = EvalDatalogGoal(round, db).value();
+  EXPECT_EQ(direct.SortedTuples(), via_round.SortedTuples());
+}
+
+TEST_F(LadderTest, ContainmentAcrossLevels) {
+  // Each level's restriction is contained in its relaxation.
+  // 2RPQ: teammates ⊑ "shares a team at distance ≤ 2".
+  Alphabet sigma;
+  auto direct = ParseRegex("member member-", &sigma).value();
+  auto wide = ParseRegex("member member- (member member-)?", &sigma).value();
+  EXPECT_TRUE(CheckPathQueryContainment(*direct, *wide, sigma).contained);
+  EXPECT_FALSE(CheckPathQueryContainment(*wide, *direct, sigma).contained);
+
+  // RQ with closures: guarded endorsement chains ⊑ knows-closure.
+  auto verdict = CheckRqContainment(
+                     ParseRq("q(x, y) := tc[x,y]( exists[t]( member(x, t) & "
+                             "member(y, t) & knows(x, y) ) )")
+                         .value(),
+                     ParseRq("q(x, y) := tc[x,y](knows(x, y))").value())
+                     .value();
+  EXPECT_EQ(verdict.certainty, Certainty::kProved);
+}
+
+TEST_F(LadderTest, PolicyEquivalenceCheck) {
+  // Two formulations of service impact: single-step base vs base ∪ 2-step.
+  auto a = ParseRq("q(x, y) := tc[x,y](calls(x, y))").value();
+  auto b = ParseRq(
+               "q(x, y) := tc[x,y](calls(x, y) | "
+               "exists[m](calls(x, m) & calls(m, y)))")
+               .value();
+  auto equivalence = CheckRqEquivalence(a, b).value();
+  EXPECT_EQ(equivalence.verdict, EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(LadderTest, OptimizerShrinksRedundantPolicy) {
+  auto ucq = ParseUcq(
+      "q(x, y) :- calls(x, y)\n"
+      "q(x, y) :- calls(x, y), owns(t, x)\n");
+  ASSERT_TRUE(ucq.ok());
+  auto pruned = PruneRedundantDisjuncts(*ucq).value();
+  EXPECT_EQ(pruned.disjuncts.size(), 1u);
+}
+
+TEST_F(LadderTest, ViewBasedAnswering) {
+  // Views: direct calls and 2-hop calls; query: calls-paths of length >= 1.
+  std::vector<View> views;
+  Alphabet sigma;
+  views.push_back({"hop", ParseRegex("calls", &sigma).value()});
+  RegexPtr query = ParseRegex("calls calls*", &sigma).value();
+  auto rewriting = MaximalRewriting(*query, views, sigma).value();
+  EXPECT_FALSE(rewriting.empty);
+  EXPECT_TRUE(RewritingIsExact(rewriting, *query, views, sigma).value());
+  Relation via_views =
+      AnswerUsingViews(graph_, rewriting, views).value();
+  Relation direct(2);
+  for (const auto& [x, y] : EvalPathQuery(graph_, *query)) {
+    direct.Insert({x, y});
+  }
+  EXPECT_EQ(via_views.SortedTuples(), direct.SortedTuples());
+}
+
+}  // namespace
+}  // namespace rq

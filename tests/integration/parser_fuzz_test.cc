@@ -1,0 +1,157 @@
+// Parser robustness: random garbage and mutated valid inputs must produce
+// clean errors (or valid parses), never crashes, across all five parsers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "crpq/crpq.h"
+#include "datalog/program.h"
+#include "regex/regex.h"
+#include "relational/cq.h"
+#include "rq/parser.h"
+
+namespace rq {
+namespace {
+
+std::string RandomGarbage(Rng& rng, size_t max_len) {
+  static constexpr char kChars[] =
+      "abcxyz_0189 ()[]{},.:-|&*+?=<>!@#\n\t";
+  std::string out;
+  size_t len = rng.Below(max_len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kChars[rng.Below(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+std::string Mutate(const std::string& base, Rng& rng) {
+  std::string out = base;
+  size_t edits = 1 + rng.Below(3);
+  for (size_t e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng.Below(out.size());
+    switch (rng.Below(3)) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1, "()|&,.:-"[rng.Below(8)]);
+        break;
+      default:
+        out[pos] = "abxyz()[],"[rng.Below(10)];
+        break;
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RegexParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Alphabet alphabet;
+    auto result = ParseRegex(RandomGarbage(rng, 30), &alphabet);
+    if (result.ok()) {
+      // A successful parse must round-trip.
+      std::string printed = (*result)->ToString(alphabet);
+      EXPECT_TRUE(ParseRegex(printed, &alphabet).ok()) << printed;
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    Alphabet alphabet;
+    auto result =
+        ParseRegex(Mutate("a (b | c)* d-", rng), &alphabet);
+    (void)result;  // ok or clean error, both fine
+  }
+}
+
+TEST_P(ParserFuzzTest, CqParserNeverCrashes) {
+  Rng rng(GetParam() * 3 + 1);
+  for (int i = 0; i < 50; ++i) {
+    auto result = ParseCq(RandomGarbage(rng, 40));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto result = ParseCq(Mutate("q(x, y) :- e(x, z), f(z, y)", rng));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, DatalogParserNeverCrashes) {
+  Rng rng(GetParam() * 7 + 2);
+  const std::string base =
+      "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).\n?- tc.";
+  for (int i = 0; i < 40; ++i) {
+    auto result = ParseDatalog(RandomGarbage(rng, 60));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto result = ParseDatalog(Mutate(base, rng));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, RqParserNeverCrashes) {
+  Rng rng(GetParam() * 11 + 3);
+  const std::string base =
+      "q(x, y) := tc[x,y]( exists[z]( r(x,y) & r(y,z) & r(z,x) ) )";
+  for (int i = 0; i < 40; ++i) {
+    auto result = ParseRq(RandomGarbage(rng, 50));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+      // Round trip.
+      EXPECT_TRUE(ParseRq(result->ToString()).ok());
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto result = ParseRq(Mutate(base, rng));
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, CrpqParserNeverCrashes) {
+  Rng rng(GetParam() * 13 + 4);
+  const std::string base = "q(x, y) :- (knows+)(x, z), (member-)(z, y)";
+  for (int i = 0; i < 40; ++i) {
+    Alphabet alphabet;
+    auto result = ParseCrpq(RandomGarbage(rng, 50), &alphabet);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    Alphabet alphabet;
+    auto result = ParseCrpq(Mutate(base, rng), &alphabet);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, GraphParserNeverCrashes) {
+  Rng rng(GetParam() * 17 + 5);
+  for (int i = 0; i < 40; ++i) {
+    auto result = GraphDb::FromText(RandomGarbage(rng, 80));
+    if (result.ok()) {
+      // Round trip.
+      EXPECT_TRUE(GraphDb::FromText(result->ToText()).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rq

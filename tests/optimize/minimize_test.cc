@@ -1,0 +1,111 @@
+#include "optimize/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/relation.h"
+
+namespace rq {
+namespace {
+
+TEST(PruneDisjunctsTest, DropsSubsumedDisjuncts) {
+  auto ucq = ParseUcq(
+      "q(x, y) :- e(x, y)\n"
+      "q(x, y) :- e(x, y), e(y, z)\n"
+      "q(x, y) :- f(x, y)\n");
+  ASSERT_TRUE(ucq.ok());
+  auto pruned = PruneRedundantDisjuncts(*ucq);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->disjuncts.size(), 2u);
+}
+
+TEST(PruneDisjunctsTest, KeepsIndependentDisjuncts) {
+  auto ucq = ParseUcq(
+      "q(x, y) :- e(x, y)\n"
+      "q(x, y) :- f(x, y)\n");
+  ASSERT_TRUE(ucq.ok());
+  auto pruned = PruneRedundantDisjuncts(*ucq);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->disjuncts.size(), 2u);
+}
+
+TEST(PruneDisjunctsTest, PrunedQueryStaysEquivalent) {
+  auto ucq = ParseUcq(
+      "q(x, y) :- e(x, y)\n"
+      "q(x, y) :- e(x, z), e(z, y), e(x, y)\n"
+      "q(x, y) :- f(x, y), f(x, x)\n"
+      "q(x, y) :- f(x, y), f(y, y), f(x, x)\n");
+  ASSERT_TRUE(ucq.ok());
+  auto pruned = PruneRedundantDisjuncts(*ucq);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LT(pruned->disjuncts.size(), ucq->disjuncts.size());
+  EXPECT_TRUE(UcqContained(*ucq, *pruned).value());
+  EXPECT_TRUE(UcqContained(*pruned, *ucq).value());
+}
+
+TEST(MinimizeCqTest, PathWithRedundantSideAtoms) {
+  auto cq = ParseCq("q(x, y) :- e(x, y), e(x, z), e(w, z)");
+  ASSERT_TRUE(cq.ok());
+  auto minimized = MinimizeConjunctiveQuery(*cq);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->atoms.size(), 1u);
+  EXPECT_TRUE(CqContained(*cq, *minimized).value());
+  EXPECT_TRUE(CqContained(*minimized, *cq).value());
+}
+
+TEST(MinimizeCqTest, CoreOfTriangleIsTriangle) {
+  // The triangle has no proper retract: nothing can be dropped.
+  auto cq = ParseCq("q(x) :- e(x, y), e(y, z), e(z, x)");
+  ASSERT_TRUE(cq.ok());
+  auto minimized = MinimizeConjunctiveQuery(*cq);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->atoms.size(), 3u);
+}
+
+TEST(MinimizeCqTest, HeadSafetyPreserved) {
+  // The only atom containing the head variable cannot be dropped.
+  auto cq = ParseCq("q(w) :- f(w, a), e(a, b), e(b, c)");
+  ASSERT_TRUE(cq.ok());
+  auto minimized = MinimizeConjunctiveQuery(*cq);
+  ASSERT_TRUE(minimized.ok());
+  bool has_f = false;
+  for (const CqAtom& atom : minimized->atoms) {
+    if (atom.predicate == "f") has_f = true;
+  }
+  EXPECT_TRUE(has_f);
+  EXPECT_TRUE(CqContained(*cq, *minimized).value());
+  EXPECT_TRUE(CqContained(*minimized, *cq).value());
+}
+
+TEST(MinimizeCqTest, RandomizedMinimizationIsEquivalent) {
+  Rng rng(515151);
+  for (int round = 0; round < 40; ++round) {
+    ConjunctiveQuery q = RandomBinaryCq(2 + rng.Below(5), 5, 2, rng);
+    auto minimized = MinimizeConjunctiveQuery(q);
+    ASSERT_TRUE(minimized.ok());
+    EXPECT_LE(minimized->atoms.size(), q.atoms.size());
+    EXPECT_TRUE(CqContained(q, *minimized).value()) << q.ToString();
+    EXPECT_TRUE(CqContained(*minimized, q).value()) << q.ToString();
+  }
+}
+
+TEST(ValidateRewriteTest, ClassifiesAllFourOutcomes) {
+  Alphabet alphabet;
+  RegexPtr original = ParseRegex("p (p- p)*", &alphabet).value();
+  RegexPtr equivalent = ParseRegex("(p p-)* p", &alphabet).value();
+  RegexPtr wider = ParseRegex("p (p- | p)*", &alphabet).value();
+  RegexPtr narrower = ParseRegex("p", &alphabet).value();
+  RegexPtr unrelated = ParseRegex("q", &alphabet).value();
+
+  EXPECT_EQ(ValidatePathRewrite(*original, *equivalent, alphabet),
+            RewriteVerdict::kEquivalent);
+  EXPECT_EQ(ValidatePathRewrite(*original, *wider, alphabet),
+            RewriteVerdict::kOverApproximates);
+  EXPECT_EQ(ValidatePathRewrite(*original, *narrower, alphabet),
+            RewriteVerdict::kUnderApproximates);
+  EXPECT_EQ(ValidatePathRewrite(*original, *unrelated, alphabet),
+            RewriteVerdict::kIncomparable);
+}
+
+}  // namespace
+}  // namespace rq

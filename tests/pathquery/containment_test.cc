@@ -1,0 +1,159 @@
+#include "pathquery/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pathquery/path_query.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+class PathContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("p");
+    alphabet_.InternLabel("q");
+  }
+
+  RegexPtr Re(const std::string& text) {
+    auto re = ParseRegex(text, &alphabet_);
+    RQ_CHECK(re.ok());
+    return *re;
+  }
+
+  PathContainmentResult Check(const std::string& q1, const std::string& q2) {
+    return CheckPathQueryContainment(*Re(q1), *Re(q2), alphabet_);
+  }
+
+  Alphabet alphabet_;
+};
+
+// The paper's flagship example (§3.2): Q1 = p is contained in Q2 = p p⁻ p
+// as 2RPQs, although L(p) ⊄ L(p p⁻ p).
+TEST_F(PathContainmentTest, PaperExamplePContainedInPPInvP) {
+  PathContainmentResult result = Check("p", "p p- p");
+  EXPECT_TRUE(result.contained);
+  EXPECT_TRUE(result.used_fold_pipeline);
+
+  // Language containment genuinely fails, demonstrating the divergence
+  // between regular expressions over words and over graphs.
+  Nfa n1 = Re("p")->ToNfa(4);
+  Nfa n2 = Re("p p- p")->ToNfa(4);
+  EXPECT_TRUE(n1.Accepts({ForwardSymbolOf(0)}));
+  EXPECT_FALSE(n2.Accepts({ForwardSymbolOf(0)}));
+}
+
+TEST_F(PathContainmentTest, ReverseDirectionOfPaperExampleFails) {
+  // The containment is strictly one-directional: p p⁻ p ⊄ p, because the
+  // zig-zag semipath x -p-> y1 <-p- y2 -p-> y3 over distinct nodes answers
+  // (x, y3) for p p⁻ p but has no direct p-edge from x to y3.
+  PathContainmentResult result = Check("p p- p", "p");
+  ASSERT_FALSE(result.contained);
+  SemipathWitness witness =
+      BuildSemipathWitness(alphabet_, result.counterexample);
+  EXPECT_TRUE(PathQueryAnswers(witness.db, *Re("p p- p"), witness.start,
+                               witness.end));
+  EXPECT_FALSE(
+      PathQueryAnswers(witness.db, *Re("p"), witness.start, witness.end));
+}
+
+TEST_F(PathContainmentTest, PlainRpqsUseLemma1) {
+  PathContainmentResult result = Check("p q", "p q*");
+  EXPECT_TRUE(result.contained);
+  EXPECT_FALSE(result.used_fold_pipeline);
+  PathContainmentResult not_contained = Check("p q*", "p q");
+  EXPECT_FALSE(not_contained.contained);
+  EXPECT_FALSE(not_contained.used_fold_pipeline);
+}
+
+TEST_F(PathContainmentTest, TwoWayNonContainmentHasValidSemipathWitness) {
+  PathContainmentResult result = Check("p | q", "p p- p");
+  ASSERT_FALSE(result.contained);
+  // The counterexample word, turned into a semipath database, must be
+  // answered by Q1 but not Q2 between its endpoints.
+  SemipathWitness witness =
+      BuildSemipathWitness(alphabet_, result.counterexample);
+  EXPECT_TRUE(
+      PathQueryAnswers(witness.db, *Re("p | q"), witness.start, witness.end));
+  EXPECT_FALSE(PathQueryAnswers(witness.db, *Re("p p- p"), witness.start,
+                                witness.end));
+}
+
+TEST_F(PathContainmentTest, InverseRoundTripContainments) {
+  // p ⊑ p (p⁻ p)* trivially (zero iterations).
+  EXPECT_TRUE(Check("p", "p (p- p)*").contained);
+  // The converse fails: a p⁻ p round trip may visit fresh nodes, so the
+  // endpoints need not be joined by a single p edge.
+  EXPECT_FALSE(Check("p (p- p)*", "p").contained);
+  // Richer positive case: p ⊑ p (q q⁻)* — zero iterations again — and
+  // p q q⁻ ⊑ p q q- q q- is genuinely two-way.
+  EXPECT_TRUE(Check("p", "p (q q-)*").contained);
+  EXPECT_TRUE(Check("p q", "p q q- q").contained);
+}
+
+TEST_F(PathContainmentTest, TwoWayContainmentIsReflexive) {
+  Rng rng(31337);
+  for (int round = 0; round < 20; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, /*allow_inverse=*/true, rng);
+    PathContainmentResult result =
+        CheckPathQueryContainment(*re, *re, alphabet_);
+    EXPECT_TRUE(result.contained) << re->ToString(alphabet_);
+  }
+}
+
+TEST_F(PathContainmentTest, UnionContainsItsParts) {
+  Rng rng(808);
+  for (int round = 0; round < 20; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 2, /*allow_inverse=*/true, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 2, /*allow_inverse=*/true, rng);
+    RegexPtr u = Regex::Union({r1, r2});
+    EXPECT_TRUE(CheckPathQueryContainment(*r1, *u, alphabet_).contained)
+        << r1->ToString(alphabet_);
+    EXPECT_TRUE(CheckPathQueryContainment(*r2, *u, alphabet_).contained)
+        << r2->ToString(alphabet_);
+  }
+}
+
+TEST_F(PathContainmentTest, RandomVerdictsAreConsistentWithEvaluation) {
+  // If Q1 ⊑ Q2 then on every semipath database of a word from L(Q1), Q2
+  // must answer the endpoints; if not contained, the counterexample's
+  // semipath database separates them.
+  Rng rng(60606);
+  int refuted = 0;
+  for (int round = 0; round < 40; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 2, /*allow_inverse=*/true, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 2, /*allow_inverse=*/true, rng);
+    PathContainmentResult result =
+        CheckPathQueryContainment(*r1, *r2, alphabet_);
+    if (!result.contained) {
+      ++refuted;
+      SemipathWitness witness =
+          BuildSemipathWitness(alphabet_, result.counterexample);
+      EXPECT_TRUE(
+          PathQueryAnswers(witness.db, *r1, witness.start, witness.end))
+          << r1->ToString(alphabet_);
+      EXPECT_FALSE(
+          PathQueryAnswers(witness.db, *r2, witness.start, witness.end))
+          << r1->ToString(alphabet_) << " vs " << r2->ToString(alphabet_);
+    }
+  }
+  EXPECT_GT(refuted, 0);  // random pairs should produce some refutations
+}
+
+TEST_F(PathContainmentTest, FoldPipelineAgreesWithLemma1OnOneWayQueries) {
+  // For inverse-free queries the fold pipeline must give the same verdicts
+  // as plain language containment.
+  Rng rng(777);
+  for (int round = 0; round < 30; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 2, /*allow_inverse=*/false, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 2, /*allow_inverse=*/false, rng);
+    bool lemma1 = CheckPathQueryContainment(*r1, *r2, alphabet_).contained;
+    bool fold = CheckTwoWayContainment(*r1, *r2, alphabet_).contained;
+    EXPECT_EQ(lemma1, fold)
+        << r1->ToString(alphabet_) << " vs " << r2->ToString(alphabet_);
+  }
+}
+
+}  // namespace
+}  // namespace rq

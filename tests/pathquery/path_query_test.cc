@@ -1,0 +1,113 @@
+#include "pathquery/path_query.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rq {
+namespace {
+
+TEST(PathQueryTest, RpqOnPathGraph) {
+  GraphDb db = PathGraph(5, "e");
+  auto q = ParsePathQuery("e e", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto pairs = EvalPathQuery(db, *q->regex);
+  EXPECT_EQ(pairs, (std::vector<std::pair<NodeId, NodeId>>{
+                       {0, 2}, {1, 3}, {2, 4}}));
+}
+
+TEST(PathQueryTest, TransitiveClosureOnPathGraph) {
+  GraphDb db = PathGraph(4, "e");
+  auto q = ParsePathQuery("e+", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto pairs = EvalPathQuery(db, *q->regex);
+  EXPECT_EQ(pairs.size(), 6u);  // all i < j pairs
+  for (const auto& [x, y] : pairs) EXPECT_LT(x, y);
+}
+
+TEST(PathQueryTest, StarIncludesReflexivePairs) {
+  GraphDb db = PathGraph(3, "e");
+  auto q = ParsePathQuery("e*", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto pairs = EvalPathQuery(db, *q->regex);
+  // (0,0),(1,1),(2,2),(0,1),(1,2),(0,2)
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(PathQueryTest, InverseSymbolWalksBackward) {
+  GraphDb db = PathGraph(3, "e");
+  auto q = ParsePathQuery("e-", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto pairs = EvalPathQuery(db, *q->regex);
+  EXPECT_EQ(pairs, (std::vector<std::pair<NodeId, NodeId>>{{1, 0}, {2, 1}}));
+}
+
+TEST(PathQueryTest, TwoWayQueryMixesDirections) {
+  // Two children of a common parent: child1 -parent-> p <-parent- child2.
+  GraphDb db;
+  NodeId c1 = db.AddNamedNode("c1");
+  NodeId c2 = db.AddNamedNode("c2");
+  NodeId p = db.AddNamedNode("p");
+  db.AddEdge(c1, "parent", p);
+  db.AddEdge(c2, "parent", p);
+  auto q = ParsePathQuery("parent parent-", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(PathQueryAnswers(db, *q->regex, c1, c2));
+  EXPECT_TRUE(PathQueryAnswers(db, *q->regex, c1, c1));
+  EXPECT_FALSE(PathQueryAnswers(db, *q->regex, c1, p));
+}
+
+TEST(PathQueryTest, CycleGraphReachability) {
+  GraphDb db = CycleGraph(4, "e");
+  auto q = ParsePathQuery("e+", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto pairs = EvalPathQuery(db, *q->regex);
+  EXPECT_EQ(pairs.size(), 16u);  // complete relation on a cycle
+}
+
+TEST(PathQueryTest, SemipathGraphAnswersItsOwnWord) {
+  GraphDb db;
+  Symbol a = db.alphabet().InternForward("a");
+  Symbol b = db.alphabet().InternForward("b");
+  std::vector<Symbol> word{a, InverseSymbol(b), a};
+  SemipathEndpoints ends = AppendSemipath(&db, word);
+  auto q = ParsePathQuery("a b- a", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(PathQueryAnswers(db, *q->regex, ends.start, ends.end));
+  auto q2 = ParsePathQuery("a b a", &db.alphabet());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(PathQueryAnswers(db, *q2->regex, ends.start, ends.end));
+}
+
+TEST(PathQueryTest, EvalFromSingleSource) {
+  GraphDb db = GridGraph(3, 3);
+  auto q = ParsePathQuery("right down | down right", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  Nfa nfa = q->regex->ToNfa(
+      static_cast<uint32_t>(db.alphabet().num_symbols()));
+  std::vector<NodeId> answers = EvalPathQueryFrom(db, nfa, 0);
+  // Both orders land on node (1,1) = id 4.
+  EXPECT_EQ(answers, (std::vector<NodeId>{4}));
+}
+
+TEST(PathQueryTest, UnknownLabelYieldsNoAnswers) {
+  GraphDb db = PathGraph(3, "e");
+  Alphabet queries;  // separate alphabet with an extra label
+  queries.InternLabel("e");
+  queries.InternLabel("missing");
+  auto q = ParsePathQuery("missing", &queries);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(EvalPathQuery(db, *q->regex).empty());
+}
+
+TEST(PathQueryTest, IsTwoWayDetection) {
+  GraphDb db;
+  auto rpq = ParsePathQuery("a b*", &db.alphabet());
+  auto trpq = ParsePathQuery("a- b*", &db.alphabet());
+  ASSERT_TRUE(rpq.ok() && trpq.ok());
+  EXPECT_FALSE(rpq->IsTwoWay());
+  EXPECT_TRUE(trpq->IsTwoWay());
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,118 @@
+#include "pathquery/to_datalog.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace {
+
+TEST(PathToDatalogTest, SimpleChainQuery) {
+  Alphabet alphabet;
+  auto re = ParseRegex("a b", &alphabet);
+  ASSERT_TRUE(re.ok());
+  auto program = PathQueryToDatalog(**re, alphabet);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->PredicateName(program->goal()), "ans");
+
+  GraphDb graph;
+  NodeId n0 = graph.AddNode();
+  NodeId n1 = graph.AddNode();
+  NodeId n2 = graph.AddNode();
+  graph.AddEdge(n0, "a", n1);
+  graph.AddEdge(n1, "b", n2);
+  Relation out =
+      EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{n0, n2}}));
+}
+
+TEST(PathToDatalogTest, StarQueryIncludesActiveDomainDiagonal) {
+  Alphabet alphabet;
+  auto re = ParseRegex("a*", &alphabet);
+  ASSERT_TRUE(re.ok());
+  auto program = PathQueryToDatalog(**re, alphabet);
+  ASSERT_TRUE(program.ok());
+  GraphDb graph = PathGraph(3, "a");
+  Relation out =
+      EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+  // Diagonal on the active domain plus the forward pairs.
+  EXPECT_TRUE(out.Contains({0, 0}));
+  EXPECT_TRUE(out.Contains({2, 2}));
+  EXPECT_TRUE(out.Contains({0, 2}));
+  EXPECT_FALSE(out.Contains({2, 0}));
+}
+
+TEST(PathToDatalogTest, InverseSymbolsBecomeSwappedBodyAtoms) {
+  Alphabet alphabet;
+  auto re = ParseRegex("a-", &alphabet);
+  ASSERT_TRUE(re.ok());
+  auto program = PathQueryToDatalog(**re, alphabet);
+  ASSERT_TRUE(program.ok());
+  GraphDb graph;
+  NodeId n0 = graph.AddNode();
+  NodeId n1 = graph.AddNode();
+  graph.AddEdge(n0, "a", n1);
+  Relation out =
+      EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{n1, n0}}));
+}
+
+TEST(PathToDatalogTest, EmptyLanguageGivesNoRulesForAns) {
+  Alphabet alphabet;
+  alphabet.InternLabel("a");
+  auto program = PathQueryToDatalog(*Regex::Empty(), alphabet);
+  ASSERT_TRUE(program.ok());
+  GraphDb graph = PathGraph(3, "a");
+  Relation out =
+      EvalDatalogGoal(*program, GraphToDatabase(graph)).value();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PathToDatalogTest, LabelCollisionWithPrefixRejected) {
+  Alphabet alphabet;
+  alphabet.InternLabel("rpq_sneaky");
+  auto re = ParseRegex("rpq_sneaky", &alphabet);
+  ASSERT_TRUE(re.ok());
+  EXPECT_FALSE(PathQueryToDatalog(**re, alphabet).ok());
+}
+
+TEST(PathToDatalogTest, AppendTwiceWithDistinctPrefixes) {
+  Alphabet alphabet;
+  auto r1 = ParseRegex("a+", &alphabet);
+  auto r2 = ParseRegex("b", &alphabet);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  DatalogProgram program;
+  auto ans1 = AppendPathAutomaton(&program, **r1, alphabet, "one_");
+  auto ans2 = AppendPathAutomaton(&program, **r2, alphabet, "two_");
+  ASSERT_TRUE(ans1.ok() && ans2.ok());
+  EXPECT_NE(*ans1, *ans2);
+  // Join them: q(X, Z) :- one_ans(X, Y), two_ans(Y, Z).
+  auto q = program.InternPredicate("q", 2);
+  ASSERT_TRUE(q.ok());
+  DatalogRule rule;
+  rule.num_vars = 3;
+  rule.head = {*q, {0, 2}};
+  rule.body = {{*ans1, {0, 1}}, {*ans2, {1, 2}}};
+  program.AddRule(std::move(rule));
+  program.SetGoal(*q);
+  ASSERT_TRUE(program.Validate().ok());
+
+  GraphDb graph;
+  NodeId n0 = graph.AddNode();
+  NodeId n1 = graph.AddNode();
+  NodeId n2 = graph.AddNode();
+  NodeId n3 = graph.AddNode();
+  graph.AddEdge(n0, "a", n1);
+  graph.AddEdge(n1, "a", n2);
+  graph.AddEdge(n2, "b", n3);
+  Relation out =
+      EvalDatalogGoal(program, GraphToDatabase(graph)).value();
+  EXPECT_TRUE(out.Contains({n0, n3}));
+  EXPECT_TRUE(out.Contains({n1, n3}));
+  EXPECT_FALSE(out.Contains({n0, n2}));
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,125 @@
+#include "pathquery/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "pathquery/path_query.h"
+#include "regex/regex.h"
+#include "relational/relation.h"
+
+namespace rq {
+namespace {
+
+// Replays a witness against the graph: every step must be a real edge in
+// the claimed direction, endpoints must chain, and the spelled word must be
+// in the query's language.
+void ValidateWitness(const GraphDb& db, const Regex& regex, NodeId x,
+                     NodeId y, const std::vector<SemipathStep>& path) {
+  NodeId current = x;
+  std::vector<Symbol> word;
+  for (const SemipathStep& step : path) {
+    EXPECT_EQ(step.from, current);
+    const auto& successors = db.Successors(step.from, step.symbol);
+    EXPECT_TRUE(std::find(successors.begin(), successors.end(), step.to) !=
+                successors.end());
+    word.push_back(step.symbol);
+    current = step.to;
+  }
+  EXPECT_EQ(current, y);
+  uint32_t k = std::max(static_cast<uint32_t>(db.alphabet().num_symbols()),
+                        regex.MinNumSymbols());
+  EXPECT_TRUE(regex.ToNfa(k).Accepts(word));
+}
+
+TEST(WitnessTest, ForwardChain) {
+  GraphDb db = PathGraph(4, "e");
+  auto q = ParsePathQuery("e e e", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto witness = FindWitnessSemipath(db, *q->regex, 0, 3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 3u);
+  ValidateWitness(db, *q->regex, 0, 3, *witness);
+}
+
+TEST(WitnessTest, BackwardStepsAreMarkedInverse) {
+  GraphDb db;
+  NodeId c1 = db.AddNamedNode("c1");
+  NodeId c2 = db.AddNamedNode("c2");
+  NodeId p = db.AddNamedNode("p");
+  db.AddEdge(c1, "parent", p);
+  db.AddEdge(c2, "parent", p);
+  auto q = ParsePathQuery("parent parent-", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto witness = FindWitnessSemipath(db, *q->regex, c1, c2);
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_EQ(witness->size(), 2u);
+  EXPECT_FALSE(IsInverseSymbol((*witness)[0].symbol));
+  EXPECT_TRUE(IsInverseSymbol((*witness)[1].symbol));
+  ValidateWitness(db, *q->regex, c1, c2, *witness);
+  EXPECT_EQ(SemipathToString(db, *witness),
+            "c1 -parent-> p <-parent- c2");
+}
+
+TEST(WitnessTest, EmptyWordWitness) {
+  GraphDb db = PathGraph(3, "e");
+  auto q = ParsePathQuery("e*", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto witness = FindWitnessSemipath(db, *q->regex, 1, 1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(WitnessTest, NoWitnessWhenNotAnswered) {
+  GraphDb db = PathGraph(3, "e");
+  auto q = ParsePathQuery("e", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(FindWitnessSemipath(db, *q->regex, 2, 0).has_value());
+  EXPECT_FALSE(FindWitnessSemipath(db, *q->regex, 0, 2).has_value());
+}
+
+TEST(WitnessTest, WitnessIsShortest) {
+  // Two routes: direct e-edge and a 3-step detour; both match e+.
+  GraphDb db;
+  NodeId a = db.AddNode();
+  NodeId b = db.AddNode();
+  NodeId m1 = db.AddNode();
+  NodeId m2 = db.AddNode();
+  uint32_t e = db.alphabet().InternLabel("e");
+  db.AddEdge(a, e, m1);
+  db.AddEdge(m1, e, m2);
+  db.AddEdge(m2, e, b);
+  db.AddEdge(a, e, b);
+  auto q = ParsePathQuery("e+", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  auto witness = FindWitnessSemipath(db, *q->regex, a, b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 1u);
+}
+
+TEST(WitnessTest, AgreesWithEvaluationOnRandomInputs) {
+  Rng rng(20160701);
+  for (int round = 0; round < 20; ++round) {
+    GraphDb db = RandomGraph(8, 16, {"a", "b"}, rng.Next());
+    RegexPtr re = RandomRegex(db.alphabet(), 3, true, rng);
+    Relation answers(2);
+    for (const auto& [x, y] : EvalPathQuery(db, *re)) {
+      answers.Insert({x, y});
+    }
+    for (NodeId x = 0; x < db.num_nodes(); ++x) {
+      for (NodeId y = 0; y < db.num_nodes(); ++y) {
+        auto witness = FindWitnessSemipath(db, *re, x, y);
+        EXPECT_EQ(witness.has_value(), answers.Contains({x, y}))
+            << re->ToString(db.alphabet());
+        if (witness.has_value()) {
+          ValidateWitness(db, *re, x, y, *witness);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rq

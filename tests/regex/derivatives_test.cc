@@ -1,0 +1,116 @@
+#include "regex/derivatives.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/containment.h"
+#include "automata/words.h"
+#include "common/rng.h"
+
+namespace rq {
+namespace {
+
+class DerivativesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("a");
+    alphabet_.InternLabel("b");
+  }
+  RegexPtr Re(const std::string& text) {
+    auto re = ParseRegex(text, &alphabet_);
+    RQ_CHECK(re.ok());
+    return *re;
+  }
+  Alphabet alphabet_;
+};
+
+TEST_F(DerivativesTest, Nullability) {
+  EXPECT_TRUE(IsNullable(*Re("a*")));
+  EXPECT_TRUE(IsNullable(*Re("a?")));
+  EXPECT_TRUE(IsNullable(*Re("()")));
+  EXPECT_TRUE(IsNullable(*Re("a* b?")));
+  EXPECT_FALSE(IsNullable(*Re("a")));
+  EXPECT_FALSE(IsNullable(*Re("a+")));
+  EXPECT_FALSE(IsNullable(*Re("a* b")));
+  EXPECT_TRUE(IsNullable(*Re("a | b*")));
+  EXPECT_FALSE(IsNullable(*Regex::Empty()));
+}
+
+TEST_F(DerivativesTest, BasicDerivatives) {
+  Symbol a = ForwardSymbolOf(0);
+  Symbol b = ForwardSymbolOf(1);
+  EXPECT_TRUE(IsNullable(*Derivative(Re("a"), a)));
+  EXPECT_EQ(Derivative(Re("a"), b)->kind(), RegexKind::kEmpty);
+  // d_a(a b) = b.
+  RegexPtr d = Derivative(Re("a b"), a);
+  EXPECT_TRUE(DerivativeMatch(d, {b}));
+  EXPECT_FALSE(DerivativeMatch(d, {a}));
+  EXPECT_FALSE(IsNullable(*d));
+}
+
+TEST_F(DerivativesTest, MatchAgreesWithNfaOnRandomRegexes) {
+  Rng rng(313);
+  for (int round = 0; round < 60; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, /*allow_inverse=*/true, rng);
+    Nfa nfa = re->ToNfa(4);
+    for (int w = 0; w < 30; ++w) {
+      std::vector<Symbol> word;
+      size_t len = rng.Below(6);
+      for (size_t i = 0; i < len; ++i) {
+        word.push_back(static_cast<Symbol>(rng.Below(4)));
+      }
+      EXPECT_EQ(nfa.Accepts(word), DerivativeMatch(re, word))
+          << re->ToString(alphabet_) << " on "
+          << WordToString(alphabet_, word);
+    }
+  }
+}
+
+TEST_F(DerivativesTest, ContainmentAgreesWithAutomataRoute) {
+  Rng rng(616);
+  for (int round = 0; round < 50; ++round) {
+    RegexPtr r1 = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    RegexPtr r2 = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    auto via_derivatives = DerivativeContainment(r1, r2, 4);
+    ASSERT_TRUE(via_derivatives.ok()) << via_derivatives.status().ToString();
+    bool via_automata =
+        CheckLanguageContainment(r1->ToNfa(4), r2->ToNfa(4)).contained;
+    EXPECT_EQ(*via_derivatives, via_automata)
+        << r1->ToString(alphabet_) << " vs " << r2->ToString(alphabet_);
+  }
+}
+
+TEST_F(DerivativesTest, DerivativeSpaceStaysFinite) {
+  // Nested stars and unions: ACI normalization must keep the state space
+  // small enough to terminate comfortably.
+  RegexPtr r1 = Re("((a b)* | (b a)*)* a?");
+  RegexPtr r2 = Re("(a | b)*");
+  auto result = DerivativeContainment(r1, r2, 4, 10000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+  auto reverse = DerivativeContainment(r2, r1, 4, 10000);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_FALSE(*reverse);
+}
+
+TEST_F(DerivativesTest, WordDerivativeCharacterizesResiduals) {
+  // For every accepted word w = uv, d_u(re) must accept v.
+  Rng rng(777);
+  for (int round = 0; round < 25; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, /*allow_inverse=*/false, rng);
+    Nfa nfa = re->ToNfa(4);
+    for (const auto& w : EnumerateAcceptedWords(nfa, 4, 20)) {
+      for (size_t split = 0; split <= w.size(); ++split) {
+        RegexPtr residual = re;
+        for (size_t i = 0; i < split; ++i) {
+          residual = Derivative(residual, w[i]);
+        }
+        std::vector<Symbol> suffix(w.begin() + split, w.end());
+        EXPECT_TRUE(DerivativeMatch(residual, suffix))
+            << re->ToString(alphabet_);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,118 @@
+#include "regex/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/containment.h"
+#include "common/rng.h"
+#include "regex/derivatives.h"
+
+namespace rq {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_.InternLabel("a");
+    alphabet_.InternLabel("b");
+  }
+  RegexPtr Re(const std::string& text) {
+    auto re = ParseRegex(text, &alphabet_);
+    RQ_CHECK(re.ok());
+    return *re;
+  }
+  std::string Simplified(const std::string& text) {
+    return SimplifyRegex(Re(text))->ToString(alphabet_);
+  }
+  Alphabet alphabet_;
+};
+
+TEST_F(SimplifyTest, ClassicalIdentities) {
+  EXPECT_EQ(Simplified("a | a"), "a");
+  EXPECT_EQ(Simplified("(a*)*"), "a*");
+  EXPECT_EQ(Simplified("(a+)*"), "a*");
+  EXPECT_EQ(Simplified("(a?)*"), "a*");
+  EXPECT_EQ(Simplified("(a*)?"), "a*");
+  EXPECT_EQ(Simplified("(a+)?"), "a*");
+  EXPECT_EQ(Simplified("(a?)+"), "a*");
+  EXPECT_EQ(Simplified("a* a*"), "a*");
+  EXPECT_EQ(Simplified("a* a+"), "a+");
+  EXPECT_EQ(Simplified("a+ a*"), "a+");
+  EXPECT_EQ(Simplified("() a"), "a");
+  EXPECT_EQ(Simplified("() | a*"), "a*");
+  EXPECT_EQ(Simplified("()*"), "()");
+}
+
+TEST_F(SimplifyTest, EmptyAbsorbsAndVanishes) {
+  RegexPtr empty_concat =
+      Regex::Concat({Re("a"), Regex::Empty(), Re("b")});
+  EXPECT_EQ(SimplifyRegex(empty_concat)->kind(), RegexKind::kEmpty);
+  RegexPtr empty_union = Regex::Union({Regex::Empty(), Re("b")});
+  EXPECT_EQ(SimplifyRegex(empty_union)->ToString(alphabet_), "b");
+  EXPECT_EQ(SimplifyRegex(Regex::Star(Regex::Empty()))->kind(),
+            RegexKind::kEpsilon);
+}
+
+TEST_F(SimplifyTest, NullableOptionalCollapses) {
+  EXPECT_EQ(Simplified("(a | b?)?"), "a | b?");
+  EXPECT_EQ(Simplified("(a b?)?") , "(a b?)?");  // not nullable: kept
+}
+
+TEST_F(SimplifyTest, FlattensNestedOperators) {
+  RegexPtr nested = Regex::Union(
+      {Regex::Union({Re("a"), Re("b")}), Regex::Union({Re("a")})});
+  EXPECT_EQ(SimplifyRegex(nested)->ToString(alphabet_), "a | b");
+  RegexPtr chained =
+      Regex::Concat({Regex::Concat({Re("a"), Re("b")}), Re("a")});
+  EXPECT_EQ(SimplifyRegex(chained)->ToString(alphabet_), "a b a");
+}
+
+TEST_F(SimplifyTest, IsIdempotent) {
+  Rng rng(11);
+  for (int round = 0; round < 60; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, true, rng);
+    RegexPtr once = SimplifyRegex(re);
+    RegexPtr twice = SimplifyRegex(once);
+    EXPECT_EQ(once->ToString(alphabet_), twice->ToString(alphabet_));
+  }
+}
+
+TEST_F(SimplifyTest, NeverGrows) {
+  Rng rng(22);
+  for (int round = 0; round < 60; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, true, rng);
+    EXPECT_LE(SimplifyRegex(re)->Size(), re->Size())
+        << re->ToString(alphabet_);
+  }
+}
+
+TEST_F(SimplifyTest, PreservesLanguageOnRandomRegexes) {
+  Rng rng(33);
+  const uint32_t k = static_cast<uint32_t>(alphabet_.num_symbols());
+  for (int round = 0; round < 80; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 4, true, rng);
+    RegexPtr simplified = SimplifyRegex(re);
+    EXPECT_TRUE(LanguagesEqual(re->ToNfa(k), simplified->ToNfa(k)))
+        << re->ToString(alphabet_) << "  =>  "
+        << simplified->ToString(alphabet_);
+  }
+}
+
+TEST_F(SimplifyTest, PreservesMatchingPerDerivativeEngine) {
+  Rng rng(44);
+  for (int round = 0; round < 30; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, true, rng);
+    RegexPtr simplified = SimplifyRegex(re);
+    for (int w = 0; w < 20; ++w) {
+      std::vector<Symbol> word;
+      size_t len = rng.Below(5);
+      for (size_t i = 0; i < len; ++i) {
+        word.push_back(static_cast<Symbol>(rng.Below(4)));
+      }
+      EXPECT_EQ(DerivativeMatch(re, word), DerivativeMatch(simplified, word))
+          << re->ToString(alphabet_);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/cq.h"
+
+namespace rq {
+namespace {
+
+ConjunctiveQuery Cq(const std::string& text) {
+  auto q = ParseCq(text);
+  RQ_CHECK(q.ok());
+  return *q;
+}
+
+// Validates a homomorphism certificate: every q2 atom, with variables
+// mapped through `witness`, must be a tuple of q1's canonical database,
+// and q2's head must map to q1's frozen head.
+void ValidateWitness(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                     const std::vector<Value>& witness) {
+  Database canonical = q1.CanonicalDatabase();
+  for (const CqAtom& atom : q2.atoms) {
+    const Relation* rel = canonical.Find(atom.predicate);
+    ASSERT_NE(rel, nullptr);
+    Tuple mapped;
+    for (VarId v : atom.vars) mapped.push_back(witness[v]);
+    EXPECT_TRUE(rel->Contains(mapped)) << q2.ToString();
+  }
+  Tuple frozen = q1.FrozenHead();
+  for (size_t i = 0; i < q2.head.size(); ++i) {
+    EXPECT_EQ(witness[q2.head[i]], frozen[i]);
+  }
+}
+
+TEST(CqWitnessTest, TriangleIntoEdgeWitness) {
+  ConjunctiveQuery triangle = Cq("q(x, y) :- e(x, y), e(y, z), e(z, x)");
+  ConjunctiveQuery edge = Cq("q(x, y) :- e(x, y)");
+  auto witness = CqContainmentWitness(triangle, edge);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness->has_value());
+  ValidateWitness(triangle, edge, **witness);
+}
+
+TEST(CqWitnessTest, NoWitnessWhenNotContained) {
+  ConjunctiveQuery edge = Cq("q(x, y) :- e(x, y)");
+  ConjunctiveQuery two = Cq("q(x, y) :- e(x, m), e(m, y)");
+  auto witness = CqContainmentWitness(edge, two);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_FALSE(witness->has_value());
+}
+
+TEST(CqWitnessTest, FoldingWitnessMapsTwoVarsToOne) {
+  ConjunctiveQuery loop = Cq("q(x) :- e(x, x)");
+  ConjunctiveQuery cyc = Cq("q(x) :- e(x, y), e(y, x)");
+  auto witness = CqContainmentWitness(loop, cyc);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness->has_value());
+  ValidateWitness(loop, cyc, **witness);
+  // Both of cyc's variables collapse onto the loop variable.
+  EXPECT_EQ((**witness)[0], (**witness)[1]);
+}
+
+TEST(CqWitnessTest, AgreesWithBooleanTest) {
+  Rng rng(99887);
+  for (int round = 0; round < 80; ++round) {
+    ConjunctiveQuery q1 = RandomBinaryCq(2 + rng.Below(3), 4, 2, rng);
+    ConjunctiveQuery q2 = RandomBinaryCq(2 + rng.Below(3), 4, 2, rng);
+    auto contained = CqContained(q1, q2);
+    auto witness = CqContainmentWitness(q1, q2);
+    ASSERT_TRUE(contained.ok() && witness.ok());
+    EXPECT_EQ(*contained, witness->has_value())
+        << q1.ToString() << " vs " << q2.ToString();
+    if (witness->has_value()) {
+      ValidateWitness(q1, q2, **witness);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,74 @@
+#include "relational/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace {
+
+TEST(IncrementalClosureTest, ChainGrowsQuadratically) {
+  IncrementalClosure inc;
+  EXPECT_EQ(inc.AddEdge(0, 1), 1u);
+  EXPECT_EQ(inc.AddEdge(1, 2), 2u);  // (1,2), (0,2)
+  EXPECT_EQ(inc.AddEdge(2, 3), 3u);  // (2,3), (1,3), (0,3)
+  EXPECT_EQ(inc.closure().size(), 6u);
+  EXPECT_TRUE(inc.Reaches(0, 3));
+  EXPECT_FALSE(inc.Reaches(3, 0));
+}
+
+TEST(IncrementalClosureTest, CycleClosesCompletely) {
+  IncrementalClosure inc;
+  inc.AddEdge(0, 1);
+  inc.AddEdge(1, 2);
+  inc.AddEdge(2, 0);
+  EXPECT_EQ(inc.closure().size(), 9u);
+  EXPECT_TRUE(inc.Reaches(0, 0));
+  EXPECT_TRUE(inc.Reaches(2, 1));
+}
+
+TEST(IncrementalClosureTest, RedundantEdgeAddsNothing) {
+  IncrementalClosure inc;
+  inc.AddEdge(0, 1);
+  inc.AddEdge(1, 2);
+  EXPECT_EQ(inc.AddEdge(0, 2), 0u);  // already reachable
+  EXPECT_EQ(inc.AddEdge(0, 1), 0u);  // duplicate
+  EXPECT_EQ(inc.closure().size(), 3u);
+}
+
+TEST(IncrementalClosureTest, SelfLoop) {
+  IncrementalClosure inc;
+  EXPECT_EQ(inc.AddEdge(5, 5), 1u);
+  EXPECT_TRUE(inc.Reaches(5, 5));
+  inc.AddEdge(5, 6);
+  EXPECT_TRUE(inc.Reaches(5, 6));
+  EXPECT_FALSE(inc.Reaches(6, 5));
+}
+
+TEST(IncrementalClosureTest, MatchesRecomputationOnRandomStreams) {
+  Rng rng(13579);
+  for (int round = 0; round < 15; ++round) {
+    IncrementalClosure inc;
+    Relation base(2);
+    size_t edges = 20 + rng.Below(30);
+    for (size_t i = 0; i < edges; ++i) {
+      Value x = rng.Below(10);
+      Value y = rng.Below(10);
+      inc.AddEdge(x, y);
+      base.Insert({x, y});
+      // Spot-check after every few insertions.
+      if (i % 5 == 4) {
+        Relation recomputed = BinaryTransitiveClosure(base);
+        ASSERT_EQ(inc.closure().SortedTuples(),
+                  recomputed.SortedTuples())
+            << "after " << (i + 1) << " edges, seed round " << round;
+      }
+    }
+    Relation recomputed = BinaryTransitiveClosure(base);
+    EXPECT_EQ(inc.closure().SortedTuples(), recomputed.SortedTuples());
+  }
+}
+
+}  // namespace
+}  // namespace rq

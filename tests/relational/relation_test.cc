@@ -1,0 +1,149 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/matcher.h"
+
+namespace rq {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({3, 3}));
+}
+
+TEST(RelationTest, ColumnIndexFindsRows) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({1, 20});
+  r.Insert({2, 10});
+  EXPECT_EQ(r.RowsWithValue(0, 1).size(), 2u);
+  EXPECT_EQ(r.RowsWithValue(1, 10).size(), 2u);
+  EXPECT_TRUE(r.RowsWithValue(0, 99).empty());
+  // Index refreshes after inserts.
+  r.Insert({1, 30});
+  EXPECT_EQ(r.RowsWithValue(0, 1).size(), 3u);
+}
+
+TEST(RelationTest, ZeroArityRelationActsAsBoolean) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_TRUE(r.Contains({}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, InsertAllCountsNewTuples) {
+  Relation a(1);
+  a.Insert({1});
+  a.Insert({2});
+  Relation b(1);
+  b.Insert({2});
+  b.Insert({3});
+  EXPECT_EQ(a.InsertAll(b), 1u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(DatabaseTest, GetOrCreateChecksArity) {
+  Database db;
+  ASSERT_TRUE(db.GetOrCreate("r", 2).ok());
+  EXPECT_TRUE(db.GetOrCreate("r", 2).ok());
+  EXPECT_FALSE(db.GetOrCreate("r", 3).ok());
+  EXPECT_EQ(db.Find("missing"), nullptr);
+}
+
+TEST(DatabaseTest, ToStringIsSortedAndStable) {
+  Database db;
+  db.GetOrCreate("b", 1).value()->Insert({2});
+  db.GetOrCreate("a", 2).value()->Insert({1, 2});
+  db.GetOrCreate("b", 1).value()->Insert({1});
+  EXPECT_EQ(db.ToString(), "a(1,2)\nb(1)\nb(2)\n");
+}
+
+TEST(MatcherTest, SingleAtomEnumeratesRows) {
+  Relation r(2);
+  r.Insert({1, 2});
+  r.Insert({3, 4});
+  std::vector<std::vector<Value>> bindings;
+  MatchConjunction({{&r, {0, 1}}}, 2, [&](const std::vector<Value>& b) {
+    bindings.push_back(b);
+    return true;
+  });
+  EXPECT_EQ(bindings.size(), 2u);
+}
+
+TEST(MatcherTest, RepeatedVariableFiltersDiagonal) {
+  Relation r(2);
+  r.Insert({1, 1});
+  r.Insert({1, 2});
+  r.Insert({2, 2});
+  size_t count = MatchConjunction(
+      {{&r, {0, 0}}}, 1, [](const std::vector<Value>&) { return true; });
+  EXPECT_EQ(count, 2u);  // (1,1) and (2,2)
+}
+
+TEST(MatcherTest, JoinSharesVariables) {
+  Relation e(2);
+  e.Insert({1, 2});
+  e.Insert({2, 3});
+  e.Insert({3, 4});
+  // e(x, y), e(y, z): paths of length 2.
+  std::vector<std::vector<Value>> bindings;
+  MatchConjunction({{&e, {0, 1}}, {&e, {1, 2}}}, 3,
+                   [&](const std::vector<Value>& b) {
+                     bindings.push_back(b);
+                     return true;
+                   });
+  EXPECT_EQ(bindings.size(), 2u);
+}
+
+TEST(MatcherTest, EarlyTerminationStopsEnumeration) {
+  Relation r(1);
+  for (Value v = 0; v < 100; ++v) r.Insert({v});
+  size_t seen = 0;
+  MatchConjunction({{&r, {0}}}, 1, [&](const std::vector<Value>&) {
+    ++seen;
+    return seen < 5;
+  });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(MatcherTest, TriangleJoin) {
+  Relation e(2);
+  e.Insert({1, 2});
+  e.Insert({2, 3});
+  e.Insert({3, 1});
+  e.Insert({1, 3});  // extra chord
+  // Triangle: e(x,y), e(y,z), e(z,x).
+  size_t triangles = MatchConjunction(
+      {{&e, {0, 1}}, {&e, {1, 2}}, {&e, {2, 0}}}, 3,
+      [](const std::vector<Value>&) { return true; });
+  EXPECT_EQ(triangles, 3u);  // rotations of (1,2,3)
+}
+
+TEST(MatcherTest, EmptyRelationYieldsNoMatches) {
+  Relation e(2);
+  EXPECT_FALSE(ConjunctionSatisfiable({{&e, {0, 1}}}, 2));
+}
+
+TEST(MatcherTest, CrossProductWithoutSharedVars) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  a.Insert({2});
+  b.Insert({7});
+  b.Insert({8});
+  b.Insert({9});
+  size_t count =
+      MatchConjunction({{&a, {0}}, {&b, {1}}}, 2,
+                       [](const std::vector<Value>&) { return true; });
+  EXPECT_EQ(count, 6u);
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,77 @@
+#include "rq/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "rq/parser.h"
+
+namespace rq {
+namespace {
+
+RqQuery Parse(const std::string& text) {
+  auto q = ParseRq(text);
+  RQ_CHECK(q.ok());
+  return *q;
+}
+
+EquivalenceVerdict Verdict(const std::string& q1, const std::string& q2) {
+  auto result = CheckRqEquivalence(Parse(q1), Parse(q2));
+  RQ_CHECK(result.ok());
+  return result->verdict;
+}
+
+TEST(RqEquivalenceTest, SyntacticVariantsAreEquivalent) {
+  EXPECT_EQ(Verdict("q(x, y) := r(x, y)", "q(a, b) := r(a, b)"),
+            EquivalenceVerdict::kEquivalent);
+  // p (p⁻ p)* ≡ (p p⁻)* p over graphs (both lower to 2RPQs).
+  EXPECT_EQ(
+      Verdict(
+          "q(x, y) := exists[a](p(x, a) & tc[a,y]( exists[m](p(m, a) & "
+          "p(m, y)) ) ) | p(x, y)",
+          "q(x, y) := p(x, y) | exists[a](p(x, a) & tc[a,y]( "
+          "exists[m](p(m, a) & p(m, y)) ) )"),
+      EquivalenceVerdict::kEquivalent);
+}
+
+TEST(RqEquivalenceTest, StrictContainmentIsNotEquivalent) {
+  auto result = CheckRqEquivalence(
+      Parse("q(x, y) := r(x, y) & s(x, y)"), Parse("q(x, y) := r(x, y)"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->verdict, EquivalenceVerdict::kNotEquivalent);
+  // Forward holds; backward is the refuted direction with a certificate.
+  EXPECT_EQ(result->forward.certainty, Certainty::kProved);
+  EXPECT_EQ(result->backward.certainty, Certainty::kRefuted);
+  EXPECT_TRUE(result->backward.counterexample.has_value());
+}
+
+TEST(RqEquivalenceTest, OneDirectionRefutedIsNotEquivalent) {
+  // True forward containment (unprovable within bounds), refuted backward:
+  // the combination is a definite non-equivalence.
+  auto result = CheckRqEquivalence(
+      Parse("q(x, y) := tc[x,y](exists[m](r(x, m) & r(m, y)) & g(x, y))"),
+      Parse("q(x, y) := tc[x,y](r(x, y))"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->verdict, EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST(RqEquivalenceTest, UnknownStaysUnknown) {
+  // TC(B) vs TC(B ∪ B∘B) with a guarded, non-lowerable B: truly
+  // equivalent; the forward direction is proved by TC-monotonicity
+  // (B ⊑ B ∪ B² is a closure-free exact subgoal) but the backward
+  // direction would need B ∪ B² ⊑ TC-iteration reasoning no rule provides,
+  // so the honest combined verdict is unknown-up-to-bound.
+  EXPECT_EQ(
+      Verdict(
+          "q(x, y) := tc[x,y]( exists[m](r(x, m) & r(m, y)) & g(x, y) )",
+          "q(x, y) := tc[x,y]( (exists[m](r(x, m) & r(m, y)) & g(x, y)) | "
+          "exists[w]( (exists[a](r(x, a) & r(a, w)) & g(x, w)) & "
+          "(exists[b](r(w, b) & r(b, y)) & g(w, y)) ) )"),
+      EquivalenceVerdict::kUnknownUpToBound);
+}
+
+TEST(RqEquivalenceTest, DistinctPredicatesRefuted) {
+  EXPECT_EQ(Verdict("q(x, y) := r(x, y)", "q(x, y) := s(x, y)"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,218 @@
+#include "rq/from_datalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/eval.h"
+#include "graph/generators.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace {
+
+DatalogProgram Parse(const std::string& text) {
+  auto p = ParseDatalog(text);
+  RQ_CHECK(p.ok());
+  return *p;
+}
+
+void ExpectSameSemantics(const DatalogProgram& program, const RqQuery& query,
+                         uint64_t seed, int rounds = 6) {
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    GraphDb graph = RandomGraph(8, 18, {"e", "f", "g"}, rng.Next());
+    Database db = GraphToDatabase(graph);
+    Relation via_datalog = EvalDatalogGoal(program, db).value();
+    Relation via_rq = EvalRqQuery(db, query).value();
+    EXPECT_EQ(via_datalog.SortedTuples(), via_rq.SortedTuples());
+  }
+}
+
+TEST(GrqRecognitionTest, StrictTcShapeIsGrq) {
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    ?- tc.
+  )");
+  EXPECT_TRUE(AnalyzeGrq(p).is_grq);
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 1);
+}
+
+TEST(GrqRecognitionTest, LeftLinearTcIsGrq) {
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+    ?- tc.
+  )");
+  EXPECT_TRUE(AnalyzeGrq(p).is_grq);
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 2);
+}
+
+TEST(GrqRecognitionTest, NonlinearTcIsGrq) {
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), tc(Y, Z).
+    ?- tc.
+  )");
+  EXPECT_TRUE(AnalyzeGrq(p).is_grq);
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 3);
+}
+
+TEST(GrqRecognitionTest, TcOfConjunctiveBaseIsGrq) {
+  // TC over a two-step base relation.
+  DatalogProgram p = Parse(R"(
+    hop2(X, Z) :- e(X, Y), f(Y, Z).
+    tc(X, Y) :- hop2(X, Y).
+    tc(X, Z) :- tc(X, Y), hop2(Y, Z).
+    q(X, Y) :- tc(X, Y), g(X, X).
+    ?- q.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_TRUE(analysis.is_grq) << analysis.reason;
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ExpectSameSemantics(p, *q, 4);
+}
+
+TEST(GrqRecognitionTest, MixedLeftRightStepsAreGrq) {
+  // lfp = f* e g* : expressible as composition of closures.
+  DatalogProgram p = Parse(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Z) :- path(X, Y), g(Y, Z).
+    path(X, Z) :- f(X, Y), path(Y, Z).
+    ?- path.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_TRUE(analysis.is_grq) << analysis.reason;
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 5, 8);
+}
+
+TEST(GrqRecognitionTest, StepWithCompositeTailIsGrq) {
+  // Step appends two edges at a time: tc = e (f g)*.
+  DatalogProgram p = Parse(R"(
+    walk(X, Y) :- e(X, Y).
+    walk(X, Z) :- walk(X, Y), f(Y, W), g(W, Z).
+    ?- walk.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_TRUE(analysis.is_grq) << analysis.reason;
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 6);
+}
+
+TEST(GrqRecognitionTest, MonadicRecursionIsNotGrq) {
+  // The paper's §2.3 reachability program: recursive predicate has arity 1.
+  DatalogProgram p = Parse(R"(
+    reach(X) :- e(X, Y), p(Y).
+    reach(X) :- e(X, Y), reach(Y).
+    ?- reach.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_FALSE(analysis.is_grq);
+  EXPECT_NE(analysis.reason.find("arity"), std::string::npos);
+}
+
+TEST(GrqRecognitionTest, MutualRecursionIsNotGrq) {
+  DatalogProgram p = Parse(R"(
+    a(X, Y) :- e(X, Y).
+    a(X, Z) :- b(X, Y), e(Y, Z).
+    b(X, Z) :- a(X, Y), f(Y, Z).
+    ?- a.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_FALSE(analysis.is_grq);
+}
+
+TEST(GrqRecognitionTest, NonChainRecursionIsNotGrq) {
+  // The recursive atom's first variable is not the head's first variable —
+  // this computes something other than a transitive closure.
+  DatalogProgram p = Parse(R"(
+    w(X, Y) :- e(X, Y).
+    w(X, Z) :- w(Y, X), e(Y, Z).
+    ?- w.
+  )");
+  EXPECT_FALSE(AnalyzeGrq(p).is_grq);
+}
+
+TEST(GrqRecognitionTest, RecursionGuardedByHeadVarInTailIsNotGrq) {
+  // x reappears in the tail: not a pure composition.
+  DatalogProgram p = Parse(R"(
+    w(X, Y) :- e(X, Y).
+    w(X, Z) :- w(X, Y), e(Y, Z), f(X, Z).
+    ?- w.
+  )");
+  EXPECT_FALSE(AnalyzeGrq(p).is_grq);
+}
+
+TEST(GrqRecognitionTest, NonrecursiveProgramsAreGrq) {
+  DatalogProgram p = Parse(R"(
+    two(X, Z) :- e(X, Y), e(Y, Z).
+    q(X, Z) :- two(X, Z).
+    q(X, Z) :- f(X, Z).
+    ?- q.
+  )");
+  EXPECT_TRUE(AnalyzeGrq(p).is_grq);
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 7);
+}
+
+TEST(GrqRecognitionTest, RepeatedBodyVariablesHandled) {
+  DatalogProgram p = Parse(R"(
+    loopy(X, Y) :- e(X, X), f(X, Y).
+    tc(X, Y) :- loopy(X, Y).
+    tc(X, Z) :- tc(X, Y), loopy(Y, Z).
+    ?- tc.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_TRUE(analysis.is_grq) << analysis.reason;
+  auto q = DatalogToRq(p);
+  ASSERT_TRUE(q.ok());
+  ExpectSameSemantics(p, *q, 8);
+}
+
+TEST(GrqRecognitionTest, GoalRequiredForExtraction) {
+  DatalogProgram p = Parse("tc(X, Y) :- e(X, Y).");
+  EXPECT_TRUE(AnalyzeGrq(p).is_grq);  // analysis works without a goal
+  EXPECT_FALSE(DatalogToRq(p).ok());  // extraction needs one
+}
+
+TEST(GrqRecognitionTest, HigherArityNonrecursiveIsSupported) {
+  // GRQ generalizes to arbitrary-arity atoms outside the recursion.
+  DatalogProgram p = Parse(R"(
+    tc(X, Y) :- link(X, Y).
+    tc(X, Z) :- tc(X, Y), link(Y, Z).
+    q(X, Z) :- tc(X, Z), meta(X, Z, W), label(W).
+    ?- q.
+  )");
+  GrqAnalysis analysis = AnalyzeGrq(p);
+  EXPECT_TRUE(analysis.is_grq) << analysis.reason;
+  auto query = DatalogToRq(p);
+  ASSERT_TRUE(query.ok());
+  // Evaluate on a small mixed-arity database.
+  Database db;
+  Relation* link = db.GetOrCreate("link", 2).value();
+  link->Insert({1, 2});
+  link->Insert({2, 3});
+  Relation* meta = db.GetOrCreate("meta", 3).value();
+  meta->Insert({1, 3, 7});
+  meta->Insert({1, 2, 8});
+  db.GetOrCreate("label", 1).value()->Insert({7});
+  Relation direct = EvalDatalogGoal(p, db).value();
+  Relation via_rq = EvalRqQuery(db, *query).value();
+  EXPECT_EQ(direct.SortedTuples(), via_rq.SortedTuples());
+  EXPECT_TRUE(direct.Contains({1, 3}));
+  EXPECT_FALSE(direct.Contains({1, 2}));
+}
+
+}  // namespace
+}  // namespace rq

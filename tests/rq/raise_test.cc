@@ -1,0 +1,121 @@
+#include "rq/raise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "pathquery/path_query.h"
+#include "rq/eval.h"
+#include "rq/lower.h"
+
+namespace rq {
+namespace {
+
+TEST(RaiseTest, AtomAndInverse) {
+  Alphabet alphabet;
+  alphabet.InternLabel("r");
+  uint32_t next = 2;
+  auto fwd = RaiseRegexToRq(*ParseRegex("r", &alphabet).value(), 0, 1,
+                            alphabet, &next);
+  ASSERT_TRUE(fwd.has_value());
+  EXPECT_EQ((*fwd)->ToString(), "r(v0, v1)");
+  auto inv = RaiseRegexToRq(*ParseRegex("r-", &alphabet).value(), 0, 1,
+                            alphabet, &next);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv)->ToString(), "r(v1, v0)");
+}
+
+TEST(RaiseTest, PlusBecomesClosure) {
+  Alphabet alphabet;
+  alphabet.InternLabel("r");
+  uint32_t next = 2;
+  auto raised = RaiseRegexToRq(*ParseRegex("r+", &alphabet).value(), 0, 1,
+                               alphabet, &next);
+  ASSERT_TRUE(raised.has_value());
+  EXPECT_EQ((*raised)->kind(), RqExpr::Kind::kClosure);
+}
+
+TEST(RaiseTest, NullableExpressionsFail) {
+  Alphabet alphabet;
+  alphabet.InternLabel("r");
+  uint32_t next = 2;
+  EXPECT_FALSE(RaiseRegexToRq(*ParseRegex("r*", &alphabet).value(), 0, 1,
+                              alphabet, &next)
+                   .has_value());
+  EXPECT_FALSE(RaiseRegexToRq(*ParseRegex("r?", &alphabet).value(), 0, 1,
+                              alphabet, &next)
+                   .has_value());
+  EXPECT_FALSE(RaiseRegexToRq(*Regex::Epsilon(), 0, 1, alphabet, &next)
+                   .has_value());
+}
+
+TEST(RaiseTest, RaisedRegexEvaluatesLikePathQuery) {
+  Rng rng(272727);
+  Alphabet scratch;
+  scratch.InternLabel("a");
+  scratch.InternLabel("b");
+  int raised_count = 0;
+  for (int round = 0; round < 40; ++round) {
+    GraphDb graph = RandomGraph(8, 18, {"a", "b"}, rng.Next());
+    RegexPtr re = RandomRegex(graph.alphabet(), 3, true, rng);
+    uint32_t next = 2;
+    auto raised =
+        RaiseRegexToRq(*re, 0, 1, graph.alphabet(), &next);
+    if (!raised.has_value()) continue;  // nullable subexpression
+    ++raised_count;
+    RqQuery query;
+    query.root = *raised;
+    query.head = {0, 1};
+    Relation via_rq = EvalRqQuery(GraphToDatabase(graph), query).value();
+    Relation via_path(2);
+    for (const auto& [x, y] : EvalPathQuery(graph, *re)) {
+      via_path.Insert({x, y});
+    }
+    EXPECT_EQ(via_rq.SortedTuples(), via_path.SortedTuples())
+        << re->ToString(graph.alphabet());
+  }
+  EXPECT_GT(raised_count, 5);
+}
+
+TEST(RaiseTest, Uc2RpqRoundTripThroughRq) {
+  // Raise a UC2RPQ to RQ, evaluate both, and lower back.
+  Alphabet alphabet;
+  auto query = ParseUc2Rpq(
+      "q(x, y) :- (knows knows)(x, y), (likes+)(x, g)\n"
+      "q(x, y) :- (knows)(x, y), (likes)(y, g)\n",
+      &alphabet);
+  ASSERT_TRUE(query.ok());
+  auto raised = RaiseUc2RpqToRq(*query, alphabet);
+  ASSERT_TRUE(raised.has_value());
+
+  Rng rng(5);
+  for (int round = 0; round < 6; ++round) {
+    GraphDb graph = RandomGraph(9, 20, {"knows", "likes"}, rng.Next());
+    Relation direct = EvalUc2Rpq(graph, *query).value();
+    Relation via_rq =
+        EvalRqQuery(GraphToDatabase(graph), *raised).value();
+    EXPECT_EQ(direct.SortedTuples(), via_rq.SortedTuples());
+  }
+
+  // And the raised query lowers back into the UC2RPQ fragment.
+  Alphabet lowered_alphabet;
+  EXPECT_TRUE(TryLowerToUc2Rpq(*raised, &lowered_alphabet).has_value());
+}
+
+TEST(RaiseTest, HeadMismatchAcrossDisjunctsFails) {
+  Alphabet alphabet;
+  Uc2Rpq query;
+  Crpq d1;
+  d1.num_vars = 2;
+  d1.head = {0, 1};
+  d1.atoms = {{ParseRegex("a", &alphabet).value(), 0, 1}};
+  Crpq d2;
+  d2.num_vars = 2;
+  d2.head = {1, 0};
+  d2.atoms = {{ParseRegex("a", &alphabet).value(), 0, 1}};
+  query.disjuncts = {d1, d2};
+  EXPECT_FALSE(RaiseUc2RpqToRq(query, alphabet).has_value());
+}
+
+}  // namespace
+}  // namespace rq

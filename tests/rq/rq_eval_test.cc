@@ -1,0 +1,173 @@
+#include "rq/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "rq/parser.h"
+
+namespace rq {
+namespace {
+
+RqQuery Parse(const std::string& text) {
+  auto q = ParseRq(text);
+  RQ_CHECK(q.ok());
+  return *q;
+}
+
+Database EdgeDb(const std::string& name,
+                const std::vector<std::pair<Value, Value>>& edges) {
+  Database db;
+  Relation* e = db.GetOrCreate(name, 2).value();
+  for (const auto& [x, y] : edges) e->Insert({x, y});
+  return db;
+}
+
+TEST(RqParserTest, ParsesAtomsAndHead) {
+  RqQuery q = Parse("q(x, y) := r(x, y)");
+  EXPECT_EQ(q.head.size(), 2u);
+  EXPECT_EQ(q.root->kind(), RqExpr::Kind::kAtom);
+}
+
+TEST(RqParserTest, DefaultHeadIsSortedFreeVars) {
+  RqQuery q = Parse("r(x, y) & s(y, z)");
+  EXPECT_EQ(q.head.size(), 3u);
+}
+
+TEST(RqParserTest, RejectsIllFormedQueries) {
+  EXPECT_FALSE(ParseRq("").ok());
+  EXPECT_FALSE(ParseRq("r(x, y) |").ok());
+  EXPECT_FALSE(ParseRq("r(x, y) | s(x, z)").ok());   // different frees
+  EXPECT_FALSE(ParseRq("exists[w](r(x, y))").ok());  // w not free
+  EXPECT_FALSE(ParseRq("tc[x,y](r(x, y) & r(y, z))").ok());  // not binary
+  EXPECT_FALSE(ParseRq("tc[x,x](r(x, y))").ok());
+  EXPECT_FALSE(ParseRq("q(x, w) := r(x, y)").ok());  // head var not free
+}
+
+TEST(RqParserTest, ToStringReparses) {
+  RqQuery q =
+      Parse("q(x, y) := tc[x,y]( exists[z]( r(x,y) & r(y,z) & r(z,x) ) )");
+  auto round = ParseRq(q.ToString());
+  ASSERT_TRUE(round.ok()) << q.ToString();
+  EXPECT_EQ(round->ToString(), q.ToString());
+}
+
+TEST(RqEvalTest, AtomEvaluation) {
+  Database db = EdgeDb("r", {{1, 2}, {2, 3}});
+  Relation out = EvalRqQuery(db, Parse("q(x, y) := r(x, y)")).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1, 2}, {2, 3}}));
+}
+
+TEST(RqEvalTest, AtomWithRepeatedVariable) {
+  Database db = EdgeDb("r", {{1, 1}, {1, 2}, {3, 3}});
+  Relation out = EvalRqQuery(db, Parse("q(x) := r(x, x)")).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1}, {3}}));
+}
+
+TEST(RqEvalTest, HeadReordersAndRepeats) {
+  Database db = EdgeDb("r", {{1, 2}});
+  Relation swapped = EvalRqQuery(db, Parse("q(y, x) := r(x, y)")).value();
+  EXPECT_EQ(swapped.SortedTuples(), (std::vector<Tuple>{{2, 1}}));
+  Relation repeated = EvalRqQuery(db, Parse("q(x, x) := r(x, y)")).value();
+  EXPECT_EQ(repeated.SortedTuples(), (std::vector<Tuple>{{1, 1}}));
+}
+
+TEST(RqEvalTest, ConjunctionJoins) {
+  Database db = EdgeDb("r", {{1, 2}, {2, 3}, {3, 4}});
+  Relation out =
+      EvalRqQuery(db, Parse("q(x, z) := exists[y](r(x, y) & r(y, z))"))
+          .value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1, 3}, {2, 4}}));
+}
+
+TEST(RqEvalTest, DisjunctionUnions) {
+  Database db;
+  db.GetOrCreate("r", 2).value()->Insert({1, 2});
+  db.GetOrCreate("s", 2).value()->Insert({3, 4});
+  Relation out =
+      EvalRqQuery(db, Parse("q(x, y) := r(x, y) | s(x, y)")).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1, 2}, {3, 4}}));
+}
+
+TEST(RqEvalTest, SelectionFiltersEquality) {
+  Database db = EdgeDb("r", {{1, 1}, {1, 2}});
+  Relation out = EvalRqQuery(db, Parse("q(x, y) := eq[x,y](r(x, y))")).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{1, 1}}));
+}
+
+TEST(RqEvalTest, TransitiveClosure) {
+  Database db = EdgeDb("r", {{1, 2}, {2, 3}, {3, 4}});
+  Relation out = EvalRqQuery(db, Parse("q(x, y) := tc[x,y](r(x, y))")).value();
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_TRUE(out.Contains({1, 4}));
+}
+
+TEST(RqEvalTest, ClosureOfComposedQuery) {
+  // tc of "two r-steps": reaches even distances.
+  Database db = EdgeDb("r", {{1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  Relation out =
+      EvalRqQuery(db,
+                  Parse("q(x, z) := tc[x,z](exists[y](r(x,y) & r(y,z)))"))
+          .value();
+  EXPECT_TRUE(out.Contains({1, 3}));
+  EXPECT_TRUE(out.Contains({1, 5}));
+  EXPECT_FALSE(out.Contains({1, 2}));
+  EXPECT_FALSE(out.Contains({1, 4}));
+}
+
+// The paper's §3.4 motivation: the transitive closure of the triangle query
+// is expressible in RQ (but not in UC2RPQ).
+TEST(RqEvalTest, TriangleClosurePaperExample) {
+  RqQuery q =
+      Parse("q(x, y) := tc[x,y]( exists[z]( r(x,y) & r(y,z) & r(z,x) ) )");
+  // Two disjoint triangles (1,2,3) and (4,5,6) plus a bridge edge 3 -> 4
+  // that belongs to no triangle.
+  Database db = EdgeDb("r", {{1, 2},
+                             {2, 3},
+                             {3, 1},
+                             {4, 5},
+                             {5, 6},
+                             {6, 4},
+                             {3, 4}});
+  Relation out = EvalRqQuery(db, q).value();
+  // Within a triangle the base relation cycles, so its closure is total.
+  EXPECT_TRUE(out.Contains({1, 2}));
+  EXPECT_TRUE(out.Contains({2, 1}));
+  EXPECT_TRUE(out.Contains({1, 1}));
+  EXPECT_TRUE(out.Contains({4, 6}));
+  // The bridge edge is not part of any triangle: the triangles stay
+  // disconnected in the closure.
+  EXPECT_FALSE(out.Contains({1, 4}));
+  EXPECT_FALSE(out.Contains({3, 4}));
+}
+
+TEST(RqEvalTest, InverseOrientationViaAtomSwap) {
+  Database db = EdgeDb("r", {{1, 2}});
+  Relation out = EvalRqQuery(db, Parse("q(x, y) := r(y, x)")).value();
+  EXPECT_EQ(out.SortedTuples(), (std::vector<Tuple>{{2, 1}}));
+}
+
+TEST(RqEvalTest, GraphToDatabaseView) {
+  GraphDb graph = PathGraph(3, "e");
+  Database db = GraphToDatabase(graph);
+  const Relation* e = db.Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->SortedTuples(), (std::vector<Tuple>{{0, 1}, {1, 2}}));
+}
+
+TEST(RqEvalTest, BinaryTransitiveClosureOnCycle) {
+  Relation base(2);
+  base.Insert({0, 1});
+  base.Insert({1, 2});
+  base.Insert({2, 0});
+  Relation closed = BinaryTransitiveClosure(base);
+  EXPECT_EQ(closed.size(), 9u);
+}
+
+TEST(RqEvalTest, MissingRelationIsEmpty) {
+  Database db;
+  Relation out = EvalRqQuery(db, Parse("q(x, y) := ghost(x, y)")).value();
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,101 @@
+#include "twoway/complement.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "twoway/random.h"
+#include "twoway/tables.h"
+
+namespace rq {
+namespace {
+
+std::vector<std::vector<Symbol>> AllWords(uint32_t k, size_t max_len) {
+  std::vector<std::vector<Symbol>> out{{}};
+  size_t start = 0;
+  for (size_t len = 1; len <= max_len; ++len) {
+    size_t end = out.size();
+    for (size_t i = start; i < end; ++i) {
+      for (Symbol a = 0; a < k; ++a) {
+        std::vector<Symbol> w = out[i];
+        w.push_back(a);
+        out.push_back(std::move(w));
+      }
+    }
+    start = end;
+  }
+  return out;
+}
+
+// Lemma 4 soundness/completeness: the Vardi construction accepts exactly
+// the rejected words.
+TEST(VardiComplementTest, ComplementsRandomSmall2Nfas) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    TwoNfa m = RandomTwoNfa(3, 2, 3, seed);
+    auto comp = VardiComplementNfa(m, 2000000);
+    ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+    for (const auto& w : AllWords(2, 4)) {
+      EXPECT_EQ(!m.Accepts(w), comp->Accepts(w))
+          << "seed " << seed << " len " << w.size();
+    }
+  }
+}
+
+TEST(VardiComplementTest, AgreesWithTableDfaComplement) {
+  for (uint64_t seed = 100; seed <= 115; ++seed) {
+    TwoNfa m = RandomTwoNfa(3, 2, 2, seed);
+    auto comp = VardiComplementNfa(m, 2000000);
+    auto table_dfa = MaterializeTableDfa(m, 100000);
+    ASSERT_TRUE(comp.ok());
+    ASSERT_TRUE(table_dfa.ok());
+    Dfa naive = table_dfa->Complemented();
+    for (const auto& w : AllWords(2, 4)) {
+      EXPECT_EQ(naive.Accepts(w), comp->Accepts(w)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(VardiComplementTest, RejectsOversized2Nfas) {
+  TwoNfa m = RandomTwoNfa(25, 2, 2, 7);
+  auto comp = VardiComplementNfa(m, 1000);
+  EXPECT_FALSE(comp.ok());
+  EXPECT_EQ(comp.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VardiComplementTest, HonorsStateBudget) {
+  TwoNfa m = RandomTwoNfa(8, 2, 4, 13);
+  auto comp = VardiComplementNfa(m, 10);
+  if (!comp.ok()) {
+    EXPECT_EQ(comp.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+// A 2NFA that accepts everything has an empty complement.
+TEST(VardiComplementTest, UniversalMachineYieldsEmptyComplement) {
+  TwoNfa m(2);
+  uint32_t s = m.AddState();
+  m.AddInitial(s);
+  m.SetAccepting(s);
+  m.AddTransition(s, m.LeftMarker(), s, Dir::kRight);
+  m.AddTransition(s, 0, s, Dir::kRight);
+  m.AddTransition(s, 1, s, Dir::kRight);
+  auto comp = VardiComplementNfa(m, 1000000);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_TRUE(comp->IsEmptyLanguage());
+}
+
+// A 2NFA with no accepting states has a universal complement.
+TEST(VardiComplementTest, EmptyMachineYieldsUniversalComplement) {
+  TwoNfa m(2);
+  uint32_t s = m.AddState();
+  m.AddInitial(s);
+  m.AddTransition(s, m.LeftMarker(), s, Dir::kRight);
+  m.AddTransition(s, 0, s, Dir::kRight);
+  auto comp = VardiComplementNfa(m, 1000000);
+  ASSERT_TRUE(comp.ok());
+  for (const auto& w : AllWords(2, 3)) {
+    EXPECT_TRUE(comp->Accepts(w));
+  }
+}
+
+}  // namespace
+}  // namespace rq

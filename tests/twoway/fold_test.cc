@@ -1,0 +1,142 @@
+#include "twoway/fold.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/words.h"
+#include "common/rng.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+class FoldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = ForwardSymbolOf(alphabet_.InternLabel("a"));
+    b_ = ForwardSymbolOf(alphabet_.InternLabel("b"));
+    c_ = ForwardSymbolOf(alphabet_.InternLabel("c"));
+  }
+  Alphabet alphabet_;
+  Symbol a_, b_, c_;
+};
+
+// The paper's worked example (§3.2): abb⁻bc folds onto abc via the
+// position sequence 0,1,2,1,2,3.
+TEST_F(FoldTest, PaperExampleAbbInvBC) {
+  std::vector<Symbol> v{a_, b_, InverseSymbol(b_), b_, c_};
+  std::vector<Symbol> u{a_, b_, c_};
+  EXPECT_TRUE(Folds(v, u));
+  EXPECT_FALSE(Folds(u, v));  // folding is not symmetric
+}
+
+TEST_F(FoldTest, WordFoldsOntoItself) {
+  std::vector<Symbol> w{a_, InverseSymbol(b_), c_};
+  EXPECT_TRUE(Folds(w, w));
+}
+
+TEST_F(FoldTest, PpInversePFoldsOntoP) {
+  // The 2RPQ containment example: p p⁻ p ; p.
+  std::vector<Symbol> v{a_, InverseSymbol(a_), a_};
+  std::vector<Symbol> u{a_};
+  EXPECT_TRUE(Folds(v, u));
+  EXPECT_FALSE(Folds(u, v));
+}
+
+TEST_F(FoldTest, MismatchedLettersDoNotFold) {
+  EXPECT_FALSE(Folds({a_}, {b_}));
+  EXPECT_FALSE(Folds({a_, b_}, {a_, c_}));
+  EXPECT_FALSE(Folds({a_, InverseSymbol(b_), a_}, {a_}));
+}
+
+TEST_F(FoldTest, EmptyWordFoldsOnlyOntoEmpty) {
+  EXPECT_TRUE(Folds({}, {}));
+  EXPECT_FALSE(Folds({}, {a_}));
+  EXPECT_FALSE(Folds({a_}, {}));
+}
+
+TEST_F(FoldTest, FoldCanTurnAroundAtRightEnd) {
+  // v = a a⁻ a traverses to the end of u = a, backs up, returns.
+  std::vector<Symbol> v{a_, InverseSymbol(a_), a_};
+  EXPECT_TRUE(Folds(v, {a_}));
+  // v = a b b⁻ c wanders past position 1 of u = a c? No: b does not match c.
+  EXPECT_FALSE(Folds({a_, b_, InverseSymbol(b_), c_}, {a_, c_}));
+}
+
+TEST_F(FoldTest, FoldTwoNfaMatchesWordLevelDefinition) {
+  // For random regexes over Sigma±, the Lemma 3 2NFA must agree with the
+  // direct BFS fold check and the word-level Folds predicate.
+  Rng rng(20160626);
+  const uint32_t k = static_cast<uint32_t>(alphabet_.num_symbols());
+  for (int round = 0; round < 25; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, /*allow_inverse=*/true, rng);
+    Nfa nfa = re->ToNfa(k).WithoutEpsilons().Trimmed();
+    TwoNfa fold2 = FoldTwoNfa(nfa);
+    // Candidate u words: random short words over Sigma±.
+    for (int w = 0; w < 25; ++w) {
+      std::vector<Symbol> u;
+      size_t len = rng.Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        u.push_back(static_cast<Symbol>(rng.Below(k)));
+      }
+      bool direct = FoldsOntoWord(nfa, u);
+      bool via_2nfa = fold2.Accepts(u);
+      EXPECT_EQ(direct, via_2nfa)
+          << re->ToString(alphabet_) << " on " << WordToString(alphabet_, u);
+    }
+    // Sanity: every accepted word of the NFA folds onto itself, so the
+    // 2NFA must accept the NFA's own words.
+    for (const auto& v : EnumerateAcceptedWords(nfa, 3, 15)) {
+      EXPECT_TRUE(fold2.Accepts(v)) << re->ToString(alphabet_);
+    }
+  }
+}
+
+TEST_F(FoldTest, FoldTwoNfaStateCountMatchesLemma3) {
+  Rng rng(77);
+  const uint32_t k = static_cast<uint32_t>(alphabet_.num_symbols());
+  for (int round = 0; round < 10; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 3, /*allow_inverse=*/true, rng);
+    Nfa nfa = re->ToNfa(k).WithoutEpsilons().Trimmed();
+    TwoNfa fold2 = FoldTwoNfa(nfa);
+    EXPECT_EQ(fold2.num_states(), nfa.num_states() * (k + 1));
+  }
+}
+
+TEST_F(FoldTest, FoldsAgainstBruteForceEnumeration) {
+  // Cross-check FoldsOntoWord against brute-force search over all v of
+  // bounded length accepted by the automaton.
+  Rng rng(4242);
+  const uint32_t k = static_cast<uint32_t>(alphabet_.num_symbols());
+  for (int round = 0; round < 15; ++round) {
+    RegexPtr re = RandomRegex(alphabet_, 2, /*allow_inverse=*/true, rng);
+    Nfa nfa = re->ToNfa(k).WithoutEpsilons().Trimmed();
+    std::vector<std::vector<Symbol>> lang =
+        EnumerateAcceptedWords(nfa, 6, 500);
+    for (int w = 0; w < 10; ++w) {
+      std::vector<Symbol> u;
+      size_t len = rng.Below(3);
+      for (size_t i = 0; i < len; ++i) {
+        u.push_back(static_cast<Symbol>(rng.Below(k)));
+      }
+      bool brute = false;
+      for (const auto& v : lang) {
+        if (Folds(v, u)) {
+          brute = true;
+          break;
+        }
+      }
+      bool direct = FoldsOntoWord(nfa, u);
+      // Brute force only sees words up to length 6; it can miss folds that
+      // need longer v, so brute==true must imply direct==true.
+      if (brute) {
+        EXPECT_TRUE(direct) << re->ToString(alphabet_);
+      }
+      if (!direct) {
+        EXPECT_FALSE(brute) << re->ToString(alphabet_);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rq

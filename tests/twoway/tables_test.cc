@@ -1,0 +1,92 @@
+#include "twoway/tables.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regex/regex.h"
+#include "twoway/fold.h"
+#include "twoway/random.h"
+
+namespace rq {
+namespace {
+
+// Exhaustive words up to length `max_len` over `k` symbols.
+std::vector<std::vector<Symbol>> AllWords(uint32_t k, size_t max_len) {
+  std::vector<std::vector<Symbol>> out{{}};
+  size_t start = 0;
+  for (size_t len = 1; len <= max_len; ++len) {
+    size_t end = out.size();
+    for (size_t i = start; i < end; ++i) {
+      for (Symbol a = 0; a < k; ++a) {
+        std::vector<Symbol> w = out[i];
+        w.push_back(a);
+        out.push_back(std::move(w));
+      }
+    }
+    start = end;
+  }
+  return out;
+}
+
+TEST(TablesTest, SimulatorAgreesWithConfigurationBfsOnRandom2Nfas) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    TwoNfa m = RandomTwoNfa(4, 2, 4, seed);
+    TwoNfaSimulator sim(m);
+    for (const auto& w : AllWords(2, 5)) {
+      EXPECT_EQ(m.Accepts(w), sim.AcceptsWord(w)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TablesTest, SimulatorAgreesOnFoldAutomata) {
+  Alphabet alphabet;
+  alphabet.InternLabel("p");
+  alphabet.InternLabel("q");
+  Rng rng(123);
+  const uint32_t k = static_cast<uint32_t>(alphabet.num_symbols());
+  for (int round = 0; round < 15; ++round) {
+    RegexPtr re = RandomRegex(alphabet, 2, /*allow_inverse=*/true, rng);
+    Nfa nfa = re->ToNfa(k).WithoutEpsilons().Trimmed();
+    TwoNfa fold2 = FoldTwoNfa(nfa);
+    TwoNfaSimulator sim(fold2);
+    for (const auto& w : AllWords(k, 3)) {
+      EXPECT_EQ(fold2.Accepts(w), sim.AcceptsWord(w))
+          << re->ToString(alphabet);
+    }
+  }
+}
+
+TEST(TablesTest, MaterializedDfaMatchesDirectSimulation) {
+  for (uint64_t seed = 50; seed <= 70; ++seed) {
+    TwoNfa m = RandomTwoNfa(3, 2, 3, seed);
+    auto dfa = MaterializeTableDfa(m, 100000);
+    ASSERT_TRUE(dfa.ok()) << dfa.status().ToString();
+    for (const auto& w : AllWords(2, 5)) {
+      EXPECT_EQ(m.Accepts(w), dfa->Accepts(w)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TablesTest, MaterializeRespectsStateBudget) {
+  TwoNfa m = RandomTwoNfa(6, 2, 5, 999);
+  auto dfa = MaterializeTableDfa(m, 1);
+  // Either the machine is trivial (1 state suffices) or we must get a
+  // budget error; both are acceptable, but an over-budget success is not.
+  if (dfa.ok()) {
+    EXPECT_LE(dfa->num_states(), 1u);
+  } else {
+    EXPECT_EQ(dfa.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(TablesTest, EmptyWordAcceptanceMatches) {
+  for (uint64_t seed = 200; seed <= 240; ++seed) {
+    TwoNfa m = RandomTwoNfa(4, 2, 3, seed);
+    TwoNfaSimulator sim(m);
+    EXPECT_EQ(m.Accepts({}), sim.Accepts(sim.InitialTable()))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rq

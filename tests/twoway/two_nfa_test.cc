@@ -1,0 +1,92 @@
+// Direct unit tests of the two-way automaton model (hand-built machines
+// exercising genuinely two-way behavior).
+#include "twoway/two_nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+
+namespace rq {
+namespace {
+
+// A classic genuinely-two-way machine: accepts words whose FIRST letter
+// equals their LAST letter (over symbols {0, 1}), by reading the first
+// letter, running to the right end, and checking the letter before ⊣.
+TwoNfa FirstEqualsLast() {
+  TwoNfa m(2);
+  // States: 0 = at start, 1/2 = saw first letter 0/1 running right,
+  // 3/4 = at right marker expecting last letter 0/1, 5 = accept.
+  for (int i = 0; i < 6; ++i) m.AddState();
+  m.AddInitial(0);
+  m.SetAccepting(5);
+  m.AddTransition(0, m.LeftMarker(), 0, Dir::kRight);
+  m.AddTransition(0, 0, 1, Dir::kRight);
+  m.AddTransition(0, 1, 2, Dir::kRight);
+  for (Symbol a = 0; a < 2; ++a) {
+    m.AddTransition(1, a, 1, Dir::kRight);
+    m.AddTransition(2, a, 2, Dir::kRight);
+  }
+  m.AddTransition(1, m.RightMarker(), 3, Dir::kLeft);
+  m.AddTransition(2, m.RightMarker(), 4, Dir::kLeft);
+  // Check the last letter, then run right again to accept at ⊣.
+  m.AddTransition(3, 0, 5, Dir::kRight);
+  m.AddTransition(4, 1, 5, Dir::kRight);
+  m.AddTransition(5, m.RightMarker(), 5, Dir::kStay);
+  return m;
+}
+
+TEST(TwoNfaTest, FirstEqualsLastMachine) {
+  TwoNfa m = FirstEqualsLast();
+  EXPECT_TRUE(m.Accepts({0}));
+  EXPECT_TRUE(m.Accepts({1}));
+  EXPECT_TRUE(m.Accepts({0, 1, 0}));
+  EXPECT_TRUE(m.Accepts({1, 0, 0, 1}));
+  EXPECT_FALSE(m.Accepts({0, 1}));
+  EXPECT_FALSE(m.Accepts({1, 1, 0}));
+  EXPECT_FALSE(m.Accepts({}));
+}
+
+TEST(TwoNfaTest, EmptyWordAcceptance) {
+  TwoNfa m(2);
+  uint32_t s = m.AddState();
+  m.AddInitial(s);
+  m.SetAccepting(s);
+  m.AddTransition(s, m.LeftMarker(), s, Dir::kRight);
+  // ⊢ then head lands on ⊣ (= position n+1 for n=0) in an accepting state.
+  EXPECT_TRUE(m.Accepts({}));
+  // But with a letter present it is stuck at position 1.
+  EXPECT_FALSE(m.Accepts({0}));
+}
+
+TEST(TwoNfaTest, RunsDieAtTapeEdges) {
+  TwoNfa m(1);
+  uint32_t s = m.AddState();
+  uint32_t t = m.AddState();
+  m.AddInitial(s);
+  m.SetAccepting(t);
+  m.AddTransition(s, m.LeftMarker(), t, Dir::kLeft);  // falls off: dies
+  EXPECT_FALSE(m.Accepts({}));
+  EXPECT_FALSE(m.Accepts({0}));
+}
+
+TEST(TwoNfaTest, StayMovesDoNotLoopForever) {
+  // A stay self-loop must not hang the membership test.
+  TwoNfa m(1);
+  uint32_t s = m.AddState();
+  m.AddInitial(s);
+  m.AddTransition(s, m.LeftMarker(), s, Dir::kStay);
+  EXPECT_FALSE(m.Accepts({0}));
+}
+
+TEST(TwoNfaTest, ToStringListsTransitions) {
+  Alphabet alphabet;
+  alphabet.InternLabel("a");
+  TwoNfa m = FirstEqualsLast();
+  std::string text = m.ToString(alphabet);
+  EXPECT_NE(text.find("2NFA states=6"), std::string::npos);
+  EXPECT_NE(text.find("<|"), std::string::npos);
+  EXPECT_NE(text.find("|>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,73 @@
+// Edge and budget behavior of the view-rewriting module.
+#include <gtest/gtest.h>
+
+#include "automata/words.h"
+#include "views/rewriting.h"
+
+namespace rq {
+namespace {
+
+class RewritingEdgeTest : public ::testing::Test {
+ protected:
+  RegexPtr Re(const std::string& text) {
+    auto re = ParseRegex(text, &alphabet_);
+    RQ_CHECK(re.ok());
+    return *re;
+  }
+  Alphabet alphabet_;
+};
+
+TEST_F(RewritingEdgeTest, NoViewsIsAnError) {
+  EXPECT_FALSE(MaximalRewriting(*Re("a"), {}, alphabet_).ok());
+}
+
+TEST_F(RewritingEdgeTest, StateBudgetIsEnforced) {
+  // A query whose DFA has several states and many views force subset
+  // growth; with max_states = 1 the construction must fail cleanly.
+  std::vector<View> views{{"v0", Re("a")}, {"v1", Re("a a")},
+                          {"v2", Re("a a a")}};
+  auto rewriting =
+      MaximalRewriting(*Re("a (a a)* | a a"), views, alphabet_, 1);
+  EXPECT_FALSE(rewriting.ok());
+  EXPECT_EQ(rewriting.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(RewritingEdgeTest, EpsilonQueryAcceptsEmptyRewriting) {
+  // Q = a*: the empty view word must be in the rewriting (ε ∈ L(Q)).
+  std::vector<View> views{{"v", Re("a")}};
+  auto rewriting = MaximalRewriting(*Re("a*"), views, alphabet_).value();
+  EXPECT_TRUE(rewriting.automaton.Accepts({}));
+  EXPECT_TRUE(rewriting.automaton.Accepts({ForwardSymbolOf(0)}));
+  auto exact = RewritingIsExact(rewriting, *Re("a*"), views, alphabet_);
+  ASSERT_TRUE(exact.ok());
+  // a* includes ε, which view concatenations of "a" can produce only via
+  // the empty word — the rewriting (v*, including ε) is exact.
+  EXPECT_TRUE(*exact);
+}
+
+TEST_F(RewritingEdgeTest, EmptyViewLanguageIsHarmless) {
+  std::vector<View> views{{"dead", Regex::Empty()}, {"live", Re("a")}};
+  auto rewriting = MaximalRewriting(*Re("a a"), views, alphabet_).value();
+  EXPECT_FALSE(rewriting.empty);
+  Symbol live = ForwardSymbolOf(1);
+  EXPECT_TRUE(rewriting.automaton.Accepts({live, live}));
+  // Words through the dead view contribute no answers.
+  GraphDb db = GraphDb::FromText("x a y\ny a z\n").value();
+  Relation answers = AnswerUsingViews(db, rewriting, views).value();
+  EXPECT_EQ(answers.size(), 1u);
+}
+
+TEST_F(RewritingEdgeTest, OverlappingViewsAllUsable) {
+  std::vector<View> views{{"one", Re("a")}, {"two", Re("a a")}};
+  auto rewriting = MaximalRewriting(*Re("a a a"), views, alphabet_).value();
+  Symbol one = ForwardSymbolOf(0);
+  Symbol two = ForwardSymbolOf(1);
+  EXPECT_TRUE(rewriting.automaton.Accepts({one, one, one}));
+  EXPECT_TRUE(rewriting.automaton.Accepts({one, two}));
+  EXPECT_TRUE(rewriting.automaton.Accepts({two, one}));
+  EXPECT_FALSE(rewriting.automaton.Accepts({two, two}));
+  EXPECT_FALSE(rewriting.automaton.Accepts({one, one}));
+}
+
+}  // namespace
+}  // namespace rq
