@@ -85,4 +85,3 @@ BENCHMARK(BM_VardiComplementMembership);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

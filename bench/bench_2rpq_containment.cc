@@ -89,4 +89,3 @@ BENCHMARK(BM_OneWayViaFoldPipeline);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -101,4 +101,3 @@ BENCHMARK(BM_MatcherLeftToRightOrder)->DenseRange(2, 5);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -111,4 +111,3 @@ BENCHMARK(BM_BoundedExpansionDepthSweep)->DenseRange(2, 12);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

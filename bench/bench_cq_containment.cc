@@ -67,4 +67,3 @@ BENCHMARK(BM_CqEvaluation)->DenseRange(2, 6);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

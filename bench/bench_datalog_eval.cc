@@ -114,4 +114,3 @@ BENCHMARK(BM_SameGenerationSemiNaive)->DenseRange(3, 8);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -104,4 +104,3 @@ BENCHMARK(BM_FoldMembership)->RangeMultiplier(4)->Range(4, 256);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -88,4 +88,3 @@ BENCHMARK(BM_RpqEvalSingleSource)->RangeMultiplier(4)->Range(256, 16384);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

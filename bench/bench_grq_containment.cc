@@ -86,4 +86,3 @@ BENCHMARK(BM_GrqRouteLabelSweep)->DenseRange(2, 5);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -67,4 +67,3 @@ BENCHMARK(BM_IncrementalPerEdge);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

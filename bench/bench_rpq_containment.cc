@@ -94,4 +94,3 @@ BENCHMARK(BM_RpqContainmentAlphabetSweep)->DenseRange(1, 5);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -100,4 +100,3 @@ BENCHMARK(BM_BinaryTransitiveClosureKernel)
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -70,4 +70,3 @@ BENCHMARK(BM_RoundTripExtraction)->DenseRange(0, 3);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -106,4 +106,3 @@ BENCHMARK(BM_PaperExampleOneUnion);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

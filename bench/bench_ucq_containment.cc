@@ -55,4 +55,3 @@ BENCHMARK(BM_UcqContainmentPositive)->DenseRange(1, 8);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

@@ -86,4 +86,3 @@ BENCHMARK(BM_AnswerUsingViewsVsDirect)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace rq
 
-BENCHMARK_MAIN();

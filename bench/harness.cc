@@ -1,0 +1,145 @@
+// Shared main() for every bench_* binary: Google Benchmark plus the librq
+// observability layer (docs/OBSERVABILITY.md).
+//
+// Extra flags, handled before Google Benchmark sees the command line:
+//   --json <path>   write a machine-readable report (schema "rq-bench/1"):
+//                   per-benchmark wall/cpu time and user counters, plus the
+//                   full obs snapshot (subsystem counters, span stats)
+//                   accumulated across the run.
+//   --smoke         run each benchmark for ~1 ms instead of the default
+//                   budget — a correctness/telemetry smoke pass, not a
+//                   measurement. Recorded in the report as "smoke": true.
+//   --trace         enable aggregate span tracing during the run (per-name
+//                   count/total time; bounded memory even across millions
+//                   of benchmark iterations).
+//
+// bench/run_all.sh drives every binary through this interface and merges
+// the per-binary reports into BENCH_results.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace {
+
+// Console output stays the default human-readable report; this shim also
+// captures every finished run for the JSON report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) captured_.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
+std::string Basename(const char* path) {
+  std::string s(path);
+  size_t slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+rq::obs::JsonValue ReportJson(const std::string& binary, bool smoke,
+                              const std::vector<CaptureReporter::Run>& runs) {
+  using rq::obs::JsonValue;
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", JsonValue::String("rq-bench/1"));
+  root.Set("binary", JsonValue::String(binary));
+  root.Set("smoke", JsonValue::Bool(smoke));
+
+  JsonValue benchmarks = JsonValue::Array();
+  for (const auto& run : runs) {
+    if (run.run_type != CaptureReporter::Run::RT_Iteration) continue;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(run.benchmark_name()));
+    if (run.error_occurred) {
+      entry.Set("error", JsonValue::String(run.error_message));
+      benchmarks.Append(std::move(entry));
+      continue;
+    }
+    entry.Set("iterations",
+              JsonValue::Number(static_cast<uint64_t>(run.iterations)));
+    double iters = run.iterations > 0
+                       ? static_cast<double>(run.iterations)
+                       : 1.0;
+    entry.Set("real_time_ns",
+              JsonValue::Number(run.real_accumulated_time / iters * 1e9));
+    entry.Set("cpu_time_ns",
+              JsonValue::Number(run.cpu_accumulated_time / iters * 1e9));
+    JsonValue counters = JsonValue::Object();
+    for (const auto& [name, counter] : run.counters) {
+      counters.Set(name, JsonValue::Number(static_cast<double>(counter)));
+    }
+    entry.Set("counters", std::move(counters));
+    benchmarks.Append(std::move(entry));
+  }
+  root.Set("benchmarks", std::move(benchmarks));
+  root.Set("obs", rq::obs::SnapshotJson());
+  return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  bool trace = false;
+
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  static std::string min_time_flag = "--benchmark_min_time=0.001";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (smoke) passthrough.push_back(min_time_flag.data());
+  int passthrough_argc = static_cast<int>(passthrough.size());
+
+  benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  // Per-run deltas: the report should describe this invocation only.
+  rq::obs::Registry::Global().ResetAll();
+  rq::obs::SetTraceMode(trace ? rq::obs::TraceMode::kAggregate
+                              : rq::obs::TraceMode::kDisabled);
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    rq::obs::JsonValue report =
+        ReportJson(Basename(argv[0]), smoke, reporter.captured());
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::string text = report.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary through the shared harness and aggregates the
+# per-binary "rq-bench/1" reports into one BENCH_results.json
+# (schema "rq-bench-suite/1").
+#
+# Usage: bench/run_all.sh [--smoke] [--trace] [--build-dir DIR] [--out FILE]
+#   --smoke       abbreviated pass (~1 ms per benchmark) — CI smoke target
+#   --trace       enable aggregate span tracing in each binary
+#   --build-dir   directory holding the bench binaries
+#                 (default: <repo>/build/bench)
+#   --out         aggregated output path (default: <repo>/BENCH_results.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build/bench"
+out="${repo_root}/BENCH_results.json"
+extra_flags=()
+smoke=false
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=true; extra_flags+=(--smoke); shift ;;
+    --trace) extra_flags+=(--trace); shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+binaries=("${build_dir}"/bench_*)
+found=()
+for b in "${binaries[@]}"; do
+  [[ -x "$b" && ! "$b" == *.json ]] && found+=("$b")
+done
+if [[ ${#found[@]} -eq 0 ]]; then
+  echo "no bench_* binaries in ${build_dir} — build the project first" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+reports=()
+failed=0
+for bin in "${found[@]}"; do
+  name="$(basename "$bin")"
+  report="${tmp_dir}/${name}.json"
+  echo "== ${name}" >&2
+  if "$bin" "${extra_flags[@]}" --json "$report" >&2; then
+    reports+=("$report")
+  else
+    echo "FAILED: ${name}" >&2
+    failed=1
+  fi
+done
+
+python3 - "$out" "$smoke" "${reports[@]}" <<'PY'
+import json, sys
+
+out_path, smoke = sys.argv[1], sys.argv[2] == "true"
+suite = {"schema": "rq-bench-suite/1", "smoke": smoke, "binaries": []}
+for path in sys.argv[3:]:
+    with open(path) as f:
+        report = json.load(f)
+    assert report.get("schema") == "rq-bench/1", path
+    suite["binaries"].append(report)
+
+# Sanity: the suite must exercise the core subsystems' counters.
+names = set()
+for report in suite["binaries"]:
+    for c in report.get("obs", {}).get("counters", []):
+        if c["value"] > 0:
+            names.add(c["name"])
+subsystems = {n.split(".")[0] for n in names}
+required = {"containment", "fold", "complement", "datalog"}
+missing = required - subsystems
+if missing:
+    sys.exit(f"suite missing counters from subsystems: {sorted(missing)}")
+
+with open(out_path, "w") as f:
+    json.dump(suite, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(suite['binaries'])} binaries, "
+      f"{len(names)} active counters, subsystems={sorted(subsystems)}")
+PY
+
+exit "$failed"

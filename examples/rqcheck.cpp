@@ -1,9 +1,12 @@
 // rqcheck — command-line containment checker for every query class in the
 // paper's ladder.
 //
-//   rqcheck <class> <query1> <query2>
+//   rqcheck [--trace] [--stats-json <path>] <class> <query1> <query2>
 //     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
 //     queryN : query text, or @path to read the text from a file
+//     --trace             print the span tree of the check to stderr
+//     --stats-json <path> write the observability snapshot (counters and
+//                         spans, schema "rq-obs/1") to <path>
 //
 // Examples:
 //   rqcheck 2rpq 'p' 'p p- p'
@@ -18,9 +21,13 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "containment/containment.h"
 #include "rq/equivalence.h"
 #include "crpq/crpq.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "pathquery/containment.h"
 #include "relational/cq.h"
 #include "rq/parser.h"
@@ -61,16 +68,8 @@ int Fail(const std::string& message) {
   return 3;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 4) {
-    return Fail(
-        "usage: rqcheck <rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
-  }
-  std::string cls = argv[1];
-  std::string t1 = LoadArg(argv[2]);
-  std::string t2 = LoadArg(argv[3]);
+int RunCheck(const std::string& cls, const std::string& t1,
+             const std::string& t2) {
 
   if (cls == "rpq" || cls == "2rpq") {
     Alphabet alphabet;
@@ -167,4 +166,43 @@ int main(int argc, char** argv) {
                   result->counterexample);
   }
   return Fail("unknown class: " + cls);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool trace = false;
+  std::string stats_json;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json = arg.substr(13);
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.size() != 3) {
+    return Fail(
+        "usage: rqcheck [--trace] [--stats-json <path>] "
+        "<rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
+  }
+  // Full tracing when either flag needs span data; counters always run.
+  if (trace || !stats_json.empty()) {
+    obs::SetTraceMode(obs::TraceMode::kFull);
+  }
+
+  int code = RunCheck(positional[0], LoadArg(positional[1]),
+                      LoadArg(positional[2]));
+
+  if (trace) obs::PrintSpanTree(stderr);
+  if (!stats_json.empty()) {
+    Status status = obs::WriteSnapshotJsonFile(stats_json);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  return code;
 }

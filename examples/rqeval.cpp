@@ -1,9 +1,12 @@
 // rqeval — evaluate a query of any class over a graph database file.
 //
-//   rqeval <graph-file> <class> <query>
+//   rqeval [--trace] [--stats-json <path>] <graph-file> <class> <query>
 //     graph-file : edge list, one "src label dst" per line ('#' comments)
 //     class      : path | crpq | rq | datalog
 //     query      : query text, or @path to read from a file
+//     --trace             print the span tree of the evaluation to stderr
+//     --stats-json <path> write the observability snapshot (counters and
+//                         spans, schema "rq-obs/1") to <path>
 //
 // Examples:
 //   rqeval net.graph path 'knows+'
@@ -15,9 +18,13 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
 #include "graph/graph_db.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "pathquery/path_query.h"
 #include "rq/eval.h"
 #include "rq/parser.h"
@@ -50,21 +57,14 @@ void PrintTuples(const GraphDb& db, const Relation& relation) {
   std::printf("-- %zu tuples\n", relation.size());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 4) {
-    return Fail("usage: rqeval <graph-file> <path|crpq|rq|datalog> <query>");
-  }
-  std::ifstream in(argv[1]);
-  if (!in) return Fail(std::string("cannot open ") + argv[1]);
+int RunEval(const std::string& graph_file, const std::string& cls,
+            const std::string& text) {
+  std::ifstream in(graph_file);
+  if (!in) return Fail("cannot open " + graph_file);
   std::stringstream buffer;
   buffer << in.rdbuf();
   auto graph = GraphDb::FromText(buffer.str());
   if (!graph.ok()) return Fail(graph.status().ToString());
-
-  std::string cls = argv[2];
-  std::string text = LoadArg(argv[3]);
 
   if (cls == "path") {
     auto q = ParsePathQuery(text, &graph->alphabet());
@@ -101,4 +101,42 @@ int main(int argc, char** argv) {
     return 0;
   }
   return Fail("unknown class: " + cls);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool trace = false;
+  std::string stats_json;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json = arg.substr(13);
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.size() != 3) {
+    return Fail(
+        "usage: rqeval [--trace] [--stats-json <path>] <graph-file> "
+        "<path|crpq|rq|datalog> <query>");
+  }
+  // Full tracing when either flag needs span data; counters always run.
+  if (trace || !stats_json.empty()) {
+    obs::SetTraceMode(obs::TraceMode::kFull);
+  }
+
+  int code = RunEval(positional[0], positional[1], LoadArg(positional[2]));
+
+  if (trace) obs::PrintSpanTree(stderr);
+  if (!stats_json.empty()) {
+    Status status = obs::WriteSnapshotJsonFile(stats_json);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  return code;
 }

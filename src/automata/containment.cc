@@ -6,10 +6,24 @@
 
 #include "automata/dfa.h"
 #include "automata/ops.h"
+#include "obs/subsystems.h"
+#include "obs/trace.h"
 
 namespace rq {
 
 namespace {
+
+// Flushes one finished check into the containment counter vocabulary
+// (docs/OBSERVABILITY.md). Counts are batched per check, not per node, so
+// the search loops stay free of shared-memory traffic.
+void RecordCheck(obs::ScopedSpan& span,
+                 const LanguageContainmentResult& result) {
+  obs::ContainmentCounters& counters = obs::ContainmentCounters::Get();
+  counters.checks.Increment();
+  counters.states_explored.Add(result.explored_states);
+  if (!result.contained) counters.refuted.Increment();
+  span.AddAttr("states_explored", result.explored_states);
+}
 
 struct PairKey {
   uint32_t a_state;
@@ -36,10 +50,8 @@ struct SubsetHash {
   }
 };
 
-}  // namespace
-
-LanguageContainmentResult CheckLanguageContainment(const Nfa& a_in,
-                                                   const Nfa& b_in) {
+LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
+                                                       const Nfa& b_in) {
   RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
   const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
   const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
@@ -120,13 +132,8 @@ LanguageContainmentResult CheckLanguageContainment(const Nfa& a_in,
   return result;
 }
 
-bool LanguagesEqual(const Nfa& a, const Nfa& b) {
-  return CheckLanguageContainment(a, b).contained &&
-         CheckLanguageContainment(b, a).contained;
-}
-
-LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a_in,
-                                                            const Nfa& b_in) {
+LanguageContainmentResult CheckLanguageContainmentAntichainImpl(
+    const Nfa& a_in, const Nfa& b_in) {
   RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
   const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
   const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
@@ -205,8 +212,27 @@ LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a_in,
   return result;
 }
 
+}  // namespace
+
+LanguageContainmentResult CheckLanguageContainment(const Nfa& a, const Nfa& b) {
+  RQ_TRACE_SPAN_VAR(span, "containment.check");
+  LanguageContainmentResult result = CheckLanguageContainmentImpl(a, b);
+  RecordCheck(span, result);
+  return result;
+}
+
+LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a,
+                                                            const Nfa& b) {
+  RQ_TRACE_SPAN_VAR(span, "containment.check_antichain");
+  LanguageContainmentResult result =
+      CheckLanguageContainmentAntichainImpl(a, b);
+  RecordCheck(span, result);
+  return result;
+}
+
 LanguageContainmentResult CheckLanguageContainmentExplicit(const Nfa& a,
                                                            const Nfa& b) {
+  RQ_TRACE_SPAN_VAR(span, "containment.check_explicit");
   RQ_CHECK(a.num_symbols() == b.num_symbols());
   LanguageContainmentResult result;
   Dfa complement = ComplementToDfa(b);
@@ -216,7 +242,13 @@ LanguageContainmentResult CheckLanguageContainmentExplicit(const Nfa& a,
   bool empty = diff.IsEmptyLanguage(&witness);
   result.contained = empty;
   if (!empty) result.counterexample = std::move(witness);
+  RecordCheck(span, result);
   return result;
+}
+
+bool LanguagesEqual(const Nfa& a, const Nfa& b) {
+  return CheckLanguageContainment(a, b).contained &&
+         CheckLanguageContainment(b, a).contained;
 }
 
 }  // namespace rq

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/subsystems.h"
+#include "obs/trace.h"
+
 namespace rq {
 
 namespace {
@@ -38,6 +41,7 @@ size_t ApplyRule(const DatalogRule& rule,
 Result<Database> EvalDatalogProgram(const DatalogProgram& program,
                                     const Database& edb, DatalogEvalMode mode,
                                     DatalogEvalStats* stats) {
+  RQ_TRACE_SPAN_VAR(span, "datalog.eval");
   RQ_RETURN_IF_ERROR(program.Validate());
   DatalogEvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -87,6 +91,16 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
     }
     if (rules.empty()) continue;
 
+    // Dense index of the SCC's predicates, shared by both recursive modes
+    // (per-round fresh/delta relations are stored per SCC predicate).
+    std::vector<PredId> scc_preds = scc.predicates;
+    auto scc_pred_index = [&](PredId p) -> int {
+      for (size_t i = 0; i < scc_preds.size(); ++i) {
+        if (scc_preds[i] == p) return static_cast<int>(i);
+      }
+      return -1;
+    };
+
     if (!scc.recursive) {
       // One pass: all body atoms refer to earlier SCCs.
       for (const DatalogRule* rule : rules) {
@@ -105,22 +119,31 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
     }
 
     if (mode == DatalogEvalMode::kNaive) {
-      // Re-run every rule over full relations until nothing is new.
+      // Re-run every rule over the relations as they stood at the start of
+      // the round (snapshot semantics), inserting only after every rule ran.
+      // This makes a "round" mean the same thing in both modes — see the
+      // round-counting contract on DatalogEvalStats in eval.h.
       for (;;) {
         ++stats->rounds;
+        std::vector<Relation> fresh;
+        for (PredId p : scc_preds) {
+          fresh.emplace_back(program.PredicateArity(p));
+        }
         size_t added = 0;
         for (const DatalogRule* rule : rules) {
           std::vector<const Relation*> sources;
           for (const DatalogAtom& atom : rule->body) {
             sources.push_back(rel_of(atom.predicate));
           }
-          Relation* head_rel = rel_of(rule->head.predicate);
-          Relation fresh(head_rel->arity());
-          added += ApplyRule(*rule, sources, *head_rel, &fresh, stats);
-          head_rel->InsertAll(fresh);
+          int hd = scc_pred_index(rule->head.predicate);
+          added += ApplyRule(*rule, sources, *rel_of(rule->head.predicate),
+                             &fresh[hd], stats);
         }
         stats->tuples_derived += added;
         if (added == 0) break;
+        for (size_t i = 0; i < scc_preds.size(); ++i) {
+          rel_of(scc_preds[i])->InsertAll(fresh[i]);
+        }
       }
       continue;
     }
@@ -128,30 +151,28 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
     // Semi-naive. Deltas per SCC predicate, seeded by one full pass (SCC
     // relations start empty, so only exit rules fire).
     std::vector<Relation> delta;
-    std::vector<PredId> scc_preds = scc.predicates;
-    auto delta_index = [&](PredId p) -> int {
-      for (size_t i = 0; i < scc_preds.size(); ++i) {
-        if (scc_preds[i] == p) return static_cast<int>(i);
-      }
-      return -1;
-    };
     for (PredId p : scc_preds) {
       delta.emplace_back(program.PredicateArity(p));
     }
     ++stats->rounds;
+    size_t seed_added = 0;
     for (const DatalogRule* rule : rules) {
       std::vector<const Relation*> sources;
       for (const DatalogAtom& atom : rule->body) {
         sources.push_back(rel_of(atom.predicate));
       }
       Relation* head_rel = rel_of(rule->head.predicate);
-      int di = delta_index(rule->head.predicate);
-      stats->tuples_derived +=
-          ApplyRule(*rule, sources, *head_rel, &delta[di], stats);
+      int di = scc_pred_index(rule->head.predicate);
+      seed_added += ApplyRule(*rule, sources, *head_rel, &delta[di], stats);
     }
+    stats->tuples_derived += seed_added;
     for (size_t i = 0; i < scc_preds.size(); ++i) {
       rel_of(scc_preds[i])->InsertAll(delta[i]);
     }
+    // An empty seed delta already confirms the fixpoint: every delta-bound
+    // rule application below would join against an empty relation. Skipping
+    // the loop keeps the round count identical to naive mode.
+    if (seed_added == 0) continue;
 
     for (;;) {
       ++stats->rounds;
@@ -164,7 +185,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
         // One application per occurrence of an SCC predicate in the body,
         // with that occurrence bound to the delta.
         for (size_t i = 0; i < rule->body.size(); ++i) {
-          int di = delta_index(rule->body[i].predicate);
+          int di = scc_pred_index(rule->body[i].predicate);
           if (di < 0) continue;
           std::vector<const Relation*> sources;
           for (size_t j = 0; j < rule->body.size(); ++j) {
@@ -175,7 +196,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
             }
           }
           Relation* head_rel = rel_of(rule->head.predicate);
-          int hd = delta_index(rule->head.predicate);
+          int hd = scc_pred_index(rule->head.predicate);
           added += ApplyRule(*rule, sources, *head_rel, &next_delta[hd],
                              stats);
         }
@@ -188,6 +209,18 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
       delta = std::move(next_delta);
     }
   }
+
+  // Flush this evaluation into the shared observability registry (the
+  // datalog.* vocabulary; the legacy stats struct doubles as the local
+  // accumulator so hot loops never touch shared state).
+  obs::DatalogCounters& counters = obs::DatalogCounters::Get();
+  counters.evals.Increment();
+  counters.rounds.Add(stats->rounds);
+  counters.rule_applications.Add(stats->rule_applications);
+  counters.tuples_considered.Add(stats->tuples_considered);
+  counters.tuples_derived.Add(stats->tuples_derived);
+  span.AddAttr("rounds", stats->rounds);
+  span.AddAttr("tuples_considered", stats->tuples_considered);
   return db;
 }
 

@@ -7,6 +7,21 @@
 // delta, so a fact participates in new derivations only in the round after
 // it appears; the naive mode re-derives everything every round. The
 // benchmark bench_datalog_eval measures the classic gap between the two.
+//
+// Round-counting contract (shared by both modes): a *round* is one pass
+// over an SCC's rule set evaluated against the relations as they stood at
+// the start of that pass. A non-recursive SCC contributes exactly one
+// round; a recursive SCC contributes one round per fixpoint pass executed,
+// including the final pass that derives nothing (the fixpoint
+// confirmation). Both modes evaluate rounds against the round-start
+// snapshot — naive defers inserts until a pass completes, and semi-naive's
+// seeding pass counts as round one (when it derives nothing the fixpoint
+// is already confirmed and no delta pass runs) — so for any program and
+// database `rounds` is identical in the two modes; only the work done per
+// round (rule_applications, tuples_considered) differs. All four fields
+// are mirrored into the process-wide observability registry under the
+// `datalog.*` counter names (see docs/OBSERVABILITY.md); this struct is
+// the per-call adapter view.
 #ifndef RQ_DATALOG_EVAL_H_
 #define RQ_DATALOG_EVAL_H_
 

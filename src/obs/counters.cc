@@ -1,0 +1,66 @@
+#include "obs/counters.h"
+
+namespace rq {
+namespace obs {
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  auto counter = std::unique_ptr<Counter>(new Counter(std::string(name)));
+  Counter* raw = counter.get();
+  counters_.emplace(std::string(name), std::move(counter));
+  return raw;
+}
+
+std::vector<CounterSample> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->value()});
+  }
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter* GetCounter(std::string_view name) {
+  return Registry::Global().GetCounter(name);
+}
+
+CounterDelta::CounterDelta() {
+  for (CounterSample& sample : Registry::Global().Snapshot()) {
+    baseline_.emplace(std::move(sample.name), sample.value);
+  }
+}
+
+uint64_t CounterDelta::Delta(std::string_view name) const {
+  uint64_t now = Registry::Global().GetCounter(name)->value();
+  auto it = baseline_.find(name);
+  uint64_t base = it == baseline_.end() ? 0 : it->second;
+  return now - base;
+}
+
+std::vector<CounterSample> CounterDelta::Deltas() const {
+  std::vector<CounterSample> out;
+  for (CounterSample& sample : Registry::Global().Snapshot()) {
+    auto it = baseline_.find(sample.name);
+    uint64_t base = it == baseline_.end() ? 0 : it->second;
+    if (sample.value > base) out.push_back({sample.name, sample.value - base});
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rq

@@ -1,0 +1,98 @@
+// Process-wide registry of named counters (the observability layer's
+// metric store; see docs/OBSERVABILITY.md).
+//
+// Counters are registered on first use and live for the process lifetime;
+// handles are stable pointers, so hot paths hold a Counter* and add to it
+// with a relaxed atomic — no lock, no lookup. Subsystems batch their counts
+// locally and flush once per operation (see obs/subsystems.h), keeping the
+// instrumented hot loops free of shared-memory traffic.
+//
+// Naming scheme: `<subsystem>.<noun>`, lower_snake_case nouns, e.g.
+// `containment.states_explored`, `datalog.tuples_considered`. The full
+// vocabulary is documented in docs/OBSERVABILITY.md and defined in
+// obs/subsystems.h.
+#ifndef RQ_OBS_COUNTERS_H_
+#define RQ_OBS_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rq {
+namespace obs {
+
+// A named monotonic counter. Obtained from the registry; never destroyed.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+// The process-wide counter registry. Lookup takes a lock; callers cache the
+// returned handle (cheap pointer) instead of looking up per event.
+class Registry {
+ public:
+  static Registry& Global();
+
+  // Interns `name`, returning the same handle for the same name forever.
+  Counter* GetCounter(std::string_view name);
+
+  // Name-sorted snapshot of all registered counters.
+  std::vector<CounterSample> Snapshot() const;
+
+  // Resets every counter to zero. Meant for tests and for bench harness
+  // runs that want per-run deltas; counters themselves stay registered.
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+};
+
+// Shorthand for Registry::Global().GetCounter(name).
+Counter* GetCounter(std::string_view name);
+
+// Captures all counter values at construction; Delta(name) reports how much
+// a counter grew since then (0 for counters registered later with no
+// baseline). The standard way for tests and CLI tools to attribute counts
+// to one operation.
+class CounterDelta {
+ public:
+  CounterDelta();
+
+  uint64_t Delta(std::string_view name) const;
+
+  // All counters that grew since construction, name-sorted.
+  std::vector<CounterSample> Deltas() const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> baseline_;
+};
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_COUNTERS_H_

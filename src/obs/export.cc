@@ -1,0 +1,108 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace rq {
+namespace obs {
+
+JsonValue SnapshotJson() {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", JsonValue::String("rq-obs/1"));
+
+  JsonValue counters = JsonValue::Array();
+  for (const CounterSample& sample : Registry::Global().Snapshot()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(sample.name));
+    entry.Set("value", JsonValue::Number(sample.value));
+    counters.Append(std::move(entry));
+  }
+  root.Set("counters", std::move(counters));
+
+  JsonValue span_stats = JsonValue::Array();
+  for (const SpanStats& stats : CollectSpanStats()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(stats.name));
+    entry.Set("count", JsonValue::Number(stats.count));
+    entry.Set("total_ns", JsonValue::Number(stats.total_ns));
+    span_stats.Append(std::move(entry));
+  }
+  root.Set("span_stats", std::move(span_stats));
+
+  if (CurrentTraceMode() == TraceMode::kFull) {
+    JsonValue spans = JsonValue::Array();
+    for (const SpanRecord& record : CollectSpanRecords()) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", JsonValue::String(record.name));
+      entry.Set("start_ns", JsonValue::Number(record.start_ns));
+      entry.Set("duration_ns", JsonValue::Number(record.duration_ns));
+      entry.Set("depth", JsonValue::Number(static_cast<uint64_t>(record.depth)));
+      entry.Set("parent", JsonValue::Number(static_cast<int64_t>(record.parent)));
+      JsonValue attrs = JsonValue::Object();
+      for (const auto& [key, value] : record.attrs) {
+        attrs.Set(key, JsonValue::Number(value));
+      }
+      entry.Set("attrs", std::move(attrs));
+      spans.Append(std::move(entry));
+    }
+    root.Set("spans", std::move(spans));
+    root.Set("dropped_spans", JsonValue::Number(DroppedSpanRecords()));
+  }
+  return root;
+}
+
+std::string SnapshotJsonString() { return SnapshotJson().Dump(2); }
+
+Status WriteSnapshotJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  std::string text = SnapshotJsonString();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void PrintSpanTree(std::FILE* out) {
+  if (CurrentTraceMode() == TraceMode::kFull) {
+    std::vector<SpanRecord> records = CollectSpanRecords();
+    if (records.empty()) {
+      std::fprintf(out, "(no spans recorded)\n");
+    }
+    for (const SpanRecord& record : records) {
+      std::fprintf(out, "%*s%s  %.3f ms", 2 * record.depth, "",
+                   record.name.c_str(),
+                   static_cast<double>(record.duration_ns) / 1e6);
+      for (const auto& [key, value] : record.attrs) {
+        std::fprintf(out, "  %s=%" PRIu64, key.c_str(), value);
+      }
+      std::fprintf(out, "\n");
+    }
+    uint64_t dropped = DroppedSpanRecords();
+    if (dropped > 0) {
+      std::fprintf(out, "(%" PRIu64 " spans dropped beyond the record cap)\n",
+                   dropped);
+    }
+  } else {
+    for (const SpanStats& stats : CollectSpanStats()) {
+      std::fprintf(out, "%s  count=%" PRIu64 "  total=%.3f ms\n",
+                   stats.name.c_str(), stats.count,
+                   static_cast<double>(stats.total_ns) / 1e6);
+    }
+  }
+  std::fprintf(out, "counters:\n");
+  for (const CounterSample& sample : Registry::Global().Snapshot()) {
+    if (sample.value == 0) continue;
+    std::fprintf(out, "  %s = %" PRIu64 "\n", sample.name.c_str(),
+                 sample.value);
+  }
+}
+
+}  // namespace obs
+}  // namespace rq

@@ -1,0 +1,49 @@
+// JSON export of the observability state (schema "rq-obs/1") and the
+// human-readable span tree used by `rqcheck --trace` / `rqeval --trace`.
+//
+// Snapshot schema (stable; see docs/OBSERVABILITY.md):
+//
+//   {
+//     "schema": "rq-obs/1",
+//     "counters": [ {"name": "...", "value": N}, ... ],          // sorted
+//     "span_stats": [ {"name": "...", "count": N,
+//                      "total_ns": N}, ... ],                    // sorted
+//     "spans": [ {"name": "...", "start_ns": N, "duration_ns": N,
+//                 "depth": N, "parent": I,                       // -1 = root
+//                 "attrs": {"key": N, ...}}, ... ],              // start order
+//     "dropped_spans": N
+//   }
+//
+// "spans" is present only when full tracing was on; "span_stats" covers
+// both enabled modes. One JSON object per snapshot; arrays hold one entry
+// per counter / span.
+#ifndef RQ_OBS_EXPORT_H_
+#define RQ_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace rq {
+namespace obs {
+
+// The full observability snapshot as a JSON document.
+JsonValue SnapshotJson();
+
+// Serialized snapshot (pretty-printed, trailing newline).
+std::string SnapshotJsonString();
+
+// Writes the snapshot to `path` (overwrites).
+Status WriteSnapshotJsonFile(const std::string& path);
+
+// Prints the recorded spans as an indented tree with durations and attrs,
+// followed by the non-zero counters. Requires full tracing; in aggregate
+// mode prints per-name totals instead.
+void PrintSpanTree(std::FILE* out);
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_EXPORT_H_

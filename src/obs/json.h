@@ -1,0 +1,83 @@
+// Minimal zero-dependency JSON document model with a writer and a strict
+// parser. Exists so the observability layer can emit and round-trip its
+// export schema (docs/OBSERVABILITY.md) without external libraries; it is
+// not a general-purpose JSON library (numbers are doubles, no \u escapes
+// beyond ASCII passthrough on output).
+#ifndef RQ_OBS_JSON_H_
+#define RQ_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rq {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double value);
+  static JsonValue Number(uint64_t value);
+  static JsonValue Number(int64_t value);
+  static JsonValue String(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  uint64_t uint_value() const { return static_cast<uint64_t>(number_); }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  std::vector<JsonValue>& items() { return items_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  // Object access (insertion order preserved).
+  std::vector<std::pair<std::string, JsonValue>>& members() {
+    return members_;
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(std::string key, JsonValue value);
+  // nullptr when absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Serializes; `indent` < 0 means compact single-line output, otherwise
+  // pretty-printed with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  // Strict parse of a complete JSON document (trailing garbage is an
+  // error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Escapes a string for inclusion in JSON output (without the quotes).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_JSON_H_

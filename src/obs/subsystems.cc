@@ -1,0 +1,45 @@
+#include "obs/subsystems.h"
+
+namespace rq {
+namespace obs {
+
+// Each view is a leaked singleton: the handles inside point into the
+// process-lifetime registry, so tearing them down at exit buys nothing.
+
+RegexCounters& RegexCounters::Get() {
+  static RegexCounters* instance = new RegexCounters();
+  return *instance;
+}
+
+ContainmentCounters& ContainmentCounters::Get() {
+  static ContainmentCounters* instance = new ContainmentCounters();
+  return *instance;
+}
+
+FoldCounters& FoldCounters::Get() {
+  static FoldCounters* instance = new FoldCounters();
+  return *instance;
+}
+
+ComplementCounters& ComplementCounters::Get() {
+  static ComplementCounters* instance = new ComplementCounters();
+  return *instance;
+}
+
+CqCounters& CqCounters::Get() {
+  static CqCounters* instance = new CqCounters();
+  return *instance;
+}
+
+RqCounters& RqCounters::Get() {
+  static RqCounters* instance = new RqCounters();
+  return *instance;
+}
+
+DatalogCounters& DatalogCounters::Get() {
+  static DatalogCounters* instance = new DatalogCounters();
+  return *instance;
+}
+
+}  // namespace obs
+}  // namespace rq

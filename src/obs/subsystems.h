@@ -1,0 +1,101 @@
+// Typed views over the observability registry: one struct per instrumented
+// subsystem, each member a cached handle to a registered counter. These
+// define the unified counter vocabulary (`<subsystem>.<noun>`) that replaces
+// the previously divergent per-module stats fields:
+//
+//   legacy field / bench counter            unified counter
+//   ------------------------------------    --------------------------------
+//   LanguageContainmentResult::             containment.states_explored
+//       explored_states
+//   PathContainmentResult::explored_states  containment.states_explored
+//   bench "states/bound" (fold size)        fold.states
+//   DatalogEvalStats::rounds                datalog.rounds
+//   DatalogEvalStats::rule_applications     datalog.rule_applications
+//   DatalogEvalStats::tuples_considered     datalog.tuples_considered
+//   DatalogEvalStats::tuples_derived        datalog.tuples_derived
+//
+// The legacy structs remain as thin adapters (same fields, same call
+// signatures); the subsystems fill both. Hot loops accumulate into locals
+// and flush here once per operation, so registry traffic is O(operations),
+// not O(inner-loop steps). Full vocabulary: docs/OBSERVABILITY.md.
+#ifndef RQ_OBS_SUBSYSTEMS_H_
+#define RQ_OBS_SUBSYSTEMS_H_
+
+#include "obs/counters.h"
+
+namespace rq {
+namespace obs {
+
+// Regex → NFA translation (paper §3.1).
+struct RegexCounters {
+  Counter& nfa_builds = *GetCounter("regex.nfa_builds");
+  Counter& nfa_states = *GetCounter("regex.nfa_states");
+
+  static RegexCounters& Get();
+};
+
+// On-the-fly product search for language containment (§3.2, Lemma 1) —
+// shared by the plain, antichain, explicit, and fold-pipeline checkers.
+struct ContainmentCounters {
+  Counter& checks = *GetCounter("containment.checks");
+  Counter& states_explored = *GetCounter("containment.states_explored");
+  Counter& refuted = *GetCounter("containment.refuted");
+
+  static ContainmentCounters& Get();
+};
+
+// Fold construction (§3.2, Lemma 3).
+struct FoldCounters {
+  Counter& constructions = *GetCounter("fold.constructions");
+  Counter& states = *GetCounter("fold.states");
+  Counter& transitions = *GetCounter("fold.transitions");
+
+  static FoldCounters& Get();
+};
+
+// 2NFA complementation (Lemma 4, Vardi 1989).
+struct ComplementCounters {
+  Counter& constructions = *GetCounter("complement.constructions");
+  Counter& states = *GetCounter("complement.states");
+  Counter& budget_exhausted = *GetCounter("complement.budget_exhausted");
+
+  static ComplementCounters& Get();
+};
+
+// CQ/UCQ homomorphism search (Chandra-Merlin / Sagiv-Yannakakis, §2.3).
+struct CqCounters {
+  Counter& hom_checks = *GetCounter("cq.hom_checks");
+  Counter& canonical_evals = *GetCounter("cq.canonical_evals");
+
+  static CqCounters& Get();
+};
+
+// RQ expansion enumeration and containment dispatch (§3.4, Theorem 7).
+struct RqCounters {
+  Counter& evals = *GetCounter("rq.evals");
+  Counter& closure_tuples = *GetCounter("rq.closure_tuples");
+  Counter& expansions = *GetCounter("rq.expansions");
+  Counter& expansion_checks = *GetCounter("rq.expansion_checks");
+  Counter& dispatch_2rpq = *GetCounter("rq.dispatch_2rpq");
+  Counter& dispatch_uc2rpq = *GetCounter("rq.dispatch_uc2rpq");
+  Counter& dispatch_expansion = *GetCounter("rq.dispatch_expansion");
+  Counter& dispatch_structural = *GetCounter("rq.dispatch_structural");
+
+  static RqCounters& Get();
+};
+
+// Datalog fixpoint engine (§2.2), naive and semi-naive modes.
+struct DatalogCounters {
+  Counter& evals = *GetCounter("datalog.evals");
+  Counter& rounds = *GetCounter("datalog.rounds");
+  Counter& rule_applications = *GetCounter("datalog.rule_applications");
+  Counter& tuples_considered = *GetCounter("datalog.tuples_considered");
+  Counter& tuples_derived = *GetCounter("datalog.tuples_derived");
+
+  static DatalogCounters& Get();
+};
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_SUBSYSTEMS_H_

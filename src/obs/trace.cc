@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace rq {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceMode> g_mode{TraceMode::kDisabled};
+
+struct TraceState {
+  std::mutex mu;
+  std::chrono::steady_clock::time_point session_start =
+      std::chrono::steady_clock::now();
+  std::vector<SpanRecord> records;
+  std::map<std::string, SpanStats, std::less<>> stats;
+  uint64_t dropped = 0;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // never destroyed
+  return *state;
+}
+
+// Per-thread stack of open span record indices (-1 for aggregate-only
+// spans), used to derive depth and parent for new spans.
+struct ThreadStack {
+  std::vector<int32_t> open;
+};
+
+ThreadStack& LocalStack() {
+  thread_local ThreadStack stack;
+  return stack;
+}
+
+uint64_t NowNs(const TraceState& state) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state.session_start)
+          .count());
+}
+
+void ClearLocked(TraceState& state) {
+  state.records.clear();
+  state.stats.clear();
+  state.dropped = 0;
+  state.session_start = std::chrono::steady_clock::now();
+}
+
+}  // namespace
+
+TraceMode CurrentTraceMode() {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void SetTraceMode(TraceMode mode) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  g_mode.store(mode, std::memory_order_relaxed);
+  ClearLocked(state);
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ClearLocked(state);
+}
+
+std::vector<SpanRecord> CollectSpanRecords() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.records;
+}
+
+std::vector<SpanStats> CollectSpanStats() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<SpanStats> out;
+  out.reserve(state.stats.size());
+  for (const auto& [name, stats] : state.stats) out.push_back(stats);
+  return out;
+}
+
+uint64_t DroppedSpanRecords() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.dropped;
+}
+
+void ScopedSpan::Begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  record_index_ = -1;
+  TraceState& state = State();
+  ThreadStack& stack = LocalStack();
+  // One timestamp for both the record row and the duration base, so a
+  // parent's start+duration always covers its children's.
+  start_ns_ = NowNs(state);
+  if (CurrentTraceMode() == TraceMode::kFull) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.records.size() < kMaxRecordedSpans) {
+      SpanRecord record;
+      record.name = name;
+      record.start_ns = start_ns_;
+      record.depth = static_cast<uint32_t>(stack.open.size());
+      // Nearest enclosing span that has a recorded row.
+      for (auto it = stack.open.rbegin(); it != stack.open.rend(); ++it) {
+        if (*it >= 0) {
+          record.parent = *it;
+          break;
+        }
+      }
+      record_index_ = static_cast<int32_t>(state.records.size());
+      state.records.push_back(std::move(record));
+    } else {
+      ++state.dropped;
+    }
+  }
+  stack.open.push_back(record_index_);
+}
+
+void ScopedSpan::End() {
+  TraceState& state = State();
+  uint64_t duration = NowNs(state) - start_ns_;
+  ThreadStack& stack = LocalStack();
+  if (!stack.open.empty()) stack.open.pop_back();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (record_index_ >= 0 &&
+      static_cast<size_t>(record_index_) < state.records.size()) {
+    state.records[record_index_].duration_ns = duration;
+  }
+  auto it = state.stats.find(name_);
+  if (it == state.stats.end()) {
+    it = state.stats.emplace(name_, SpanStats{name_, 0, 0}).first;
+  }
+  ++it->second.count;
+  it->second.total_ns += duration;
+  active_ = false;
+}
+
+void ScopedSpan::AddAttr(const char* key, uint64_t value) {
+  if (!active_ || record_index_ < 0) return;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (static_cast<size_t>(record_index_) < state.records.size()) {
+    state.records[record_index_].attrs.emplace_back(key, value);
+  }
+}
+
+}  // namespace obs
+}  // namespace rq

@@ -1,0 +1,119 @@
+// Scoped span tracing (the observability layer's timing store; see
+// docs/OBSERVABILITY.md).
+//
+//   void FoldTwoNfa(...) {
+//     RQ_TRACE_SPAN("fold.construct");
+//     ...
+//   }
+//
+// Spans record wall-time and nesting (depth + parent index), and may carry
+// numeric attributes (typically counter values for the traced operation).
+// Tracing is off by default: a disabled RQ_TRACE_SPAN costs one relaxed
+// atomic load and a predictable branch, so instrumented hot paths stay at
+// full speed (bench_rpq_containment is the regression guard, budget ≤2%).
+//
+// Two enabled modes:
+//  * kAggregate — only per-name totals (count, total wall-time) are kept;
+//    bounded memory, suitable for benchmark loops running millions of
+//    operations.
+//  * kFull — every span is additionally recorded as a row (name, start,
+//    duration, depth, parent), capped at kMaxRecordedSpans to bound memory;
+//    spans beyond the cap still aggregate. Suitable for tracing single CLI
+//    invocations (rqcheck --trace).
+//
+// Span names follow the counter naming scheme `<subsystem>.<verb-or-noun>`.
+// Nesting is tracked per thread; the recorded rows are shared process-wide.
+#ifndef RQ_OBS_TRACE_H_
+#define RQ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rq {
+namespace obs {
+
+enum class TraceMode {
+  kDisabled,
+  kAggregate,
+  kFull,
+};
+
+// A finished (or still open, duration 0) span row, in start order.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;     // relative to the trace session start
+  uint64_t duration_ns = 0;  // 0 while the span is open
+  uint32_t depth = 0;        // nesting depth within its thread, root = 0
+  int32_t parent = -1;       // index into the record vector, -1 for roots
+  std::vector<std::pair<std::string, uint64_t>> attrs;
+};
+
+// Per-name aggregate over all spans since the session started (both
+// enabled modes maintain these).
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+inline constexpr size_t kMaxRecordedSpans = 1 << 20;
+
+TraceMode CurrentTraceMode();
+// Switching modes clears any previously collected spans and aggregates and
+// restarts the session clock.
+void SetTraceMode(TraceMode mode);
+// Clears collected spans/aggregates and restarts the session clock without
+// changing the mode.
+void ClearTrace();
+
+// Copies of the collected data. Records are in start order; stats are
+// name-sorted.
+std::vector<SpanRecord> CollectSpanRecords();
+std::vector<SpanStats> CollectSpanStats();
+// Number of spans that exceeded kMaxRecordedSpans in kFull mode (they are
+// aggregated but not recorded as rows).
+uint64_t DroppedSpanRecords();
+
+// RAII span. `name` must outlive the span (string literals only).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (CurrentTraceMode() != TraceMode::kDisabled) Begin(name);
+  }
+  ~ScopedSpan() {
+    if (active_) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a numeric attribute (no-op when tracing is disabled or the
+  // span's row was dropped by the cap).
+  void AddAttr(const char* key, uint64_t value);
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  int32_t record_index_ = -1;  // -1 when not recorded (aggregate-only)
+  uint64_t start_ns_ = 0;
+};
+
+#define RQ_OBS_CONCAT_INNER(a, b) a##b
+#define RQ_OBS_CONCAT(a, b) RQ_OBS_CONCAT_INNER(a, b)
+
+// Opens a span for the rest of the enclosing scope.
+#define RQ_TRACE_SPAN(name) \
+  ::rq::obs::ScopedSpan RQ_OBS_CONCAT(rq_obs_span_, __LINE__)(name)
+
+// Variant that names the span object so attributes can be attached.
+#define RQ_TRACE_SPAN_VAR(var, name) ::rq::obs::ScopedSpan var(name)
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_TRACE_H_

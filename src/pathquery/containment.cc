@@ -8,6 +8,8 @@
 #include "automata/nfa.h"
 #include "automata/reduce.h"
 #include "graph/generators.h"
+#include "obs/subsystems.h"
+#include "obs/trace.h"
 #include "twoway/fold.h"
 #include "twoway/tables.h"
 
@@ -24,10 +26,9 @@ uint32_t SymbolUniverse(const Regex& q1, const Regex& q2,
   return (k + 1) & ~1u;
 }
 
-}  // namespace
-
-PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
-                                             const Alphabet& alphabet) {
+PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
+                                                 const Regex& q2,
+                                                 const Alphabet& alphabet) {
   const uint32_t k = SymbolUniverse(q1, q2, alphabet);
   PathContainmentResult result;
   result.used_fold_pipeline = true;
@@ -106,6 +107,22 @@ PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
     }
   }
   result.contained = true;
+  return result;
+}
+
+}  // namespace
+
+PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
+                                             const Alphabet& alphabet) {
+  // The fold-pipeline product search shares the containment.* vocabulary
+  // with the one-way checkers (docs/OBSERVABILITY.md).
+  RQ_TRACE_SPAN_VAR(span, "containment.fold_pipeline");
+  PathContainmentResult result = CheckTwoWayContainmentImpl(q1, q2, alphabet);
+  obs::ContainmentCounters& counters = obs::ContainmentCounters::Get();
+  counters.checks.Increment();
+  counters.states_explored.Add(result.explored_states);
+  if (!result.contained) counters.refuted.Increment();
+  span.AddAttr("states_explored", result.explored_states);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/strings.h"
+#include "obs/subsystems.h"
 
 namespace rq {
 
@@ -248,6 +249,9 @@ Nfa Regex::ToNfa(uint32_t num_symbols) const {
   Fragment f = Build(*this, &nfa);
   nfa.AddInitial(f.entry);
   nfa.SetAccepting(f.exit);
+  obs::RegexCounters& counters = obs::RegexCounters::Get();
+  counters.nfa_builds.Increment();
+  counters.nfa_states.Add(nfa.num_states());
   return nfa;
 }
 

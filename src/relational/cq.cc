@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "obs/subsystems.h"
+#include "obs/trace.h"
 
 namespace rq {
 
@@ -154,11 +156,15 @@ Result<Relation> EvalUcq(const Database& db,
 
 Result<bool> CqContained(const ConjunctiveQuery& q1,
                          const ConjunctiveQuery& q2) {
+  RQ_TRACE_SPAN("cq.containment");
   RQ_RETURN_IF_ERROR(q1.Validate());
   RQ_RETURN_IF_ERROR(q2.Validate());
   if (q1.arity() != q2.arity()) {
     return InvalidArgumentError("CqContained: arity mismatch");
   }
+  obs::CqCounters& counters = obs::CqCounters::Get();
+  counters.hom_checks.Increment();
+  counters.canonical_evals.Increment();
   Database canonical = q1.CanonicalDatabase();
   RQ_ASSIGN_OR_RETURN(Relation answers, EvalCq(canonical, q2));
   return answers.Contains(q1.FrozenHead());
@@ -188,6 +194,7 @@ Result<std::optional<std::vector<Value>>> CqContainmentWitness(
     }
     atoms.push_back({rel, atom.vars});
   }
+  obs::CqCounters::Get().hom_checks.Increment();
   std::optional<std::vector<Value>> witness;
   MatchConjunction(atoms, q2.num_vars,
                    [&](const std::vector<Value>& binding) {
@@ -199,12 +206,18 @@ Result<std::optional<std::vector<Value>>> CqContainmentWitness(
 
 Result<bool> UcqContained(const UnionOfConjunctiveQueries& q1,
                           const UnionOfConjunctiveQueries& q2) {
+  RQ_TRACE_SPAN("cq.ucq_containment");
   RQ_RETURN_IF_ERROR(q1.Validate());
   RQ_RETURN_IF_ERROR(q2.Validate());
   if (q1.disjuncts[0].arity() != q2.disjuncts[0].arity()) {
     return InvalidArgumentError("UcqContained: arity mismatch");
   }
+  obs::CqCounters& counters = obs::CqCounters::Get();
   for (const ConjunctiveQuery& q : q1.disjuncts) {
+    // One canonical database per left disjunct; evaluating the right union
+    // over it performs one homomorphism check per right disjunct.
+    counters.canonical_evals.Increment();
+    counters.hom_checks.Add(q2.disjuncts.size());
     Database canonical = q.CanonicalDatabase();
     RQ_ASSIGN_OR_RETURN(Relation answers, EvalUcq(canonical, q2));
     if (!answers.Contains(q.FrozenHead())) return false;

@@ -1,6 +1,8 @@
 #include "rq/containment.h"
 
 #include "graph/generators.h"
+#include "obs/subsystems.h"
+#include "obs/trace.h"
 #include "pathquery/containment.h"
 #include "rq/eval.h"
 #include "rq/lower.h"
@@ -37,6 +39,7 @@ void AttachSemipathCounterexample(const Alphabet& alphabet,
 Result<RqContainmentResult> CheckRqContainment(
     const RqQuery& q1, const RqQuery& q2,
     const RqContainmentOptions& options) {
+  RQ_TRACE_SPAN("rq.containment");
   RQ_RETURN_IF_ERROR(q1.Validate());
   RQ_RETURN_IF_ERROR(q2.Validate());
   if (q1.arity() != q2.arity()) {
@@ -51,6 +54,7 @@ Result<RqContainmentResult> CheckRqContainment(
     std::optional<RegexPtr> r1 = TryLowerQuery(q1, &alphabet);
     std::optional<RegexPtr> r2 = TryLowerQuery(q2, &alphabet);
     if (r1.has_value() && r2.has_value()) {
+      obs::RqCounters::Get().dispatch_2rpq.Increment();
       PathContainmentResult path =
           CheckPathQueryContainment(**r1, **r2, alphabet);
       result.method = "2rpq-fold";
@@ -77,6 +81,7 @@ Result<RqContainmentResult> CheckRqContainment(
       RQ_ASSIGN_OR_RETURN(CrpqContainmentResult crpq,
                           CheckUc2RpqContainment(*u1, *u2, alphabet));
       if (crpq.certainty != Certainty::kUnknownUpToBound) {
+        obs::RqCounters::Get().dispatch_uc2rpq.Increment();
         result.method = "uc2rpq:" + crpq.method;
         result.certainty = crpq.certainty;
         if (crpq.counterexample.has_value()) {
@@ -92,10 +97,13 @@ Result<RqContainmentResult> CheckRqContainment(
   // database of each expansion of Q1 must answer the frozen head.
   RQ_ASSIGN_OR_RETURN(RqExpansions expansions,
                       ExpandRq(q1, options.expand));
+  obs::RqCounters& counters = obs::RqCounters::Get();
+  counters.dispatch_expansion.Increment();
   result.method =
       expansions.complete ? "expansion-exact" : "expansion-bounded";
   for (const ConjunctiveQuery& cq : expansions.expansions) {
     ++result.expansions_checked;
+    counters.expansion_checks.Increment();
     Database canonical = cq.CanonicalDatabase();
     RQ_ASSIGN_OR_RETURN(Relation answers, EvalRqQuery(canonical, q2));
     if (!answers.Contains(cq.FrozenHead())) {
@@ -113,6 +121,7 @@ Result<RqContainmentResult> CheckRqContainment(
   // incomplete: try the sound structural proof rules (TC-monotonicity,
   // disjunct selection, congruences) before settling for unknown.
   if (StructurallyContained(q1, q2, options)) {
+    counters.dispatch_structural.Increment();
     result.certainty = Certainty::kProved;
     result.method = "structural";
     return result;

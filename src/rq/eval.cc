@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/subsystems.h"
+#include "obs/trace.h"
 #include "relational/matcher.h"
 
 namespace rq {
@@ -34,6 +36,7 @@ Relation BinaryTransitiveClosure(const Relation& base) {
     total.InsertAll(next);
     delta = std::move(next);
   }
+  obs::RqCounters::Get().closure_tuples.Add(total.size());
   return total;
 }
 
@@ -171,6 +174,8 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
 }
 
 Result<Relation> EvalRqQuery(const Database& db, const RqQuery& query) {
+  RQ_TRACE_SPAN("rq.eval");
+  obs::RqCounters::Get().evals.Increment();
   RQ_RETURN_IF_ERROR(query.Validate());
   RQ_ASSIGN_OR_RETURN(RqRelation result, EvalRqExpr(db, *query.root));
   Relation out(query.head.size());

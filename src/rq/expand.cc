@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/subsystems.h"
+#include "obs/trace.h"
+
 namespace rq {
 
 namespace {
@@ -153,6 +156,7 @@ class UnionFind {
 
 Result<RqExpansions> ExpandRq(const RqQuery& query,
                               const RqExpandLimits& limits) {
+  RQ_TRACE_SPAN_VAR(span, "rq.expand");
   RQ_RETURN_IF_ERROR(query.Validate());
   Expander expander;
   expander.limits = &limits;
@@ -179,6 +183,8 @@ Result<RqExpansions> ExpandRq(const RqQuery& query,
     RQ_RETURN_IF_ERROR(cq.Validate());
     out.expansions.push_back(std::move(cq));
   }
+  obs::RqCounters::Get().expansions.Add(out.expansions.size());
+  span.AddAttr("expansions", out.expansions.size());
   return out;
 }
 

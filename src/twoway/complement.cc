@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/subsystems.h"
+#include "obs/trace.h"
+
 namespace rq {
 
 namespace {
@@ -36,7 +39,9 @@ bool CellOk(const CellArrows& ca, uint32_t pred, uint32_t mid,
 
 }  // namespace
 
-Result<Nfa> VardiComplementNfa(const TwoNfa& m, size_t max_states) {
+namespace {
+
+Result<Nfa> VardiComplementNfaImpl(const TwoNfa& m, size_t max_states) {
   const uint32_t n = m.num_states();
   if (n > 20) {
     return InvalidArgumentError(
@@ -134,6 +139,22 @@ Result<Nfa> VardiComplementNfa(const TwoNfa& m, size_t max_states) {
     out.AddInitial(s);
   }
   return out;
+}
+
+}  // namespace
+
+Result<Nfa> VardiComplementNfa(const TwoNfa& m, size_t max_states) {
+  RQ_TRACE_SPAN_VAR(span, "complement.construct");
+  Result<Nfa> result = VardiComplementNfaImpl(m, max_states);
+  obs::ComplementCounters& counters = obs::ComplementCounters::Get();
+  counters.constructions.Increment();
+  if (result.ok()) {
+    counters.states.Add(result->num_states());
+    span.AddAttr("states", result->num_states());
+  } else if (result.status().code() == StatusCode::kResourceExhausted) {
+    counters.budget_exhausted.Increment();
+  }
+  return result;
 }
 
 }  // namespace rq

@@ -2,6 +2,9 @@
 
 #include <deque>
 
+#include "obs/subsystems.h"
+#include "obs/trace.h"
+
 namespace rq {
 
 bool Folds(const std::vector<Symbol>& v, const std::vector<Symbol>& u) {
@@ -24,6 +27,7 @@ bool Folds(const std::vector<Symbol>& v, const std::vector<Symbol>& u) {
 }
 
 TwoNfa FoldTwoNfa(const Nfa& input) {
+  RQ_TRACE_SPAN_VAR(span, "fold.construct");
   const Nfa a = input.HasEpsilons() ? input.WithoutEpsilons() : input;
   const uint32_t k = a.num_symbols();
   TwoNfa out(k);
@@ -68,6 +72,16 @@ TwoNfa FoldTwoNfa(const Nfa& input) {
   for (uint32_t s = 0; s < a.num_states(); ++s) {
     if (a.IsAccepting(s)) out.SetAccepting(none_state(s));
   }
+  uint64_t num_transitions = 0;
+  for (uint32_t s = 0; s < out.num_states(); ++s) {
+    num_transitions += out.TransitionsFrom(s).size();
+  }
+  obs::FoldCounters& counters = obs::FoldCounters::Get();
+  counters.constructions.Increment();
+  counters.states.Add(out.num_states());
+  counters.transitions.Add(num_transitions);
+  span.AddAttr("states", out.num_states());
+  span.AddAttr("transitions", num_transitions);
   return out;
 }
 

@@ -1,0 +1,61 @@
+#include "obs/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace rq {
+namespace obs {
+namespace {
+
+TEST(CountersTest, RegistryInternsHandles) {
+  Counter* a = GetCounter("test.interning");
+  Counter* b = GetCounter("test.interning");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "test.interning");
+  EXPECT_NE(a, GetCounter("test.interning2"));
+}
+
+TEST(CountersTest, AddAndIncrement) {
+  Counter* c = GetCounter("test.add_increment");
+  uint64_t before = c->value();
+  c->Add(40);
+  c->Increment();
+  c->Increment();
+  EXPECT_EQ(c->value(), before + 42);
+}
+
+TEST(CountersTest, SnapshotIsNameSorted) {
+  GetCounter("test.zzz")->Increment();
+  GetCounter("test.aaa")->Increment();
+  std::vector<CounterSample> snapshot = Registry::Global().Snapshot();
+  ASSERT_GE(snapshot.size(), 2u);
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LT(snapshot[i - 1].name, snapshot[i].name);
+  }
+}
+
+TEST(CountersTest, DeltaAttributesOneOperation) {
+  GetCounter("test.delta")->Add(100);
+  CounterDelta delta;
+  EXPECT_EQ(delta.Delta("test.delta"), 0u);
+  GetCounter("test.delta")->Add(7);
+  EXPECT_EQ(delta.Delta("test.delta"), 7u);
+  // Counters registered after the baseline report their full value.
+  GetCounter("test.delta_late")->Add(3);
+  EXPECT_EQ(delta.Delta("test.delta_late"), 3u);
+  // Untouched counters do not show up in Deltas().
+  for (const CounterSample& sample : delta.Deltas()) {
+    EXPECT_NE(sample.value, 0u) << sample.name;
+  }
+}
+
+TEST(CountersTest, ResetAllZeroesButKeepsRegistration) {
+  Counter* c = GetCounter("test.reset");
+  c->Add(5);
+  Registry::Global().ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(GetCounter("test.reset"), c);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rq

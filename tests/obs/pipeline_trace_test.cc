@@ -1,0 +1,39 @@
+// Span nesting over the real containment pipeline: the fold construction
+// (Lemma 3) must appear as a child of the 2RPQ fold-pipeline span.
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "pathquery/containment.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+TEST(PipelineTraceTest, FoldConstructionNestsUnderFoldPipeline) {
+  Alphabet alphabet;
+  RegexPtr r1 = ParseRegex("p", &alphabet).value();
+  RegexPtr r2 = ParseRegex("p p- p", &alphabet).value();
+
+  obs::SetTraceMode(obs::TraceMode::kFull);
+  PathContainmentResult result =
+      CheckPathQueryContainment(*r1, *r2, alphabet);
+  std::vector<obs::SpanRecord> records = obs::CollectSpanRecords();
+  obs::SetTraceMode(obs::TraceMode::kDisabled);
+
+  EXPECT_TRUE(result.contained);
+  int pipeline = -1, fold = -1;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].name == "containment.fold_pipeline") {
+      pipeline = static_cast<int>(i);
+    }
+    if (records[i].name == "fold.construct") fold = static_cast<int>(i);
+  }
+  ASSERT_GE(pipeline, 0);
+  ASSERT_GE(fold, 0);
+  EXPECT_EQ(records[pipeline].depth, 0u);
+  EXPECT_EQ(records[fold].parent, pipeline);
+  EXPECT_EQ(records[fold].depth, records[pipeline].depth + 1);
+}
+
+}  // namespace
+}  // namespace rq

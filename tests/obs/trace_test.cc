@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace rq {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetTraceMode(TraceMode::kDisabled); }
+};
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  SetTraceMode(TraceMode::kDisabled);
+  {
+    RQ_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_TRUE(CollectSpanRecords().empty());
+  EXPECT_TRUE(CollectSpanStats().empty());
+}
+
+TEST_F(TraceTest, FullModeRecordsNestingDepthAndParent) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN("test.outer");
+    { RQ_TRACE_SPAN("test.inner"); }
+    { RQ_TRACE_SPAN("test.inner"); }
+  }
+  std::vector<SpanRecord> records = CollectSpanRecords();
+  ASSERT_EQ(records.size(), 3u);
+  // Start order: outer first, then the two inner spans.
+  EXPECT_EQ(records[0].name, "test.outer");
+  EXPECT_EQ(records[0].depth, 0u);
+  EXPECT_EQ(records[0].parent, -1);
+  for (size_t i : {size_t{1}, size_t{2}}) {
+    EXPECT_EQ(records[i].name, "test.inner");
+    EXPECT_EQ(records[i].depth, 1u);
+    EXPECT_EQ(records[i].parent, 0);
+    EXPECT_LE(records[i].start_ns + records[i].duration_ns,
+              records[0].start_ns + records[0].duration_ns);
+    EXPECT_GE(records[i].start_ns, records[0].start_ns);
+  }
+  EXPECT_EQ(DroppedSpanRecords(), 0u);
+}
+
+TEST_F(TraceTest, AttrsAttachToTheirSpan) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN_VAR(span, "test.attrs");
+    span.AddAttr("answer", 42);
+  }
+  std::vector<SpanRecord> records = CollectSpanRecords();
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].attrs.size(), 1u);
+  EXPECT_EQ(records[0].attrs[0].first, "answer");
+  EXPECT_EQ(records[0].attrs[0].second, 42u);
+}
+
+TEST_F(TraceTest, AggregateModeKeepsStatsOnly) {
+  SetTraceMode(TraceMode::kAggregate);
+  for (int i = 0; i < 5; ++i) {
+    RQ_TRACE_SPAN("test.agg");
+  }
+  EXPECT_TRUE(CollectSpanRecords().empty());
+  std::vector<SpanStats> stats = CollectSpanStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test.agg");
+  EXPECT_EQ(stats[0].count, 5u);
+}
+
+TEST_F(TraceTest, ClearTraceDropsCollectedSpans) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN("test.cleared");
+  }
+  ClearTrace();
+  EXPECT_TRUE(CollectSpanRecords().empty());
+  EXPECT_TRUE(CollectSpanStats().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rq
