@@ -12,16 +12,26 @@
 //   --trace         enable aggregate span tracing during the run (per-name
 //                   count/total time; bounded memory even across millions
 //                   of benchmark iterations).
+//   --cache         enable the content-addressed automata cache
+//                   (docs/CACHING.md) for the whole run. Recorded in the
+//                   report as "cache": true; cache.* counters land in the
+//                   obs snapshot. Benchmarks that manage the cache flag
+//                   themselves (bench_batch_containment) override it.
+//   --jobs N        set the process-default worker count for batched
+//                   containment checks (containment/batch.h).
 //
 // bench/run_all.sh drives every binary through this interface and merges
 // the per-binary reports into BENCH_results.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cache/automata_cache.h"
+#include "containment/batch.h"
 #include "obs/counters.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -50,12 +60,14 @@ std::string Basename(const char* path) {
 }
 
 rq::obs::JsonValue ReportJson(const std::string& binary, bool smoke,
+                              bool cache,
                               const std::vector<CaptureReporter::Run>& runs) {
   using rq::obs::JsonValue;
   JsonValue root = JsonValue::Object();
   root.Set("schema", JsonValue::String("rq-bench/1"));
   root.Set("binary", JsonValue::String(binary));
   root.Set("smoke", JsonValue::Bool(smoke));
+  root.Set("cache", JsonValue::Bool(cache));
 
   JsonValue benchmarks = JsonValue::Array();
   for (const auto& run : runs) {
@@ -94,6 +106,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool smoke = false;
   bool trace = false;
+  bool cache = false;
 
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -107,6 +120,14 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      rq::SetDefaultContainmentJobs(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      rq::SetDefaultContainmentJobs(
+          static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10)));
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -124,6 +145,7 @@ int main(int argc, char** argv) {
   rq::obs::Registry::Global().ResetAll();
   rq::obs::SetTraceMode(trace ? rq::obs::TraceMode::kAggregate
                               : rq::obs::TraceMode::kDisabled);
+  if (cache) rq::cache::AutomataCache::Global().SetEnabled(true);
 
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
@@ -131,7 +153,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     rq::obs::JsonValue report =
-        ReportJson(Basename(argv[0]), smoke, reporter.captured());
+        ReportJson(Basename(argv[0]), smoke, cache, reporter.captured());
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());

@@ -3,9 +3,14 @@
 # per-binary "rq-bench/1" reports into one BENCH_results.json
 # (schema "rq-bench-suite/1").
 #
-# Usage: bench/run_all.sh [--smoke] [--trace] [--build-dir DIR] [--out FILE]
+# Usage: bench/run_all.sh [--smoke] [--trace] [--cache] [--jobs N]
+#                         [--build-dir DIR] [--out FILE]
 #   --smoke       abbreviated pass (~1 ms per benchmark) — CI smoke target
 #   --trace       enable aggregate span tracing in each binary
+#   --cache       enable the automata cache in every binary; the suite
+#                 report then records the aggregate cache hit rate, and the
+#                 run fails if the cache saw no traffic at all
+#   --jobs N      process-default worker count for batched containment
 #   --build-dir   directory holding the bench binaries
 #                 (default: <repo>/build/bench)
 #   --out         aggregated output path (default: <repo>/BENCH_results.json)
@@ -16,11 +21,14 @@ build_dir="${repo_root}/build/bench"
 out="${repo_root}/BENCH_results.json"
 extra_flags=()
 smoke=false
+cache=false
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke=true; extra_flags+=(--smoke); shift ;;
     --trace) extra_flags+=(--trace); shift ;;
+    --cache) cache=true; extra_flags+=(--cache); shift ;;
+    --jobs) extra_flags+=(--jobs "$2"); shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -54,12 +62,13 @@ for bin in "${found[@]}"; do
   fi
 done
 
-python3 - "$out" "$smoke" "${reports[@]}" <<'PY'
+python3 - "$out" "$smoke" "$cache" "${reports[@]}" <<'PY'
 import json, sys
 
-out_path, smoke = sys.argv[1], sys.argv[2] == "true"
-suite = {"schema": "rq-bench-suite/1", "smoke": smoke, "binaries": []}
-for path in sys.argv[3:]:
+out_path, smoke, cache = sys.argv[1], sys.argv[2] == "true", sys.argv[3] == "true"
+suite = {"schema": "rq-bench-suite/1", "smoke": smoke, "cache": cache,
+         "binaries": []}
+for path in sys.argv[4:]:
     with open(path) as f:
         report = json.load(f)
     assert report.get("schema") == "rq-bench/1", path
@@ -67,21 +76,67 @@ for path in sys.argv[3:]:
 
 # Sanity: the suite must exercise the core subsystems' counters.
 names = set()
+totals = {}
 for report in suite["binaries"]:
     for c in report.get("obs", {}).get("counters", []):
         if c["value"] > 0:
             names.add(c["name"])
+        totals[c["name"]] = totals.get(c["name"], 0) + c["value"]
 subsystems = {n.split(".")[0] for n in names}
 required = {"containment", "fold", "complement", "datalog"}
 missing = required - subsystems
 if missing:
     sys.exit(f"suite missing counters from subsystems: {sorted(missing)}")
 
+# Aggregate cache traffic across the suite. With --cache the cache must have
+# seen traffic — a silent zero means the flag never reached the checkers.
+hits = totals.get("cache.hits", 0)
+misses = totals.get("cache.misses", 0)
+lookups = hits + misses
+suite["cache_stats"] = {
+    "hits": hits,
+    "misses": misses,
+    "evictions": totals.get("cache.evictions", 0),
+    "hit_rate": hits / lookups if lookups else None,
+}
+if cache and lookups == 0:
+    sys.exit("--cache was on but cache.hits + cache.misses == 0: "
+             "the cache never saw a lookup")
+
+# Headline metric: geomean speedup of cached --jobs 4 over uncached serial
+# across the bench_batch_containment workloads (cache:C/jobs:J arg names).
+base_times, fast_times = {}, {}
+for report in suite["binaries"]:
+    if report.get("binary") != "bench_batch_containment":
+        continue
+    for b in report.get("benchmarks", []):
+        name = b.get("name", "")
+        if "error" in b:
+            continue
+        workload = name.split("/")[0]
+        if "cache:0/jobs:1" in name:
+            base_times[workload] = b["real_time_ns"]
+        elif "cache:1/jobs:4" in name:
+            fast_times[workload] = b["real_time_ns"]
+common = sorted(set(base_times) & set(fast_times))
+if common:
+    import math
+    ratios = [base_times[w] / fast_times[w] for w in common]
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    suite["batch_cache_speedup"] = {
+        "workloads": {w: base_times[w] / fast_times[w] for w in common},
+        "geomean": geomean,
+        "comparison": "uncached jobs=1 vs cached jobs=4 (real time)",
+    }
+
 with open(out_path, "w") as f:
     json.dump(suite, f, indent=2)
     f.write("\n")
+hit_rate = suite["cache_stats"]["hit_rate"]
 print(f"wrote {out_path}: {len(suite['binaries'])} binaries, "
-      f"{len(names)} active counters, subsystems={sorted(subsystems)}")
+      f"{len(names)} active counters, subsystems={sorted(subsystems)}, "
+      f"cache hit rate="
+      f"{'n/a' if hit_rate is None else f'{hit_rate:.1%}'}")
 PY
 
 exit "$failed"

@@ -1,12 +1,18 @@
 // rqcheck — command-line containment checker for every query class in the
 // paper's ladder.
 //
-//   rqcheck [--trace] [--stats-json <path>] <class> <query1> <query2>
+//   rqcheck [--trace] [--stats-json <path>] [--cache] [--jobs N]
+//           <class> <query1> <query2>
 //     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
 //     queryN : query text, or @path to read the text from a file
 //     --trace             print the span tree of the check to stderr
 //     --stats-json <path> write the observability snapshot (counters and
 //                         spans, schema "rq-obs/1") to <path>
+//     --cache             enable the content-addressed automata/verdict
+//                         cache (docs/CACHING.md); cache.* counters report
+//                         hits/misses/evictions
+//     --jobs N            worker threads for batched per-disjunct
+//                         containment checks (default 1 = serial)
 //
 // Examples:
 //   rqcheck 2rpq 'p' 'p p- p'
@@ -17,12 +23,15 @@
 // Exit code: 0 = contained (proved), 1 = refuted, 2 = unknown-up-to-bound,
 // 3 = usage/parse error.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include <vector>
 
+#include "cache/automata_cache.h"
+#include "containment/batch.h"
 #include "containment/containment.h"
 #include "rq/equivalence.h"
 #include "crpq/crpq.h"
@@ -178,6 +187,14 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--cache") {
+      cache::AutomataCache::Global().SetEnabled(true);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      SetDefaultContainmentJobs(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      SetDefaultContainmentJobs(
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10)));
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
@@ -188,8 +205,8 @@ int main(int argc, char** argv) {
   }
   if (positional.size() != 3) {
     return Fail(
-        "usage: rqcheck [--trace] [--stats-json <path>] "
-        "<rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
+        "usage: rqcheck [--trace] [--stats-json <path>] [--cache] "
+        "[--jobs N] <rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
   }
   // Full tracing when either flag needs span data; counters always run.
   if (trace || !stats_json.empty()) {

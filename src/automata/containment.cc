@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "automata/dfa.h"
 #include "automata/ops.h"
+#include "cache/automata_cache.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -36,7 +40,13 @@ struct PairKey {
 
 struct PairKeyHash {
   size_t operator()(const PairKey& k) const {
-    return (static_cast<size_t>(k.a_state) << 32) ^ k.subset_id;
+    // splitmix64 finalizer over both fields: well-mixed in either half and,
+    // unlike a size_t shift by 32, defined on 32-bit size_t targets.
+    uint64_t z = (static_cast<uint64_t>(k.a_state) << 32) | k.subset_id;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
   }
 };
 
@@ -53,8 +63,12 @@ struct SubsetHash {
 LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
                                                        const Nfa& b_in) {
   RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
-  const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
-  const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
+  // Memoized (or aliasing, if already epsilon-free) views; see
+  // docs/CACHING.md.
+  std::shared_ptr<const Nfa> a_ptr = cache::CachedEpsilonFree(a_in);
+  std::shared_ptr<const Nfa> b_ptr = cache::CachedEpsilonFree(b_in);
+  const Nfa& a = *a_ptr;
+  const Nfa& b = *b_ptr;
 
   LanguageContainmentResult result;
 
@@ -135,8 +149,10 @@ LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
 LanguageContainmentResult CheckLanguageContainmentAntichainImpl(
     const Nfa& a_in, const Nfa& b_in) {
   RQ_CHECK(a_in.num_symbols() == b_in.num_symbols());
-  const Nfa a = a_in.HasEpsilons() ? a_in.WithoutEpsilons() : a_in;
-  const Nfa b = b_in.HasEpsilons() ? b_in.WithoutEpsilons() : b_in;
+  std::shared_ptr<const Nfa> a_ptr = cache::CachedEpsilonFree(a_in);
+  std::shared_ptr<const Nfa> b_ptr = cache::CachedEpsilonFree(b_in);
+  const Nfa& a = *a_ptr;
+  const Nfa& b = *b_ptr;
 
   LanguageContainmentResult result;
 
@@ -212,38 +228,61 @@ LanguageContainmentResult CheckLanguageContainmentAntichainImpl(
   return result;
 }
 
-}  // namespace
-
-LanguageContainmentResult CheckLanguageContainment(const Nfa& a, const Nfa& b) {
-  RQ_TRACE_SPAN_VAR(span, "containment.check");
-  LanguageContainmentResult result = CheckLanguageContainmentImpl(a, b);
-  RecordCheck(span, result);
-  return result;
-}
-
-LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a,
-                                                            const Nfa& b) {
-  RQ_TRACE_SPAN_VAR(span, "containment.check_antichain");
-  LanguageContainmentResult result =
-      CheckLanguageContainmentAntichainImpl(a, b);
-  RecordCheck(span, result);
-  return result;
-}
-
-LanguageContainmentResult CheckLanguageContainmentExplicit(const Nfa& a,
-                                                           const Nfa& b) {
-  RQ_TRACE_SPAN_VAR(span, "containment.check_explicit");
+LanguageContainmentResult CheckLanguageContainmentExplicitImpl(const Nfa& a,
+                                                               const Nfa& b) {
   RQ_CHECK(a.num_symbols() == b.num_symbols());
   LanguageContainmentResult result;
-  Dfa complement = ComplementToDfa(b);
-  Nfa diff = Intersect(a, NfaFromDfa(complement));
+  std::shared_ptr<const Dfa> complement = cache::CachedComplementToDfa(b);
+  Nfa diff = Intersect(a, NfaFromDfa(*complement));
   result.explored_states = diff.num_states();
   std::vector<Symbol> witness;
   bool empty = diff.IsEmptyLanguage(&witness);
   result.contained = empty;
   if (!empty) result.counterexample = std::move(witness);
-  RecordCheck(span, result);
   return result;
+}
+
+// Shared wrapper: consult the verdict cache, otherwise run `impl` under a
+// span and flush the containment counters. On a cache hit only cache.*
+// counters move — containment.checks / states_explored track actual
+// decision-procedure work (docs/OBSERVABILITY.md).
+template <typename Impl>
+LanguageContainmentResult CheckWithVerdictCache(const char* span_name,
+                                                const char* algo,
+                                                const Nfa& a, const Nfa& b,
+                                                Impl impl) {
+  cache::AutomataCache& ac = cache::AutomataCache::Global();
+  std::string key;
+  if (ac.enabled()) {
+    key = cache::VerdictKey(algo, a, b);
+    if (auto hit = ac.verdict().Get(key)) return *hit;
+  }
+  RQ_TRACE_SPAN_VAR(span, span_name);
+  LanguageContainmentResult result = impl(a, b);
+  RecordCheck(span, result);
+  if (ac.enabled()) {
+    ac.verdict().Put(std::move(key), result, cache::ApproxBytes(result));
+  }
+  return result;
+}
+
+}  // namespace
+
+LanguageContainmentResult CheckLanguageContainment(const Nfa& a, const Nfa& b) {
+  return CheckWithVerdictCache("containment.check", "otf", a, b,
+                               CheckLanguageContainmentImpl);
+}
+
+LanguageContainmentResult CheckLanguageContainmentAntichain(const Nfa& a,
+                                                            const Nfa& b) {
+  return CheckWithVerdictCache("containment.check_antichain", "antichain", a,
+                               b, CheckLanguageContainmentAntichainImpl);
+}
+
+LanguageContainmentResult CheckLanguageContainmentExplicit(const Nfa& a,
+                                                           const Nfa& b) {
+  return CheckWithVerdictCache("containment.check_explicit", "explicit", a, b,
+                               CheckLanguageContainmentExplicitImpl);
 }
 
 bool LanguagesEqual(const Nfa& a, const Nfa& b) {

@@ -1,0 +1,125 @@
+#include "cache/key.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rq {
+namespace cache {
+
+namespace {
+
+void AppendU8(uint8_t value, std::string* out) {
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendSortedU32s(std::vector<uint32_t> values, std::string* out) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  AppendU32(static_cast<uint32_t>(values.size()), out);
+  for (uint32_t v : values) AppendU32(v, out);
+}
+
+void AppendRegexNode(const Regex& regex, std::string* out) {
+  AppendU8(static_cast<uint8_t>(regex.kind()), out);
+  if (regex.kind() == RegexKind::kAtom) {
+    AppendU32(regex.symbol(), out);
+    return;
+  }
+  // Child order is semantic for concat and cheap to keep for the rest; no
+  // reordering, so the encoding is a plain preorder walk.
+  AppendU32(static_cast<uint32_t>(regex.children().size()), out);
+  for (const RegexPtr& child : regex.children()) {
+    AppendRegexNode(*child, out);
+  }
+}
+
+}  // namespace
+
+void AppendU32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendEncoding(const Nfa& nfa, std::string* out) {
+  AppendU8('N', out);
+  AppendU32(nfa.num_symbols(), out);
+  AppendU32(nfa.num_states(), out);
+  AppendSortedU32s(nfa.initial(), out);
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    AppendU8(nfa.IsAccepting(s) ? 1 : 0, out);
+  }
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    std::vector<NfaTransition> trans = nfa.TransitionsFrom(s);
+    std::sort(trans.begin(), trans.end(),
+              [](const NfaTransition& a, const NfaTransition& b) {
+                return a.symbol != b.symbol ? a.symbol < b.symbol
+                                            : a.to < b.to;
+              });
+    trans.erase(std::unique(trans.begin(), trans.end()), trans.end());
+    AppendU32(static_cast<uint32_t>(trans.size()), out);
+    for (const NfaTransition& t : trans) {
+      AppendU32(t.symbol, out);
+      AppendU32(t.to, out);
+    }
+    AppendSortedU32s(nfa.EpsilonsFrom(s), out);
+  }
+}
+
+void AppendEncoding(const TwoNfa& m, std::string* out) {
+  AppendU8('2', out);
+  AppendU32(m.num_symbols(), out);
+  AppendU32(m.num_states(), out);
+  AppendSortedU32s(m.initial(), out);
+  for (uint32_t s = 0; s < m.num_states(); ++s) {
+    AppendU8(m.IsAccepting(s) ? 1 : 0, out);
+  }
+  for (uint32_t s = 0; s < m.num_states(); ++s) {
+    std::vector<TwoNfaTransition> trans = m.TransitionsFrom(s);
+    std::sort(trans.begin(), trans.end(),
+              [](const TwoNfaTransition& a, const TwoNfaTransition& b) {
+                if (a.symbol != b.symbol) return a.symbol < b.symbol;
+                if (a.to != b.to) return a.to < b.to;
+                return a.dir < b.dir;
+              });
+    trans.erase(std::unique(trans.begin(), trans.end(),
+                            [](const TwoNfaTransition& a,
+                               const TwoNfaTransition& b) {
+                              return a.symbol == b.symbol && a.to == b.to &&
+                                     a.dir == b.dir;
+                            }),
+                trans.end());
+    AppendU32(static_cast<uint32_t>(trans.size()), out);
+    for (const TwoNfaTransition& t : trans) {
+      AppendU32(t.symbol, out);
+      AppendU32(t.to, out);
+      AppendU8(static_cast<uint8_t>(static_cast<int8_t>(t.dir) + 1), out);
+    }
+  }
+}
+
+void AppendEncoding(const Regex& regex, std::string* out) {
+  AppendU8('R', out);
+  AppendRegexNode(regex, out);
+}
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer so short keys still spread over the whole range.
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace cache
+}  // namespace rq

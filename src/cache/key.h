@@ -1,0 +1,58 @@
+// Canonical byte encodings of regex/automata values, used as the
+// content-addressed keys of the memoization layer (docs/CACHING.md).
+//
+// Two values encode identically iff they are structurally identical up to
+// the orderings the encoders canonicalize away: transition lists, epsilon
+// lists, and initial-state lists are sorted and deduplicated before
+// encoding, so insertion order never splits a key. State *numbering* is not
+// canonicalized — isomorphic but differently numbered automata get
+// different keys, which only costs extra misses, never correctness.
+//
+// Keys are full encodings, not digests: equal keys imply equal values, so
+// the cache cannot return a wrong entry on a hash collision. StructuralHash
+// distills an encoding to 64 bits for diagnostics and cheap fingerprints.
+#ifndef RQ_CACHE_KEY_H_
+#define RQ_CACHE_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "automata/nfa.h"
+#include "regex/regex.h"
+#include "twoway/two_nfa.h"
+
+namespace rq {
+namespace cache {
+
+// Appends the canonical encoding of a value to `*out`. Each encoding starts
+// with a distinct type tag, so keys of different types never collide even
+// when concatenated into composite keys.
+void AppendEncoding(const Nfa& nfa, std::string* out);
+void AppendEncoding(const TwoNfa& m, std::string* out);
+void AppendEncoding(const Regex& regex, std::string* out);
+
+// Little-endian scalar appends, for composing keys with extra parameters
+// (e.g. a symbol-universe size or a state budget).
+void AppendU32(uint32_t value, std::string* out);
+void AppendU64(uint64_t value, std::string* out);
+
+template <typename T>
+std::string Encode(const T& value) {
+  std::string out;
+  AppendEncoding(value, &out);
+  return out;
+}
+
+// splitmix64-mixed FNV over the bytes; stable across platforms.
+uint64_t HashBytes(std::string_view bytes);
+
+template <typename T>
+uint64_t StructuralHash(const T& value) {
+  return HashBytes(Encode(value));
+}
+
+}  // namespace cache
+}  // namespace rq
+
+#endif  // RQ_CACHE_KEY_H_

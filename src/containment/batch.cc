@@ -1,0 +1,99 @@
+#include "containment/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/subsystems.h"
+#include "obs/trace.h"
+
+namespace rq {
+
+namespace {
+
+std::atomic<unsigned> g_default_jobs{1};
+
+// Runs `work(i)` for i in [0, n) on `jobs` workers. The shared queue is an
+// atomic ticket counter: each worker claims the next unclaimed index, so
+// long checks don't stall the others behind a static partition. `work` must
+// only touch per-index state (the checkers' shared state — obs counters and
+// the automata cache — is internally synchronized).
+template <typename Work>
+void RunJobs(size_t n, unsigned jobs, Work work) {
+  obs::BatchCounters& counters = obs::BatchCounters::Get();
+  counters.batches.Increment();
+  counters.batch_checks.Add(n);
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) work(i);
+    return;
+  }
+  unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
+  std::atomic<size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&next, n, &work] {
+        for (;;) {
+          size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          work(i);
+        }
+      });
+    }
+  }  // jthreads join here
+}
+
+unsigned EffectiveJobs(const ContainmentBatchOptions& options) {
+  return options.jobs != 0 ? options.jobs : DefaultContainmentJobs();
+}
+
+}  // namespace
+
+void SetDefaultContainmentJobs(unsigned jobs) {
+  g_default_jobs.store(jobs == 0 ? 1 : jobs, std::memory_order_relaxed);
+}
+
+unsigned DefaultContainmentJobs() {
+  return g_default_jobs.load(std::memory_order_relaxed);
+}
+
+std::vector<LanguageContainmentResult> CheckContainmentBatch(
+    const std::vector<NfaContainmentJob>& jobs,
+    const ContainmentBatchOptions& options) {
+  RQ_TRACE_SPAN_VAR(span, "containment.batch");
+  span.AddAttr("jobs", jobs.size());
+  std::vector<LanguageContainmentResult> results(jobs.size());
+  RunJobs(jobs.size(), EffectiveJobs(options), [&](size_t i) {
+    RQ_CHECK(jobs[i].a != nullptr && jobs[i].b != nullptr);
+    switch (options.algo) {
+      case ContainmentAlgo::kOnTheFly:
+        results[i] = CheckLanguageContainment(*jobs[i].a, *jobs[i].b);
+        break;
+      case ContainmentAlgo::kAntichain:
+        results[i] =
+            CheckLanguageContainmentAntichain(*jobs[i].a, *jobs[i].b);
+        break;
+      case ContainmentAlgo::kExplicit:
+        results[i] =
+            CheckLanguageContainmentExplicit(*jobs[i].a, *jobs[i].b);
+        break;
+    }
+  });
+  return results;
+}
+
+std::vector<PathContainmentResult> CheckPathContainmentBatch(
+    const std::vector<PathContainmentJob>& jobs, const Alphabet& alphabet,
+    const ContainmentBatchOptions& options) {
+  RQ_TRACE_SPAN_VAR(span, "containment.batch");
+  span.AddAttr("jobs", jobs.size());
+  std::vector<PathContainmentResult> results(jobs.size());
+  RunJobs(jobs.size(), EffectiveJobs(options), [&](size_t i) {
+    RQ_CHECK(jobs[i].q1 != nullptr && jobs[i].q2 != nullptr);
+    results[i] = CheckPathQueryContainment(*jobs[i].q1, *jobs[i].q2, alphabet);
+  });
+  return results;
+}
+
+}  // namespace rq

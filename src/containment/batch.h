@@ -1,0 +1,65 @@
+// Parallel batch containment: fans a vector of independent containment
+// checks across a std::jthread worker pool. Each worker pulls job indices
+// off a shared queue, so uneven check costs balance automatically; results
+// land at their job's index, so output order is deterministic regardless of
+// scheduling. Single-pair semantics are exactly those of the underlying
+// checkers (automata/containment.h, pathquery/containment.h) — including
+// their use of the automata cache, which is thread-safe and deduplicates
+// shared sub-constructions across concurrent workers (docs/CACHING.md).
+#ifndef RQ_CONTAINMENT_BATCH_H_
+#define RQ_CONTAINMENT_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/containment.h"
+#include "pathquery/containment.h"
+#include "regex/regex.h"
+
+namespace rq {
+
+// Which single-pair decision procedure the batch runs.
+enum class ContainmentAlgo {
+  kOnTheFly,   // CheckLanguageContainment
+  kAntichain,  // CheckLanguageContainmentAntichain
+  kExplicit,   // CheckLanguageContainmentExplicit
+};
+
+struct ContainmentBatchOptions {
+  // Worker threads; 0 means DefaultContainmentJobs(). Values <= 1 run the
+  // batch inline on the calling thread (no pool).
+  unsigned jobs = 0;
+  ContainmentAlgo algo = ContainmentAlgo::kOnTheFly;
+};
+
+// Process-wide default worker count used when options.jobs == 0. Starts at
+// 1 (serial); rqcheck --jobs N and the bench harness raise it.
+void SetDefaultContainmentJobs(unsigned jobs);
+unsigned DefaultContainmentJobs();
+
+// One L(a) ⊆ L(b) check. Both automata must outlive the batch call and
+// share num_symbols.
+struct NfaContainmentJob {
+  const Nfa* a = nullptr;
+  const Nfa* b = nullptr;
+};
+
+// Runs every job and returns the verdicts in job order.
+std::vector<LanguageContainmentResult> CheckContainmentBatch(
+    const std::vector<NfaContainmentJob>& jobs,
+    const ContainmentBatchOptions& options = {});
+
+// One path-query containment check Q1 ⊑ Q2 (RPQ or 2RPQ; dispatch per pair
+// as in CheckPathQueryContainment). Regexes must outlive the call.
+struct PathContainmentJob {
+  const Regex* q1 = nullptr;
+  const Regex* q2 = nullptr;
+};
+
+std::vector<PathContainmentResult> CheckPathContainmentBatch(
+    const std::vector<PathContainmentJob>& jobs, const Alphabet& alphabet,
+    const ContainmentBatchOptions& options = {});
+
+}  // namespace rq
+
+#endif  // RQ_CONTAINMENT_BATCH_H_

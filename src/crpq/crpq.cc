@@ -5,6 +5,7 @@
 
 #include "automata/words.h"
 #include "common/strings.h"
+#include "containment/batch.h"
 #include "pathquery/containment.h"
 #include "pathquery/path_query.h"
 
@@ -321,10 +322,13 @@ Result<CrpqContainmentResult> CheckUc2RpqContainment(
   }
   CrpqContainmentResult result;
 
-  // Exact dispatch: both sides a single 2RPQ atom over the head pair.
-  auto as_single_2rpq = [](const Uc2Rpq& q) -> RegexPtr {
-    if (q.disjuncts.size() != 1) return nullptr;
-    const Crpq& d = q.disjuncts[0];
+  // Exact dispatch: every disjunct on both sides a single 2RPQ atom over
+  // its head pair. Then Q2 is the single 2RPQ r21 | ... | r2m (semipath
+  // semantics of a union of single-atom disjuncts IS the union regex), and
+  // Q1 ⊑ Q2 iff each q1-disjunct regex is path-contained in it. The
+  // per-disjunct checks are independent, so they fan out across the batch
+  // engine (src/containment/batch.h); results come back in disjunct order.
+  auto single_atom_regex = [](const Crpq& d) -> RegexPtr {
     if (d.atoms.size() != 1 || d.head.size() != 2) return nullptr;
     if (d.head[0] == d.head[1]) return nullptr;
     const CrpqAtom& atom = d.atoms[0];
@@ -334,15 +338,28 @@ Result<CrpqContainmentResult> CheckUc2RpqContainment(
     }
     return nullptr;
   };
-  RegexPtr r1 = as_single_2rpq(q1);
-  RegexPtr r2 = as_single_2rpq(q2);
-  if (r1 != nullptr && r2 != nullptr) {
-    PathContainmentResult path =
-        CheckPathQueryContainment(*r1, *r2, alphabet);
+  auto all_single_atom = [&](const Uc2Rpq& q, std::vector<RegexPtr>* out) {
+    for (const Crpq& d : q.disjuncts) {
+      RegexPtr r = single_atom_regex(d);
+      if (r == nullptr) return false;
+      out->push_back(std::move(r));
+    }
+    return true;
+  };
+  std::vector<RegexPtr> r1s;
+  std::vector<RegexPtr> r2s;
+  if (all_single_atom(q1, &r1s) && all_single_atom(q2, &r2s)) {
+    RegexPtr r2 = r2s.size() == 1 ? r2s[0] : Regex::Union(r2s);
+    std::vector<PathContainmentJob> batch;
+    batch.reserve(r1s.size());
+    for (const RegexPtr& r1 : r1s) batch.push_back({r1.get(), r2.get()});
+    ContainmentBatchOptions batch_options;
+    batch_options.jobs = options.jobs;
+    std::vector<PathContainmentResult> verdicts =
+        CheckPathContainmentBatch(batch, alphabet, batch_options);
     result.method = "2rpq-fold";
-    if (path.contained) {
-      result.certainty = Certainty::kProved;
-    } else {
+    for (const PathContainmentResult& path : verdicts) {
+      if (path.contained) continue;
       result.certainty = Certainty::kRefuted;
       SemipathWitness witness =
           BuildSemipathWitness(alphabet, path.counterexample);
@@ -350,7 +367,9 @@ Result<CrpqContainmentResult> CheckUc2RpqContainment(
       result.witness_y = witness.end;
       result.witness_tuple = {witness.start, witness.end};
       result.counterexample = std::move(witness.db);
+      return result;
     }
+    result.certainty = Certainty::kProved;
     return result;
   }
 

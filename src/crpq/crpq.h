@@ -73,6 +73,9 @@ struct CrpqContainmentOptions {
   // Longest atom-language word instantiated during expansion.
   size_t max_word_length = 4;
   size_t max_expansions = 50000;
+  // Worker threads for the per-disjunct batch dispatch; 0 means the
+  // process default (SetDefaultContainmentJobs / rqcheck --jobs).
+  unsigned jobs = 0;
 };
 
 struct CrpqContainmentResult {

@@ -36,6 +36,16 @@ RqCounters& RqCounters::Get() {
   return *instance;
 }
 
+CacheCounters& CacheCounters::Get() {
+  static CacheCounters* instance = new CacheCounters();
+  return *instance;
+}
+
+BatchCounters& BatchCounters::Get() {
+  static BatchCounters* instance = new BatchCounters();
+  return *instance;
+}
+
 DatalogCounters& DatalogCounters::Get() {
   static DatalogCounters* instance = new DatalogCounters();
   return *instance;

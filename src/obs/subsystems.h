@@ -84,6 +84,26 @@ struct RqCounters {
   static RqCounters& Get();
 };
 
+// Content-addressed automata/verdict cache (src/cache/, docs/CACHING.md).
+// These are the cross-kind aggregates; each construction kind additionally
+// registers `cache.<kind>_hits` / `_misses` / `_evictions` on first use.
+struct CacheCounters {
+  Counter& hits = *GetCounter("cache.hits");
+  Counter& misses = *GetCounter("cache.misses");
+  Counter& evictions = *GetCounter("cache.evictions");
+  Counter& inserts = *GetCounter("cache.inserts");
+
+  static CacheCounters& Get();
+};
+
+// Batch containment engine (src/containment/batch.h).
+struct BatchCounters {
+  Counter& batches = *GetCounter("containment.batches");
+  Counter& batch_checks = *GetCounter("containment.batch_checks");
+
+  static BatchCounters& Get();
+};
+
 // Datalog fixpoint engine (§2.2), naive and semi-naive modes.
 struct DatalogCounters {
   Counter& evals = *GetCounter("datalog.evals");

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "automata/containment.h"
 #include "automata/nfa.h"
 #include "automata/reduce.h"
+#include "cache/automata_cache.h"
+#include "cache/key.h"
 #include "graph/generators.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
@@ -35,11 +40,14 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
 
   // Step 1: NFAs for both queries (linear), quotiented by simulation —
   // the fold 2NFA's state count is n·(|Σ±|+1) in a2's n, so shrinking a2
-  // shrinks everything downstream.
-  Nfa a1 = ReduceBySimulation(q1.ToNfa(k).WithoutEpsilons().Trimmed());
-  Nfa a2 = ReduceBySimulation(q2.ToNfa(k).WithoutEpsilons().Trimmed());
+  // shrinks everything downstream. Both compilations and the fold are
+  // memoized when the automata cache is on (docs/CACHING.md).
+  std::shared_ptr<const Nfa> a1_ptr = cache::CachedCompiledNfa(q1, k);
+  std::shared_ptr<const Nfa> a2_ptr = cache::CachedCompiledNfa(q2, k);
+  const Nfa& a1 = *a1_ptr;
   // Step 2: 2NFA for fold(L(Q2)) (Lemma 3, polynomial).
-  TwoNfa fold2 = FoldTwoNfa(a2);
+  std::shared_ptr<const TwoNfa> fold2_ptr = cache::CachedFoldTwoNfa(*a2_ptr);
+  const TwoNfa& fold2 = *fold2_ptr;
   // Steps 3-5: search L(Q1) ∩ complement(fold(L(Q2))) on the fly. The
   // complement side is represented by deterministic Shepherdson tables, so
   // each product node has one successor per symbol on the right side.
@@ -114,6 +122,25 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
 
 PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
                                              const Alphabet& alphabet) {
+  // Whole-pipeline verdict memoization: the fold verdict is keyed on both
+  // regexes plus the symbol universe and stored in the shared verdict LRU
+  // under the "fold" tag. On a hit only cache.* counters move.
+  cache::AutomataCache& ac = cache::AutomataCache::Global();
+  std::string key;
+  if (ac.enabled()) {
+    key = "fold|";
+    cache::AppendU32(SymbolUniverse(q1, q2, alphabet), &key);
+    cache::AppendEncoding(q1, &key);
+    cache::AppendEncoding(q2, &key);
+    if (auto hit = ac.verdict().Get(key)) {
+      PathContainmentResult result;
+      result.contained = hit->contained;
+      result.counterexample = hit->counterexample;
+      result.explored_states = hit->explored_states;
+      result.used_fold_pipeline = true;
+      return result;
+    }
+  }
   // The fold-pipeline product search shares the containment.* vocabulary
   // with the one-way checkers (docs/OBSERVABILITY.md).
   RQ_TRACE_SPAN_VAR(span, "containment.fold_pipeline");
@@ -123,6 +150,14 @@ PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
   counters.states_explored.Add(result.explored_states);
   if (!result.contained) counters.refuted.Increment();
   span.AddAttr("states_explored", result.explored_states);
+  if (ac.enabled()) {
+    LanguageContainmentResult stored;
+    stored.contained = result.contained;
+    stored.counterexample = result.counterexample;
+    stored.explored_states = result.explored_states;
+    size_t bytes = cache::ApproxBytes(stored);
+    ac.verdict().Put(std::move(key), std::move(stored), bytes);
+  }
   return result;
 }
 
@@ -130,10 +165,11 @@ PathContainmentResult CheckPathQueryContainment(const Regex& q1,
                                                 const Regex& q2,
                                                 const Alphabet& alphabet) {
   if (!q1.UsesInverse() && !q2.UsesInverse()) {
-    // Lemma 1: plain language containment.
+    // Lemma 1: plain language containment (memoized compilations; the
+    // verdict itself is memoized inside CheckLanguageContainment).
     const uint32_t k = SymbolUniverse(q1, q2, alphabet);
-    LanguageContainmentResult lang =
-        CheckLanguageContainment(q1.ToNfa(k), q2.ToNfa(k));
+    LanguageContainmentResult lang = CheckLanguageContainment(
+        *cache::CachedRegexToNfa(q1, k), *cache::CachedRegexToNfa(q2, k));
     PathContainmentResult result;
     result.contained = lang.contained;
     result.counterexample = std::move(lang.counterexample);

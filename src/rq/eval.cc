@@ -1,6 +1,7 @@
 #include "rq/eval.h"
 
 #include <algorithm>
+#include <map>
 
 #include "obs/subsystems.h"
 #include "obs/trace.h"
@@ -150,21 +151,37 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
     case RqExpr::Kind::kClosure: {
       RQ_ASSIGN_OR_RETURN(RqRelation child,
                           EvalRqExpr(db, *e.children()[0]));
-      // Orient columns (from, to) for the closure, then restore.
+      // Orient columns (from, to) for the closure; remaining columns are
+      // parameters, fixed along a chain: group by them and close per group.
       size_t cf = ColumnOf(child.vars, e.closure_from());
       size_t ct = ColumnOf(child.vars, e.closure_to());
-      Relation oriented(2);
-      for (const Tuple& t : child.relation.tuples()) {
-        oriented.Insert({t[cf], t[ct]});
+      std::vector<size_t> param_cols;
+      for (size_t col = 0; col < child.vars.size(); ++col) {
+        if (col != cf && col != ct) param_cols.push_back(col);
       }
-      Relation closed = BinaryTransitiveClosure(oriented);
+      std::map<Tuple, Relation> groups;
+      for (const Tuple& t : child.relation.tuples()) {
+        Tuple params;
+        params.reserve(param_cols.size());
+        for (size_t col : param_cols) params.push_back(t[col]);
+        auto [it, inserted] = groups.try_emplace(std::move(params),
+                                                 Relation(2));
+        it->second.Insert({t[cf], t[ct]});
+      }
       RqRelation out;
       out.vars = e.FreeVars();
-      out.relation = Relation(2);
-      bool from_first = e.closure_from() < e.closure_to();
-      for (const Tuple& t : closed.tuples()) {
-        out.relation.Insert(from_first ? Tuple{t[0], t[1]}
-                                       : Tuple{t[1], t[0]});
+      out.relation = Relation(out.vars.size());
+      for (const auto& [params, oriented] : groups) {
+        Relation closed = BinaryTransitiveClosure(oriented);
+        for (const Tuple& t : closed.tuples()) {
+          Tuple row(out.vars.size());
+          row[cf] = t[0];
+          row[ct] = t[1];
+          for (size_t i = 0; i < param_cols.size(); ++i) {
+            row[param_cols[i]] = params[i];
+          }
+          out.relation.Insert(std::move(row));
+        }
       }
       return out;
     }

@@ -67,6 +67,11 @@ struct Expander {
       case RqExpr::Kind::kAnd: {
         std::vector<Alternative> acc = Gen(*e.children()[0], env);
         for (size_t i = 1; i < e.children().size(); ++i) {
+          // Crossing an empty list stays empty, so skip the (potentially
+          // exponential) Gen of the remaining children. A bare `truncated`
+          // check would be wrong here: alternatives already in `acc` still
+          // need the remaining children's atoms to be genuine expansions.
+          if (acc.empty()) break;
           acc = Cross(std::move(acc), Gen(*e.children()[i], env));
         }
         return acc;
@@ -74,6 +79,12 @@ struct Expander {
       case RqExpr::Kind::kOr: {
         std::vector<Alternative> acc;
         for (const RqExprPtr& c : e.children()) {
+          // Once the cap is reached nothing from the remaining disjuncts
+          // can be kept; skip their Gen instead of discarding its output.
+          if (acc.size() >= limits->max_expansions) {
+            truncated = true;
+            break;
+          }
           std::vector<Alternative> part = Gen(*c, env);
           for (Alternative& alt : part) {
             if (acc.size() >= limits->max_expansions) {
@@ -103,11 +114,24 @@ struct Expander {
         VarId to = Lookup(env, e.closure_to());
         std::vector<Alternative> out;
         for (size_t len = 1; len <= limits->max_tc_unroll; ++len) {
+          // A full `out` can accept nothing from this or any longer
+          // unrolling; stop before generating the (exponentially growing)
+          // chains instead of throwing them away.
+          if (out.size() >= limits->max_expansions) {
+            truncated = true;
+            break;
+          }
           std::vector<Alternative> chain;
           VarId prev = from;
           for (size_t i = 0; i < len; ++i) {
+            // Same reasoning as kAnd: an empty chain stays empty.
+            if (i > 0 && chain.empty()) break;
             VarId next = (i + 1 == len) ? to : next_var++;
-            Env link;
+            // The link env starts from the enclosing env so free variables
+            // of the closure body other than the endpoints (parameters,
+            // possibly renamed by an enclosing Exists) keep their outer
+            // bindings; only the endpoints are rebound per link.
+            Env link = env;
             link[e.closure_from()] = prev;
             link[e.closure_to()] = next;
             // Bound vars inside the child are freshened per link by the

@@ -220,11 +220,8 @@ class RqParser {
       if (ident == "eq") {
         return RqExpr::Eq(pair[0], pair[1], std::move(child));
       }
-      if (fv.size() != 2) {
-        return InvalidArgumentError(
-            "rq: tc requires a binary subquery (exactly two free "
-            "variables)");
-      }
+      // Free variables of the subquery beyond the closure pair are
+      // parameters, held fixed along the chain (docs/SYNTAX.md).
       return RqExpr::Closure(pair[0], pair[1], std::move(child));
     }
     // Atom.

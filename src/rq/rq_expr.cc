@@ -90,13 +90,14 @@ RqExprPtr RqExpr::Eq(VarId a, VarId b, RqExprPtr child) {
 
 RqExprPtr RqExpr::Closure(VarId from, VarId to, RqExprPtr child) {
   RQ_CHECK(from != to);
-  std::vector<VarId> expected = SortedUnique({from, to});
-  RQ_CHECK(child->FreeVars() == expected);
+  RQ_CHECK(IsFree(child, from) && IsFree(child, to));
   auto e = std::shared_ptr<RqExpr>(new RqExpr());
   e->kind_ = Kind::kClosure;
   e->var_a_ = from;
   e->var_b_ = to;
-  e->free_vars_ = std::move(expected);
+  // Free variables besides the endpoints are parameters: they stay free and
+  // are held fixed along the whole chain.
+  e->free_vars_ = child->FreeVars();
   e->children_ = {std::move(child)};
   return e;
 }

@@ -8,7 +8,8 @@
 //                   same free variables.
 //   * Exists      — projection: existentially quantifies variables away.
 //   * Eq          — selection Q ∧ y = z; both variables stay free.
-//   * Closure     — transitive closure Q+ of a binary query Q(x, y).
+//   * Closure     — transitive closure Q+ over a pair of free variables;
+//                   extra free variables act as fixed parameters.
 //
 // Expressions are immutable trees built through the static factories, which
 // enforce the well-formedness rules above (RQ_CHECK: violations are
@@ -42,8 +43,11 @@ class RqExpr {
   static RqExprPtr Exists(std::vector<VarId> vars, RqExprPtr child);
   // Selection: a and b must be free in child and distinct.
   static RqExprPtr Eq(VarId a, VarId b, RqExprPtr child);
-  // Transitive closure of a binary query: child's free variables must be
-  // exactly {from, to}, from != to.
+  // Transitive closure over the (from, to) pair: both must be free in the
+  // child and distinct. Any further free variables of the child are
+  // parameters: they remain free in the closure and are held fixed along
+  // the whole chain (Q⁺(x, y, p̄) iff a chain x = z0, ..., zk = y exists
+  // with Q(z_i, z_{i+1}, p̄) for every link).
   static RqExprPtr Closure(VarId from, VarId to, RqExprPtr child);
 
   Kind kind() const { return kind_; }

@@ -79,8 +79,12 @@ RqQuery MakeQuery(RqExprPtr root, std::vector<VarId> head) {
 }
 
 bool HeadIsClosurePair(const RqQuery& q) {
+  // Parameterized closures (extra free vars in the body) are excluded: the
+  // parameters must stay fixed along the chain, so TC-MONO over the
+  // projected bodies would be unsound.
   return q.head.size() == 2 && q.head[0] != q.head[1] &&
          q.root->kind() == RqExpr::Kind::kClosure &&
+         q.root->FreeVars().size() == 2 &&
          ((q.head[0] == q.root->closure_from() &&
            q.head[1] == q.root->closure_to()) ||
           (q.head[0] == q.root->closure_to() &&

@@ -96,29 +96,29 @@ struct Translator {
         return self;
       }
       case RqExpr::Kind::kClosure: {
-        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(2));
+        RQ_ASSIGN_OR_RETURN(PredId self, FreshPred(frees.size()));
         RQ_ASSIGN_OR_RETURN(PredId child, Translate(*e.children()[0]));
-        const VarId from = e.closure_from();
-        const VarId to = e.closure_to();
         const VarId mid = next_var++;
-        size_t pf = frees[0] == from ? 0 : 1;  // position of `from`
-        auto pair_vars = [&](VarId at_from, VarId at_to) {
-          std::vector<VarId> vars(2);
-          vars[pf] = at_from;
-          vars[1 - pf] = at_to;
+        // Parameter variables (free vars besides the endpoints) ride along
+        // unchanged through both rules, pinning them across the chain.
+        auto with = [&](VarId which, VarId replacement) {
+          std::vector<VarId> vars = frees;
+          for (VarId& v : vars) {
+            if (v == which) v = replacement;
+          }
           return vars;
         };
-        // Base: self(x, y) :- child(x, y).
+        // Base: self(x, y, p̄) :- child(x, y, p̄).
         DatalogRule base;
         base.head = {self, frees};
         base.body = {{child, frees}};
         FinishRule(&base);
         program.AddRule(std::move(base));
-        // Step: self(x, z) :- self(x, m), child(m, z).
+        // Step: self(x, z, p̄) :- self(x, m, p̄), child(m, z, p̄).
         DatalogRule step;
-        step.head = {self, pair_vars(from, to)};
-        step.body = {{self, pair_vars(from, mid)},
-                     {child, pair_vars(mid, to)}};
+        step.head = {self, frees};
+        step.body = {{self, with(e.closure_to(), mid)},
+                     {child, with(e.closure_from(), mid)}};
         FinishRule(&step);
         program.AddRule(std::move(step));
         return self;

@@ -1,0 +1,207 @@
+// Tests for the content-addressed automata cache (src/cache/): key
+// canonicalization, LRU byte-budget behavior, memoized-construction
+// equivalence, and multi-threaded hammering (the latter is what the `tsan`
+// ctest label runs under ThreadSanitizer).
+#include "cache/automata_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "automata/containment.h"
+#include "cache/key.h"
+#include "cache/lru.h"
+#include "obs/counters.h"
+#include "regex/regex.h"
+#include "twoway/fold.h"
+
+namespace rq {
+namespace {
+
+// RAII: tests in this binary toggle the global cache; always restore.
+struct ScopedCacheEnabled {
+  ScopedCacheEnabled() {
+    cache::AutomataCache::Global().Clear();
+    cache::AutomataCache::Global().SetEnabled(true);
+  }
+  ~ScopedCacheEnabled() {
+    cache::AutomataCache::Global().SetEnabled(false);
+    cache::AutomataCache::Global().Clear();
+  }
+};
+
+Nfa ChainNfa(uint32_t num_states, Symbol symbol) {
+  Nfa nfa(2);
+  for (uint32_t s = 0; s < num_states; ++s) nfa.AddState();
+  nfa.AddInitial(0);
+  nfa.SetAccepting(num_states - 1);
+  for (uint32_t s = 0; s + 1 < num_states; ++s) {
+    nfa.AddTransition(s, symbol, s + 1);
+  }
+  return nfa;
+}
+
+TEST(CacheKeyTest, EncodingIsInsensitiveToInsertionOrder) {
+  Nfa a(2);
+  a.AddState();
+  a.AddState();
+  a.AddInitial(0);
+  a.SetAccepting(1);
+  a.AddTransition(0, 0, 1);
+  a.AddTransition(0, 1, 0);
+
+  Nfa b(2);
+  b.AddState();
+  b.AddState();
+  b.AddInitial(0);
+  b.SetAccepting(1);
+  b.AddTransition(0, 1, 0);  // same transitions, opposite order
+  b.AddTransition(0, 0, 1);
+
+  EXPECT_EQ(cache::Encode(a), cache::Encode(b));
+  EXPECT_EQ(cache::StructuralHash(a), cache::StructuralHash(b));
+}
+
+TEST(CacheKeyTest, EncodingSeparatesDifferentAutomata) {
+  Nfa a = ChainNfa(3, 0);
+  Nfa b = ChainNfa(3, 1);
+  Nfa c = ChainNfa(4, 0);
+  EXPECT_NE(cache::Encode(a), cache::Encode(b));
+  EXPECT_NE(cache::Encode(a), cache::Encode(c));
+  // Accepting-state flip must change the key too.
+  Nfa d = ChainNfa(3, 0);
+  d.SetAccepting(0);
+  EXPECT_NE(cache::Encode(a), cache::Encode(d));
+}
+
+TEST(CacheKeyTest, RegexEncodingDistinguishesStructure) {
+  RegexPtr a = Regex::Concat({Regex::Atom(0), Regex::Atom(1)});
+  RegexPtr b = Regex::Concat({Regex::Atom(1), Regex::Atom(0)});
+  RegexPtr c = Regex::Star(Regex::Atom(0));
+  RegexPtr d = Regex::Plus(Regex::Atom(0));
+  EXPECT_NE(cache::Encode(*a), cache::Encode(*b));
+  EXPECT_NE(cache::Encode(*c), cache::Encode(*d));
+  EXPECT_EQ(cache::Encode(*a),
+            cache::Encode(*Regex::Concat({Regex::Atom(0), Regex::Atom(1)})));
+}
+
+TEST(LruByteCacheTest, HitsMissesAndPromotions) {
+  cache::LruByteCache<int> lru("test_a", 1 << 20);
+  EXPECT_EQ(lru.Get("k1"), nullptr);
+  lru.Put("k1", 41, 8);
+  lru.Put("k2", 42, 8);
+  auto hit = lru.Get("k1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 41);
+  EXPECT_EQ(lru.entries(), 2u);
+}
+
+TEST(LruByteCacheTest, EvictsLeastRecentlyUsedAgainstByteBudget) {
+  // Budget fits two entries (each charged value + key + overhead).
+  cache::LruByteCache<int> lru("test_b", 2 * (100 + 2 + 96));
+  lru.Put("e1", 1, 100);
+  lru.Put("e2", 2, 100);
+  ASSERT_NE(lru.Get("e1"), nullptr);  // promote e1; e2 is now LRU
+  lru.Put("e3", 3, 100);              // evicts e2
+  EXPECT_NE(lru.Get("e1"), nullptr);
+  EXPECT_EQ(lru.Get("e2"), nullptr);
+  EXPECT_NE(lru.Get("e3"), nullptr);
+  EXPECT_EQ(lru.entries(), 2u);
+}
+
+TEST(LruByteCacheTest, DuplicatePutKeepsFirstValue) {
+  cache::LruByteCache<int> lru("test_c", 1 << 20);
+  auto first = lru.Put("k", 1, 8);
+  auto second = lru.Put("k", 2, 8);
+  EXPECT_EQ(*second, 1) << "racing Put must not replace the stored value";
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(lru.entries(), 1u);
+}
+
+TEST(AutomataCacheTest, CachedConstructionsMatchDirectOnes) {
+  ScopedCacheEnabled enabled;
+  RegexPtr regex = Regex::Concat(
+      {Regex::Atom(0), Regex::Star(Regex::Union(
+                           {Regex::Atom(1), Regex::Atom(2)}))});
+  const uint32_t k = 4;
+  Nfa direct = regex->ToNfa(k);
+  auto cached = cache::CachedRegexToNfa(*regex, k);
+  auto cached_again = cache::CachedRegexToNfa(*regex, k);
+  EXPECT_EQ(cached.get(), cached_again.get()) << "second lookup must hit";
+  EXPECT_EQ(cache::Encode(direct), cache::Encode(*cached));
+
+  Nfa epsfree_direct = direct.WithoutEpsilons();
+  auto epsfree_cached = cache::CachedEpsilonFree(direct);
+  EXPECT_EQ(cache::Encode(epsfree_direct), cache::Encode(*epsfree_cached));
+  // Already-epsilon-free inputs come back as aliases, not copies.
+  auto alias = cache::CachedEpsilonFree(epsfree_direct);
+  EXPECT_EQ(alias.get(), &epsfree_direct);
+
+  TwoNfa fold_direct = FoldTwoNfa(epsfree_direct);
+  auto fold_cached = cache::CachedFoldTwoNfa(epsfree_direct);
+  EXPECT_EQ(cache::Encode(fold_direct), cache::Encode(*fold_cached));
+}
+
+TEST(AutomataCacheTest, VerdictCacheShortCircuitsRepeatedChecks) {
+  ScopedCacheEnabled enabled;
+  Nfa a = ChainNfa(4, 0);
+  Nfa b = ChainNfa(4, 0);
+  b.AddTransition(0, 1, 0);  // b also loops on symbol 1: L(a) ⊆ L(b)
+  LanguageContainmentResult first = CheckLanguageContainment(a, b);
+  obs::CounterDelta delta;
+  LanguageContainmentResult second = CheckLanguageContainment(a, b);
+  EXPECT_EQ(first.contained, second.contained);
+  EXPECT_EQ(first.explored_states, second.explored_states);
+  EXPECT_GE(delta.Delta("cache.verdict_hits"), 1u);
+  // A hit answers without running the decision procedure.
+  EXPECT_EQ(delta.Delta("containment.checks"), 0u);
+}
+
+TEST(AutomataCacheTest, DisabledCacheIsInert) {
+  cache::AutomataCache::Global().SetEnabled(false);
+  cache::AutomataCache::Global().Clear();
+  Nfa a = ChainNfa(3, 0);
+  obs::CounterDelta delta;
+  CheckLanguageContainment(a, a);
+  CheckLanguageContainment(a, a);
+  EXPECT_EQ(delta.Delta("cache.hits"), 0u);
+  EXPECT_EQ(delta.Delta("cache.misses"), 0u);
+  EXPECT_EQ(delta.Delta("containment.checks"), 2u);
+}
+
+// Many threads hammering the same small key space: exercises the LRU mutex,
+// the shared_ptr handoff, and the verdict cache under contention. Run under
+// ThreadSanitizer via the tsan preset (ctest -L tsan).
+TEST(AutomataCacheTest, ConcurrentMixedTrafficIsSafeAndConsistent) {
+  ScopedCacheEnabled enabled;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  std::vector<Nfa> automata;
+  for (uint32_t n = 2; n < 6; ++n) {
+    automata.push_back(ChainNfa(n, 0));
+    automata.push_back(ChainNfa(n, 1));
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const Nfa& a = automata[(t + i) % automata.size()];
+        const Nfa& b = automata[(t + 2 * i + 1) % automata.size()];
+        LanguageContainmentResult result = CheckLanguageContainment(a, b);
+        // Each chain accepts exactly one word, so containment holds iff the
+        // chains are identical.
+        bool expect = cache::Encode(a) == cache::Encode(b);
+        if (result.contained != expect) ++failures[t];
+        auto fold = cache::CachedFoldTwoNfa(a);
+        if (fold == nullptr) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+}
+
+}  // namespace
+}  // namespace rq

@@ -1,0 +1,151 @@
+#include "rq/expand.h"
+
+#include <gtest/gtest.h>
+
+#include "rq/containment.h"
+#include "rq/parser.h"
+
+namespace rq {
+namespace {
+
+RqQuery Parse(const std::string& text) {
+  auto q = ParseRq(text);
+  RQ_CHECK(q.ok());
+  return *q;
+}
+
+// Regression: closure expansion used to build each link's variable
+// environment from scratch, dropping every outer binding. With the body
+// mentioning a variable bound by an enclosing Exists (here w, a closure
+// parameter), the links' c-atoms kept the ORIGINAL w id while the p-atom
+// outside the closure got the Exists-freshened copy — so expansions
+// disagreed about a variable the query requires to be shared.
+TEST(RqExpandTest, ClosureLinksSeeEnclosingBindings) {
+  RqQuery q =
+      Parse("q(x, y) := exists[w]( p(w) & tc[x,y]( a(x,y) & c(x,w) ) )");
+  RqExpandLimits limits;
+  limits.max_tc_unroll = 3;
+  auto expansions = ExpandRq(q, limits);
+  ASSERT_TRUE(expansions.ok());
+  ASSERT_FALSE(expansions->expansions.empty());
+  for (const ConjunctiveQuery& cq : expansions->expansions) {
+    VarId p_var = 0;
+    bool found_p = false;
+    for (const CqAtom& atom : cq.atoms) {
+      if (atom.predicate == "p") {
+        p_var = atom.vars[0];
+        found_p = true;
+      }
+    }
+    ASSERT_TRUE(found_p);
+    size_t c_atoms = 0;
+    for (const CqAtom& atom : cq.atoms) {
+      if (atom.predicate != "c") continue;
+      ++c_atoms;
+      EXPECT_EQ(atom.vars[1], p_var)
+          << "closure link dropped the enclosing Exists binding of w";
+    }
+    EXPECT_GE(c_atoms, 1u);
+  }
+}
+
+// Closure parameters are held fixed along the whole chain: every link atom
+// of one expansion carries the same (free) parameter variable, and
+// consecutive links share their chain endpoint.
+TEST(RqExpandTest, ClosureParametersFixedAlongChain) {
+  RqQuery q = Parse("q(x, y, z) := tc[x,y](r(x, y, z))");
+  RqExpandLimits limits;
+  limits.max_tc_unroll = 4;
+  auto expansions = ExpandRq(q, limits);
+  ASSERT_TRUE(expansions.ok());
+  ASSERT_EQ(expansions->expansions.size(), 4u);  // one per chain length
+  // Parser interning order: x=0, y=1, z=2.
+  const VarId x = 0, y = 1, z = 2;
+  for (const ConjunctiveQuery& cq : expansions->expansions) {
+    ASSERT_FALSE(cq.atoms.empty());
+    for (const CqAtom& atom : cq.atoms) {
+      ASSERT_EQ(atom.predicate, "r");
+      EXPECT_EQ(atom.vars[2], z) << "parameter not fixed along the chain";
+    }
+    EXPECT_EQ(cq.atoms.front().vars[0], x);
+    EXPECT_EQ(cq.atoms.back().vars[1], y);
+    for (size_t i = 0; i + 1 < cq.atoms.size(); ++i) {
+      EXPECT_EQ(cq.atoms[i].vars[1], cq.atoms[i + 1].vars[0]);
+    }
+  }
+}
+
+// Nested closures: the inner closure's links must still see the outer
+// closure's per-link endpoint renamings (they reach the inner body through
+// the link env, not the original ids).
+TEST(RqExpandTest, NestedClosureSeesOuterLinkRenaming) {
+  RqQuery q = Parse("q(x, y) := tc[x,y]( tc[x,y](r(x, y)) )");
+  RqExpandLimits limits;
+  limits.max_tc_unroll = 2;
+  auto expansions = ExpandRq(q, limits);
+  ASSERT_TRUE(expansions.ok());
+  // Every expansion must form one connected r-chain from x to y.
+  const VarId x = 0, y = 1;
+  for (const ConjunctiveQuery& cq : expansions->expansions) {
+    EXPECT_EQ(cq.atoms.front().vars[0], x);
+    EXPECT_EQ(cq.atoms.back().vars[1], y);
+    for (size_t i = 0; i + 1 < cq.atoms.size(); ++i) {
+      EXPECT_EQ(cq.atoms[i].vars[1], cq.atoms[i + 1].vars[0]);
+    }
+  }
+}
+
+// The max_expansions cap must truncate the enumeration, not corrupt it:
+// whatever is returned must still be a genuine (complete) expansion.
+TEST(RqExpandTest, TruncationKeepsExpansionsGenuine) {
+  RqQuery q = Parse(
+      "q(x, y) := tc[x,y]( (a(x,y) | b(x,y) | c(x,y)) & d(x,y) )");
+  RqExpandLimits limits;
+  limits.max_tc_unroll = 4;
+  limits.max_expansions = 5;
+  auto expansions = ExpandRq(q, limits);
+  ASSERT_TRUE(expansions.ok());
+  EXPECT_TRUE(expansions->truncated);
+  EXPECT_LE(expansions->expansions.size(), limits.max_expansions);
+  for (const ConjunctiveQuery& cq : expansions->expansions) {
+    // Every link contributes one letter atom AND its d-atom; a short-circuit
+    // that dropped conjuncts would break the pairing.
+    size_t letters = 0;
+    size_t ds = 0;
+    for (const CqAtom& atom : cq.atoms) {
+      if (atom.predicate == "d") {
+        ++ds;
+      } else {
+        ++letters;
+      }
+    }
+    EXPECT_EQ(letters, ds) << "partial conjunct emitted under truncation";
+    EXPECT_GE(ds, 1u);
+  }
+}
+
+// End-to-end soundness of the truncation short-circuits: Q ⊑ Q can never be
+// refuted, no matter how tight the expansion bounds are (a spurious partial
+// expansion would make Q2 appear to miss the frozen head).
+TEST(RqExpandTest, TightBoundsNeverRefuteSelfContainment) {
+  const char* queries[] = {
+      "q(x, y) := tc[x,y]( a(x,y) | b(x,y) )",
+      "q(x, y) := tc[x,y]( a(x,y) & b(x,y) )",
+      "q(x, y) := exists[w]( p(w) & tc[x,y]( a(x,y) & c(x,w) ) )",
+  };
+  for (const char* text : queries) {
+    RqQuery q = Parse(text);
+    for (size_t cap : {1u, 2u, 3u, 7u}) {
+      RqContainmentOptions options;
+      options.expand.max_tc_unroll = 3;
+      options.expand.max_expansions = cap;
+      auto result = CheckRqContainment(q, q, options);
+      ASSERT_TRUE(result.ok()) << text;
+      EXPECT_NE(result->certainty, Certainty::kRefuted)
+          << text << " with max_expansions=" << cap;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rq

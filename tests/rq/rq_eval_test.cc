@@ -38,7 +38,10 @@ TEST(RqParserTest, RejectsIllFormedQueries) {
   EXPECT_FALSE(ParseRq("r(x, y) |").ok());
   EXPECT_FALSE(ParseRq("r(x, y) | s(x, z)").ok());   // different frees
   EXPECT_FALSE(ParseRq("exists[w](r(x, y))").ok());  // w not free
-  EXPECT_FALSE(ParseRq("tc[x,y](r(x, y) & r(y, z))").ok());  // not binary
+  // Ternary tc bodies are legal (z is a parameter, held fixed along the
+  // chain; docs/SYNTAX.md), but both endpoints must be free and distinct.
+  EXPECT_TRUE(ParseRq("tc[x,y](r(x, y) & r(y, z))").ok());
+  EXPECT_FALSE(ParseRq("tc[x,y](r(x, x))").ok());  // y not free
   EXPECT_FALSE(ParseRq("tc[x,x](r(x, y))").ok());
   EXPECT_FALSE(ParseRq("q(x, w) := r(x, y)").ok());  // head var not free
 }
@@ -138,6 +141,32 @@ TEST(RqEvalTest, TriangleClosurePaperExample) {
   // disconnected in the closure.
   EXPECT_FALSE(out.Contains({1, 4}));
   EXPECT_FALSE(out.Contains({3, 4}));
+}
+
+// Parameterized closure: the body's extra free variable z is held fixed
+// along the chain, so the closure is computed per z-group. Edges with
+// different parameters must not link up.
+TEST(RqEvalTest, ParameterizedClosureGroupsByParameter) {
+  Database db;
+  Relation* r = db.GetOrCreate("r", 3).value();
+  r->Insert({1, 2, 7});
+  r->Insert({2, 3, 7});
+  r->Insert({2, 3, 8});
+  Relation out =
+      EvalRqQuery(db, Parse("q(x, y, z) := tc[x,y](r(x, y, z))")).value();
+  EXPECT_EQ(out.SortedTuples(),
+            (std::vector<Tuple>{{1, 2, 7}, {1, 3, 7}, {2, 3, 7}, {2, 3, 8}}));
+}
+
+TEST(RqEvalTest, ParameterizedClosureNeverMixesParameters) {
+  Database db;
+  Relation* r = db.GetOrCreate("r", 3).value();
+  r->Insert({1, 2, 7});
+  r->Insert({2, 3, 8});  // would extend the chain only if z could change
+  Relation out =
+      EvalRqQuery(db, Parse("q(x, y, z) := tc[x,y](r(x, y, z))")).value();
+  EXPECT_EQ(out.SortedTuples(),
+            (std::vector<Tuple>{{1, 2, 7}, {2, 3, 8}}));
 }
 
 TEST(RqEvalTest, InverseOrientationViaAtomSwap) {
