@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regression gate over two rq-bench-suite/1 files (bench/run_all.sh output).
+
+Compares the per-benchmark real times of a baseline suite against a current
+suite, matched by (binary, benchmark name). For every binary the geomean of
+the current/baseline time ratios is the regression signal: a geomean above
+1 + threshold fails the gate.
+
+    bench/compare.py BASELINE.json CURRENT.json
+        [--threshold-pct N]   per-binary geomean regression allowance
+                              (default 10.0)
+        [--warn-only]         report regressions but always exit 0 (used by
+                              run_all.sh --smoke self-comparison, where ~1 ms
+                              timings are too noisy to gate on)
+        [--json-out PATH]     write the comparison (schema
+                              "rq-bench-compare/1") to PATH
+        [--record-into PATH]  merge the comparison into an existing suite
+                              JSON file under the "baseline_comparison" key
+                              (run_all.sh records deltas into
+                              BENCH_results.json this way)
+
+Exit status: 0 = no regression (or --warn-only), 1 = at least one binary's
+geomean regressed beyond the threshold, 2 = usage/schema error.
+
+Benchmarks present on only one side (renamed, added, removed) are listed in
+"unmatched" and excluded from the geomean — a rename cannot fake a speedup
+or hide a slowdown, but it is surfaced. Error-bearing entries are skipped
+the same way.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_suite(path):
+    with open(path) as f:
+        suite = json.load(f)
+    if suite.get("schema") != "rq-bench-suite/1":
+        sys.exit(f"{path}: expected schema rq-bench-suite/1, "
+                 f"got {suite.get('schema')!r}")
+    return suite
+
+
+def benchmark_times(suite):
+    """{binary: {benchmark name: real_time_ns}} for error-free entries."""
+    times = {}
+    for report in suite.get("binaries", []):
+        binary = report.get("binary", "?")
+        rows = {}
+        for bench in report.get("benchmarks", []):
+            if "error" in bench or "real_time_ns" not in bench:
+                continue
+            if bench["real_time_ns"] > 0:
+                rows[bench["name"]] = bench["real_time_ns"]
+        times[binary] = rows
+    return times
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare(baseline, current, threshold_pct):
+    base_times = benchmark_times(baseline)
+    cur_times = benchmark_times(current)
+    limit = 1.0 + threshold_pct / 100.0
+
+    binaries = []
+    unmatched = []
+    regressed = False
+    for binary in sorted(set(base_times) | set(cur_times)):
+        base = base_times.get(binary, {})
+        cur = cur_times.get(binary, {})
+        common = sorted(set(base) & set(cur))
+        for name in sorted(set(base) ^ set(cur)):
+            unmatched.append(f"{binary}:{name}")
+        if not common:
+            continue
+        ratios = {name: cur[name] / base[name] for name in common}
+        binary_geomean = geomean(list(ratios.values()))
+        binary_regressed = binary_geomean > limit
+        regressed = regressed or binary_regressed
+        binaries.append({
+            "binary": binary,
+            "benchmarks_compared": len(common),
+            "geomean_ratio": binary_geomean,
+            "regressed": binary_regressed,
+            "worst": max(ratios.items(), key=lambda kv: kv[1])[0],
+            "worst_ratio": max(ratios.values()),
+        })
+
+    overall = (geomean([b["geomean_ratio"] for b in binaries])
+               if binaries else None)
+    return {
+        "schema": "rq-bench-compare/1",
+        "threshold_pct": threshold_pct,
+        "overall_geomean_ratio": overall,
+        "regressed": regressed,
+        "binaries": binaries,
+        "unmatched": unmatched,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate on per-binary geomean regressions between two "
+                    "rq-bench-suite/1 files.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold-pct", type=float, default=10.0)
+    parser.add_argument("--warn-only", action="store_true")
+    parser.add_argument("--json-out")
+    parser.add_argument("--record-into")
+    args = parser.parse_args()
+
+    result = compare(load_suite(args.baseline), load_suite(args.current),
+                     args.threshold_pct)
+
+    if not result["binaries"]:
+        print("compare.py: no matching benchmarks between the two suites",
+              file=sys.stderr)
+        return 2
+
+    for entry in result["binaries"]:
+        flag = "REGRESSED" if entry["regressed"] else "ok"
+        print(f"{entry['binary']}: geomean x{entry['geomean_ratio']:.3f} "
+              f"over {entry['benchmarks_compared']} benchmarks "
+              f"(worst {entry['worst']} x{entry['worst_ratio']:.3f}) "
+              f"[{flag}]")
+    if result["unmatched"]:
+        print(f"unmatched (excluded): {len(result['unmatched'])} "
+              f"benchmark(s), e.g. {result['unmatched'][0]}")
+    print(f"overall geomean x{result['overall_geomean_ratio']:.3f} "
+          f"(threshold +{args.threshold_pct:.1f}% per binary)")
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(result, f, indent=2)
+            f.write("\n")
+    if args.record_into:
+        with open(args.record_into) as f:
+            suite = json.load(f)
+        suite["baseline_comparison"] = result
+        with open(args.record_into, "w") as f:
+            json.dump(suite, f, indent=2)
+            f.write("\n")
+
+    if result["regressed"] and not args.warn_only:
+        print(f"FAIL: geomean regression beyond +{args.threshold_pct:.1f}% "
+              "in at least one binary", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

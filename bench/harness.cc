@@ -10,8 +10,14 @@
 //                   budget — a correctness/telemetry smoke pass, not a
 //                   measurement. Recorded in the report as "smoke": true.
 //   --trace         enable aggregate span tracing during the run (per-name
-//                   count/total time; bounded memory even across millions
-//                   of benchmark iterations).
+//                   count/total time/p50/p99; bounded memory even across
+//                   millions of benchmark iterations).
+//   --chrome-trace <path>
+//                   enable FULL span tracing and write the spans as Chrome
+//                   trace-event JSON (Perfetto / chrome://tracing) on exit.
+//                   Records at most kMaxRecordedSpans rows (the overflow
+//                   still aggregates; see obs.dropped_spans) — pair with
+//                   --smoke to keep traces small.
 //   --cache         enable the content-addressed automata cache
 //                   (docs/CACHING.md) for the whole run. Recorded in the
 //                   report as "cache": true; cache.* counters land in the
@@ -32,8 +38,11 @@
 
 #include "cache/automata_cache.h"
 #include "containment/batch.h"
+#include "obs/chrome_trace.h"
 #include "obs/counters.h"
 #include "obs/export.h"
+#include "obs/gauge.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
 
 namespace {
@@ -104,6 +113,7 @@ rq::obs::JsonValue ReportJson(const std::string& binary, bool smoke,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string chrome_trace_path;
   bool smoke = false;
   bool trace = false;
   bool cache = false;
@@ -116,6 +126,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      chrome_trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--chrome-trace=", 15) == 0) {
+      chrome_trace_path = argv[i] + 15;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -143,8 +157,13 @@ int main(int argc, char** argv) {
 
   // Per-run deltas: the report should describe this invocation only.
   rq::obs::Registry::Global().ResetAll();
-  rq::obs::SetTraceMode(trace ? rq::obs::TraceMode::kAggregate
-                              : rq::obs::TraceMode::kDisabled);
+  rq::obs::GaugeRegistry::Global().ResetAll();
+  rq::obs::HistogramRegistry::Global().ResetAll();
+  // A Chrome trace needs full rows; --trace alone stays aggregate-only.
+  rq::obs::SetTraceMode(!chrome_trace_path.empty()
+                            ? rq::obs::TraceMode::kFull
+                        : trace ? rq::obs::TraceMode::kAggregate
+                                : rq::obs::TraceMode::kDisabled);
   if (cache) rq::cache::AutomataCache::Global().SetEnabled(true);
 
   CaptureReporter reporter;
@@ -162,6 +181,13 @@ int main(int argc, char** argv) {
     std::string text = report.Dump(2);
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
+  }
+  if (!chrome_trace_path.empty()) {
+    rq::Status status = rq::obs::WriteChromeTraceFile(chrome_trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

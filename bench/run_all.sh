@@ -4,13 +4,21 @@
 # (schema "rq-bench-suite/1").
 #
 # Usage: bench/run_all.sh [--smoke] [--trace] [--cache] [--jobs N]
-#                         [--build-dir DIR] [--out FILE]
-#   --smoke       abbreviated pass (~1 ms per benchmark) — CI smoke target
+#                         [--baseline FILE] [--build-dir DIR] [--out FILE]
+#   --smoke       abbreviated pass (~1 ms per benchmark) — CI smoke target.
+#                 Without an explicit --baseline, the first smoke run saves
+#                 its suite as <build-dir>/BENCH_baseline.json and later
+#                 runs self-compare against it (warn-only: smoke timings
+#                 are too noisy to gate on).
 #   --trace       enable aggregate span tracing in each binary
 #   --cache       enable the automata cache in every binary; the suite
 #                 report then records the aggregate cache hit rate, and the
 #                 run fails if the cache saw no traffic at all
 #   --jobs N      process-default worker count for batched containment
+#   --baseline F  compare this run against a prior suite file F via
+#                 bench/compare.py: the deltas are recorded under
+#                 "baseline_comparison" in the output, and a >10% geomean
+#                 regression in any binary fails the run
 #   --build-dir   directory holding the bench binaries
 #                 (default: <repo>/build/bench)
 #   --out         aggregated output path (default: <repo>/BENCH_results.json)
@@ -22,6 +30,7 @@ out="${repo_root}/BENCH_results.json"
 extra_flags=()
 smoke=false
 cache=false
+baseline=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -29,6 +38,7 @@ while [[ $# -gt 0 ]]; do
     --trace) extra_flags+=(--trace); shift ;;
     --cache) cache=true; extra_flags+=(--cache); shift ;;
     --jobs) extra_flags+=(--jobs "$2"); shift 2 ;;
+    --baseline) baseline="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -138,5 +148,29 @@ print(f"wrote {out_path}: {len(suite['binaries'])} binaries, "
       f"cache hit rate="
       f"{'n/a' if hit_rate is None else f'{hit_rate:.1%}'}")
 PY
+
+# Regression gating (bench/compare.py). An explicit --baseline gates the
+# run; --smoke without one bootstraps a per-build-dir baseline and then
+# self-compares warn-only on later runs.
+compare_py="${repo_root}/bench/compare.py"
+if [[ -n "$baseline" ]]; then
+  if [[ ! -f "$baseline" ]]; then
+    echo "baseline file not found: ${baseline}" >&2
+    exit 2
+  fi
+  echo "== comparing against baseline ${baseline}" >&2
+  python3 "$compare_py" "$baseline" "$out" --record-into "$out" >&2 \
+    || failed=1
+elif [[ "$smoke" == true ]]; then
+  smoke_baseline="${build_dir}/BENCH_baseline.json"
+  if [[ -f "$smoke_baseline" ]]; then
+    echo "== smoke self-comparison against ${smoke_baseline} (warn-only)" >&2
+    python3 "$compare_py" "$smoke_baseline" "$out" \
+      --warn-only --record-into "$out" >&2 || true
+  else
+    cp "$out" "$smoke_baseline"
+    echo "saved smoke baseline to ${smoke_baseline}" >&2
+  fi
+fi
 
 exit "$failed"

@@ -1,13 +1,19 @@
 // rqcheck — command-line containment checker for every query class in the
 // paper's ladder.
 //
-//   rqcheck [--trace] [--stats-json <path>] [--cache] [--jobs N]
-//           <class> <query1> <query2>
+//   rqcheck [--trace] [--stats-json <path>] [--chrome-trace <path>]
+//           [--cache] [--jobs N] <class> <query1> <query2>
 //     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
 //     queryN : query text, or @path to read the text from a file
-//     --trace             print the span tree of the check to stderr
-//     --stats-json <path> write the observability snapshot (counters and
-//                         spans, schema "rq-obs/1") to <path>
+//     --trace             print the span tree of the check (plus non-zero
+//                         counters/gauges/histograms and any dropped-span
+//                         count) to stderr
+//     --stats-json <path> write the observability snapshot (counters,
+//                         gauges, histograms, spans; schema "rq-obs/2")
+//                         to <path>
+//     --chrome-trace <path> write the spans as Chrome trace-event JSON
+//                         (Perfetto / chrome://tracing; one lane per
+//                         batch worker thread)
 //     --cache             enable the content-addressed automata/verdict
 //                         cache (docs/CACHING.md); cache.* counters report
 //                         hits/misses/evictions
@@ -35,6 +41,7 @@
 #include "containment/containment.h"
 #include "rq/equivalence.h"
 #include "crpq/crpq.h"
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "pathquery/containment.h"
@@ -182,6 +189,7 @@ int RunCheck(const std::string& cls, const std::string& t1,
 int main(int argc, char** argv) {
   bool trace = false;
   std::string stats_json;
+  std::string chrome_trace;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -199,17 +207,22 @@ int main(int argc, char** argv) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
       stats_json = arg.substr(13);
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_trace = argv[++i];
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_trace = arg.substr(15);
     } else {
       positional.push_back(std::move(arg));
     }
   }
   if (positional.size() != 3) {
     return Fail(
-        "usage: rqcheck [--trace] [--stats-json <path>] [--cache] "
-        "[--jobs N] <rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
+        "usage: rqcheck [--trace] [--stats-json <path>] "
+        "[--chrome-trace <path>] [--cache] [--jobs N] "
+        "<rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
   }
-  // Full tracing when either flag needs span data; counters always run.
-  if (trace || !stats_json.empty()) {
+  // Full tracing when any flag needs span data; counters always run.
+  if (trace || !stats_json.empty() || !chrome_trace.empty()) {
     obs::SetTraceMode(obs::TraceMode::kFull);
   }
 
@@ -219,6 +232,10 @@ int main(int argc, char** argv) {
   if (trace) obs::PrintSpanTree(stderr);
   if (!stats_json.empty()) {
     Status status = obs::WriteSnapshotJsonFile(stats_json);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (!chrome_trace.empty()) {
+    Status status = obs::WriteChromeTraceFile(chrome_trace);
     if (!status.ok()) return Fail(status.ToString());
   }
   return code;

@@ -1,12 +1,22 @@
 // rqeval — evaluate a query of any class over a graph database file.
 //
-//   rqeval [--trace] [--stats-json <path>] <graph-file> <class> <query>
+//   rqeval [--trace] [--stats-json <path>] [--chrome-trace <path>]
+//          [--cache] [--jobs N] <graph-file> <class> <query>
 //     graph-file : edge list, one "src label dst" per line ('#' comments)
 //     class      : path | crpq | rq | datalog
 //     query      : query text, or @path to read from a file
-//     --trace             print the span tree of the evaluation to stderr
-//     --stats-json <path> write the observability snapshot (counters and
-//                         spans, schema "rq-obs/1") to <path>
+//     --trace             print the span tree of the evaluation (plus
+//                         non-zero counters/gauges/histograms) to stderr
+//     --stats-json <path> write the observability snapshot (counters,
+//                         gauges, histograms, spans; schema "rq-obs/2")
+//                         to <path>
+//     --chrome-trace <path> write the spans as Chrome trace-event JSON
+//                         (Perfetto / chrome://tracing)
+//     --cache             enable the content-addressed automata/verdict
+//                         cache (docs/CACHING.md)
+//     --jobs N            worker threads for batched containment checks
+//                         (shared flag surface with rqcheck; evaluation
+//                         itself is single-threaded today)
 //
 // Examples:
 //   rqeval net.graph path 'knows+'
@@ -20,9 +30,12 @@
 
 #include <vector>
 
+#include "cache/automata_cache.h"
+#include "containment/batch.h"
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
 #include "graph/graph_db.h"
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "pathquery/path_query.h"
@@ -108,26 +121,40 @@ int RunEval(const std::string& graph_file, const std::string& cls,
 int main(int argc, char** argv) {
   bool trace = false;
   std::string stats_json;
+  std::string chrome_trace;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--cache") {
+      cache::AutomataCache::Global().SetEnabled(true);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      SetDefaultContainmentJobs(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      SetDefaultContainmentJobs(
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10)));
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
       stats_json = arg.substr(13);
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_trace = argv[++i];
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_trace = arg.substr(15);
     } else {
       positional.push_back(std::move(arg));
     }
   }
   if (positional.size() != 3) {
     return Fail(
-        "usage: rqeval [--trace] [--stats-json <path>] <graph-file> "
+        "usage: rqeval [--trace] [--stats-json <path>] "
+        "[--chrome-trace <path>] [--cache] [--jobs N] <graph-file> "
         "<path|crpq|rq|datalog> <query>");
   }
-  // Full tracing when either flag needs span data; counters always run.
-  if (trace || !stats_json.empty()) {
+  // Full tracing when any flag needs span data; counters always run.
+  if (trace || !stats_json.empty() || !chrome_trace.empty()) {
     obs::SetTraceMode(obs::TraceMode::kFull);
   }
 
@@ -136,6 +163,10 @@ int main(int argc, char** argv) {
   if (trace) obs::PrintSpanTree(stderr);
   if (!stats_json.empty()) {
     Status status = obs::WriteSnapshotJsonFile(stats_json);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (!chrome_trace.empty()) {
+    Status status = obs::WriteChromeTraceFile(chrome_trace);
     if (!status.ok()) return Fail(status.ToString());
   }
   return code;

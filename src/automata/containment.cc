@@ -25,6 +25,7 @@ void RecordCheck(obs::ScopedSpan& span,
   obs::ContainmentCounters& counters = obs::ContainmentCounters::Get();
   counters.checks.Increment();
   counters.states_explored.Add(result.explored_states);
+  counters.states_explored_per_check.Record(result.explored_states);
   if (!result.contained) counters.refuted.Increment();
   span.AddAttr("states_explored", result.explored_states);
 }

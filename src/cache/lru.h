@@ -71,6 +71,8 @@ class LruByteCache {
     index_.emplace(std::string_view(lru_.front().key), lru_.begin());
     bytes_ += entry_bytes;
     obs::CacheCounters::Get().inserts.Increment();
+    obs::CacheCounters::Get().bytes_in_use.Add(
+        static_cast<int64_t>(entry_bytes));
     while (bytes_ > byte_budget_ && !lru_.empty()) {
       EvictBackLocked();
     }
@@ -81,6 +83,7 @@ class LruByteCache {
     std::lock_guard<std::mutex> lock(mu_);
     index_.clear();
     lru_.clear();
+    obs::CacheCounters::Get().bytes_in_use.Sub(static_cast<int64_t>(bytes_));
     bytes_ = 0;
   }
 
@@ -115,6 +118,8 @@ class LruByteCache {
   void EvictBackLocked() {
     Entry& victim = lru_.back();
     bytes_ -= victim.bytes;
+    obs::CacheCounters::Get().bytes_in_use.Sub(
+        static_cast<int64_t>(victim.bytes));
     index_.erase(std::string_view(victim.key));
     lru_.pop_back();
     evictions_.Increment();

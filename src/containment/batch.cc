@@ -23,8 +23,17 @@ void RunJobs(size_t n, unsigned jobs, Work work) {
   obs::BatchCounters& counters = obs::BatchCounters::Get();
   counters.batches.Increment();
   counters.batch_checks.Add(n);
+  // Queue-depth gauge: all n jobs enter the backlog up front; each
+  // finished job drains one. The peak is the deepest backlog across any
+  // overlapping batches. One gauge update per job, not per inner step, so
+  // the checkers' hot loops stay untouched.
+  counters.queue_depth.Add(static_cast<int64_t>(n));
+  auto drained_work = [&counters, &work](size_t i) {
+    work(i);
+    counters.queue_depth.Sub(1);
+  };
   if (jobs <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) work(i);
+    for (size_t i = 0; i < n; ++i) drained_work(i);
     return;
   }
   unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
@@ -33,11 +42,11 @@ void RunJobs(size_t n, unsigned jobs, Work work) {
     std::vector<std::jthread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&next, n, &work] {
+      pool.emplace_back([&next, n, &drained_work] {
         for (;;) {
           size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
-          work(i);
+          drained_work(i);
         }
       });
     }

@@ -219,6 +219,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
   counters.rule_applications.Add(stats->rule_applications);
   counters.tuples_considered.Add(stats->tuples_considered);
   counters.tuples_derived.Add(stats->tuples_derived);
+  counters.rounds_per_eval.Record(stats->rounds);
   span.AddAttr("rounds", stats->rounds);
   span.AddAttr("tuples_considered", stats->tuples_considered);
   return db;

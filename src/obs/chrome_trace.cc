@@ -1,0 +1,88 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <set>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace rq {
+namespace obs {
+
+namespace {
+
+// "fold.construct" -> "fold"; names without a dot are their own category.
+std::string CategoryOf(std::string_view name) {
+  size_t dot = name.find('.');
+  return std::string(dot == std::string_view::npos ? name
+                                                   : name.substr(0, dot));
+}
+
+JsonValue ThreadNameEvent(uint32_t tid) {
+  JsonValue event = JsonValue::Object();
+  event.Set("name", JsonValue::String("thread_name"));
+  event.Set("ph", JsonValue::String("M"));
+  event.Set("pid", JsonValue::Number(uint64_t{1}));
+  event.Set("tid", JsonValue::Number(static_cast<uint64_t>(tid)));
+  JsonValue args = JsonValue::Object();
+  args.Set("name", JsonValue::String(
+                       tid == 0 ? "main" : "worker-" + std::to_string(tid)));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+}  // namespace
+
+JsonValue ChromeTraceJson() {
+  std::vector<SpanRecord> records = CollectSpanRecords();
+
+  JsonValue events = JsonValue::Array();
+  std::set<uint32_t> tids;
+  for (const SpanRecord& record : records) tids.insert(record.tid);
+  for (uint32_t tid : tids) events.Append(ThreadNameEvent(tid));
+
+  for (const SpanRecord& record : records) {
+    JsonValue event = JsonValue::Object();
+    event.Set("name", JsonValue::String(record.name));
+    event.Set("cat", JsonValue::String(CategoryOf(record.name)));
+    event.Set("ph", JsonValue::String("X"));
+    // Trace-event timestamps are microseconds; doubles keep sub-µs detail.
+    event.Set("ts",
+              JsonValue::Number(static_cast<double>(record.start_ns) / 1e3));
+    event.Set("dur", JsonValue::Number(
+                         static_cast<double>(record.duration_ns) / 1e3));
+    event.Set("pid", JsonValue::Number(uint64_t{1}));
+    event.Set("tid", JsonValue::Number(static_cast<uint64_t>(record.tid)));
+    if (!record.attrs.empty()) {
+      JsonValue args = JsonValue::Object();
+      for (const auto& [key, value] : record.attrs) {
+        args.Set(key, JsonValue::Number(value));
+      }
+      event.Set("args", std::move(args));
+    }
+    events.Append(std::move(event));
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", JsonValue::String("ns"));
+  return root;
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  std::string text = ChromeTraceJson().Dump(1);
+  text.push_back('\n');
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace rq

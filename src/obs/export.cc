@@ -3,6 +3,8 @@
 #include <cinttypes>
 
 #include "obs/counters.h"
+#include "obs/gauge.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
 
 namespace rq {
@@ -10,7 +12,7 @@ namespace obs {
 
 JsonValue SnapshotJson() {
   JsonValue root = JsonValue::Object();
-  root.Set("schema", JsonValue::String("rq-obs/1"));
+  root.Set("schema", JsonValue::String("rq-obs/2"));
 
   JsonValue counters = JsonValue::Array();
   for (const CounterSample& sample : Registry::Global().Snapshot()) {
@@ -21,12 +23,41 @@ JsonValue SnapshotJson() {
   }
   root.Set("counters", std::move(counters));
 
+  JsonValue gauges = JsonValue::Array();
+  for (const GaugeSample& sample : GaugeRegistry::Global().Snapshot()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(sample.name));
+    entry.Set("value", JsonValue::Number(sample.value));
+    entry.Set("peak", JsonValue::Number(sample.peak));
+    gauges.Append(std::move(entry));
+  }
+  root.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Array();
+  for (const HistogramSample& sample :
+       HistogramRegistry::Global().Snapshot()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(sample.name));
+    entry.Set("count", JsonValue::Number(sample.count));
+    entry.Set("sum", JsonValue::Number(sample.sum));
+    entry.Set("max", JsonValue::Number(sample.max));
+    entry.Set("p50", JsonValue::Number(sample.p50));
+    entry.Set("p90", JsonValue::Number(sample.p90));
+    entry.Set("p99", JsonValue::Number(sample.p99));
+    histograms.Append(std::move(entry));
+  }
+  root.Set("histograms", std::move(histograms));
+
   JsonValue span_stats = JsonValue::Array();
   for (const SpanStats& stats : CollectSpanStats()) {
     JsonValue entry = JsonValue::Object();
     entry.Set("name", JsonValue::String(stats.name));
     entry.Set("count", JsonValue::Number(stats.count));
     entry.Set("total_ns", JsonValue::Number(stats.total_ns));
+    entry.Set("p50_ns", JsonValue::Number(stats.p50_ns));
+    entry.Set("p90_ns", JsonValue::Number(stats.p90_ns));
+    entry.Set("p99_ns", JsonValue::Number(stats.p99_ns));
+    entry.Set("max_ns", JsonValue::Number(stats.max_ns));
     span_stats.Append(std::move(entry));
   }
   root.Set("span_stats", std::move(span_stats));
@@ -40,6 +71,7 @@ JsonValue SnapshotJson() {
       entry.Set("duration_ns", JsonValue::Number(record.duration_ns));
       entry.Set("depth", JsonValue::Number(static_cast<uint64_t>(record.depth)));
       entry.Set("parent", JsonValue::Number(static_cast<int64_t>(record.parent)));
+      entry.Set("tid", JsonValue::Number(static_cast<uint64_t>(record.tid)));
       JsonValue attrs = JsonValue::Object();
       for (const auto& [key, value] : record.attrs) {
         attrs.Set(key, JsonValue::Number(value));
@@ -48,8 +80,8 @@ JsonValue SnapshotJson() {
       spans.Append(std::move(entry));
     }
     root.Set("spans", std::move(spans));
-    root.Set("dropped_spans", JsonValue::Number(DroppedSpanRecords()));
   }
+  root.Set("dropped_spans", JsonValue::Number(DroppedSpanRecords()));
   return root;
 }
 
@@ -75,7 +107,14 @@ void PrintSpanTree(std::FILE* out) {
     if (records.empty()) {
       std::fprintf(out, "(no spans recorded)\n");
     }
+    // Multi-threaded traces prefix each row with its lane so interleaved
+    // worker spans stay attributable (full lane view: --chrome-trace).
+    bool multi_thread = false;
     for (const SpanRecord& record : records) {
+      if (record.tid != 0) multi_thread = true;
+    }
+    for (const SpanRecord& record : records) {
+      if (multi_thread) std::fprintf(out, "[t%" PRIu32 "] ", record.tid);
       std::fprintf(out, "%*s%s  %.3f ms", 2 * record.depth, "",
                    record.name.c_str(),
                    static_cast<double>(record.duration_ns) / 1e6);
@@ -86,14 +125,22 @@ void PrintSpanTree(std::FILE* out) {
     }
     uint64_t dropped = DroppedSpanRecords();
     if (dropped > 0) {
-      std::fprintf(out, "(%" PRIu64 " spans dropped beyond the record cap)\n",
+      std::fprintf(out,
+                   "(%" PRIu64
+                   " spans dropped beyond the record cap; counter "
+                   "obs.dropped_spans)\n",
                    dropped);
     }
   } else {
     for (const SpanStats& stats : CollectSpanStats()) {
-      std::fprintf(out, "%s  count=%" PRIu64 "  total=%.3f ms\n",
+      std::fprintf(out,
+                   "%s  count=%" PRIu64 "  total=%.3f ms  p50=%.3f ms  "
+                   "p99=%.3f ms  max=%.3f ms\n",
                    stats.name.c_str(), stats.count,
-                   static_cast<double>(stats.total_ns) / 1e6);
+                   static_cast<double>(stats.total_ns) / 1e6,
+                   static_cast<double>(stats.p50_ns) / 1e6,
+                   static_cast<double>(stats.p99_ns) / 1e6,
+                   static_cast<double>(stats.max_ns) / 1e6);
     }
   }
   std::fprintf(out, "counters:\n");
@@ -101,6 +148,30 @@ void PrintSpanTree(std::FILE* out) {
     if (sample.value == 0) continue;
     std::fprintf(out, "  %s = %" PRIu64 "\n", sample.name.c_str(),
                  sample.value);
+  }
+  bool gauge_header = false;
+  for (const GaugeSample& sample : GaugeRegistry::Global().Snapshot()) {
+    if (sample.value == 0 && sample.peak == 0) continue;
+    if (!gauge_header) {
+      std::fprintf(out, "gauges:\n");
+      gauge_header = true;
+    }
+    std::fprintf(out, "  %s = %" PRId64 " (peak %" PRId64 ")\n",
+                 sample.name.c_str(), sample.value, sample.peak);
+  }
+  bool histogram_header = false;
+  for (const HistogramSample& sample :
+       HistogramRegistry::Global().Snapshot()) {
+    if (sample.count == 0) continue;
+    if (!histogram_header) {
+      std::fprintf(out, "histograms:\n");
+      histogram_header = true;
+    }
+    std::fprintf(out,
+                 "  %s  count=%" PRIu64 "  p50=%" PRIu64 "  p90=%" PRIu64
+                 "  p99=%" PRIu64 "  max=%" PRIu64 "\n",
+                 sample.name.c_str(), sample.count, sample.p50, sample.p90,
+                 sample.p99, sample.max);
   }
 }
 

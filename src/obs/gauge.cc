@@ -1,0 +1,42 @@
+#include "obs/gauge.h"
+
+namespace rq {
+namespace obs {
+
+GaugeRegistry& GaugeRegistry::Global() {
+  static GaugeRegistry* registry = new GaugeRegistry();  // never destroyed
+  return *registry;
+}
+
+Gauge* GaugeRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    std::string key(name);
+    auto gauge = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
+    it = gauges_.emplace(std::move(key), std::move(gauge)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<GaugeSample> GaugeRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSample{name, gauge->value(), gauge->peak()});
+  }
+  return out;
+}
+
+void GaugeRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+}
+
+Gauge* GetGauge(std::string_view name) {
+  return GaugeRegistry::Global().GetGauge(name);
+}
+
+}  // namespace obs
+}  // namespace rq

@@ -1,0 +1,108 @@
+// Max-tracking gauges for peak quantities (the observability layer's
+// level store; see docs/OBSERVABILITY.md).
+//
+// A Gauge holds a current level and the peak that level ever reached.
+// Unlike counters (monotonic totals) a gauge can go down: subsystems
+// either Set() it once per operation (peak automaton sizes — the level is
+// the most recent construction, the peak the largest ever) or Add()/Sub()
+// deltas around a resource's lifetime (cache bytes in use, batch queue
+// depth — the peak is the high-water mark). All mutations are relaxed
+// atomics plus a CAS-max, so gauges are safe from any thread and follow
+// the flush-per-operation discipline of obs/counters.h.
+//
+// Naming scheme: `<subsystem>.<noun>` like counters, e.g.
+// `fold.peak_states`, `cache.bytes_in_use`. Registered gauges live for
+// the process lifetime; handles are stable pointers.
+#ifndef RQ_OBS_GAUGE_H_
+#define RQ_OBS_GAUGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rq {
+namespace obs {
+
+class Gauge {
+ public:
+  // Replaces the current level (raising the peak if needed).
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    RaisePeak(value);
+  }
+
+  // Moves the current level by a delta (raising the peak if needed).
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    RaisePeak(now);
+  }
+  void Sub(int64_t delta) { Add(-delta); }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Zeroes level and peak (per-run bench resets and tests). Not atomic
+  // with respect to concurrent mutations.
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class GaugeRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void RaisePeak(int64_t candidate) {
+    int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !peak_.compare_exchange_weak(seen, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+  int64_t peak = 0;
+};
+
+// Process-wide gauge registry, mirroring the counter registry.
+class GaugeRegistry {
+ public:
+  static GaugeRegistry& Global();
+
+  Gauge* GetGauge(std::string_view name);
+
+  // Name-sorted snapshot of all registered gauges.
+  std::vector<GaugeSample> Snapshot() const;
+
+  // Zeroes every gauge; gauges stay registered.
+  void ResetAll();
+
+ private:
+  GaugeRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+// Shorthand for GaugeRegistry::Global().GetGauge(name).
+Gauge* GetGauge(std::string_view name);
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_GAUGE_H_

@@ -18,10 +18,17 @@
 // signatures); the subsystems fill both. Hot loops accumulate into locals
 // and flush here once per operation, so registry traffic is O(operations),
 // not O(inner-loop steps). Full vocabulary: docs/OBSERVABILITY.md.
+//
+// Alongside the counters (monotonic totals), subsystems flush per-operation
+// DISTRIBUTIONS into value histograms (obs/histogram.h) — a histogram
+// sharing a counter's name records that quantity per operation rather than
+// in total — and PEAKS into max-tracking gauges (obs/gauge.h).
 #ifndef RQ_OBS_SUBSYSTEMS_H_
 #define RQ_OBS_SUBSYSTEMS_H_
 
 #include "obs/counters.h"
+#include "obs/gauge.h"
+#include "obs/histogram.h"
 
 namespace rq {
 namespace obs {
@@ -40,6 +47,9 @@ struct ContainmentCounters {
   Counter& checks = *GetCounter("containment.checks");
   Counter& states_explored = *GetCounter("containment.states_explored");
   Counter& refuted = *GetCounter("containment.refuted");
+  // Per-check distribution of the states_explored quantity.
+  Histogram& states_explored_per_check =
+      *GetHistogram("containment.states_explored");
 
   static ContainmentCounters& Get();
 };
@@ -49,6 +59,10 @@ struct FoldCounters {
   Counter& constructions = *GetCounter("fold.constructions");
   Counter& states = *GetCounter("fold.states");
   Counter& transitions = *GetCounter("fold.transitions");
+  // Per-construction distribution of the states quantity, and the largest
+  // fold automaton ever built.
+  Histogram& states_per_construction = *GetHistogram("fold.states");
+  Gauge& peak_states = *GetGauge("fold.peak_states");
 
   static FoldCounters& Get();
 };
@@ -58,6 +72,8 @@ struct ComplementCounters {
   Counter& constructions = *GetCounter("complement.constructions");
   Counter& states = *GetCounter("complement.states");
   Counter& budget_exhausted = *GetCounter("complement.budget_exhausted");
+  // Largest complement automaton ever built (the EXPSPACE pressure point).
+  Gauge& peak_states = *GetGauge("complement.peak_states");
 
   static ComplementCounters& Get();
 };
@@ -80,6 +96,9 @@ struct RqCounters {
   Counter& dispatch_uc2rpq = *GetCounter("rq.dispatch_uc2rpq");
   Counter& dispatch_expansion = *GetCounter("rq.dispatch_expansion");
   Counter& dispatch_structural = *GetCounter("rq.dispatch_structural");
+  // Expansions materialized by the most recent ExpandRq (peak = largest
+  // expansion set any single enumeration held live).
+  Gauge& live_expansions = *GetGauge("rq.live_expansions");
 
   static RqCounters& Get();
 };
@@ -92,6 +111,8 @@ struct CacheCounters {
   Counter& misses = *GetCounter("cache.misses");
   Counter& evictions = *GetCounter("cache.evictions");
   Counter& inserts = *GetCounter("cache.inserts");
+  // Bytes currently charged across all kinds (peak = high-water mark).
+  Gauge& bytes_in_use = *GetGauge("cache.bytes_in_use");
 
   static CacheCounters& Get();
 };
@@ -100,6 +121,9 @@ struct CacheCounters {
 struct BatchCounters {
   Counter& batches = *GetCounter("containment.batches");
   Counter& batch_checks = *GetCounter("containment.batch_checks");
+  // Jobs submitted but not yet finished (peak = deepest backlog any
+  // overlapping set of batches ever reached).
+  Gauge& queue_depth = *GetGauge("containment.batch_queue_depth");
 
   static BatchCounters& Get();
 };
@@ -111,6 +135,8 @@ struct DatalogCounters {
   Counter& rule_applications = *GetCounter("datalog.rule_applications");
   Counter& tuples_considered = *GetCounter("datalog.tuples_considered");
   Counter& tuples_derived = *GetCounter("datalog.tuples_derived");
+  // Per-evaluation distribution of the rounds quantity (fixpoint depth).
+  Histogram& rounds_per_eval = *GetHistogram("datalog.rounds");
 
   static DatalogCounters& Get();
 };

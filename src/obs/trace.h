@@ -13,16 +13,23 @@
 // full speed (bench_rpq_containment is the regression guard, budget ≤2%).
 //
 // Two enabled modes:
-//  * kAggregate — only per-name totals (count, total wall-time) are kept;
-//    bounded memory, suitable for benchmark loops running millions of
-//    operations.
+//  * kAggregate — only per-name aggregates (count, total wall-time, and a
+//    duration histogram yielding p50/p90/p99/max) are kept; bounded
+//    memory, suitable for benchmark loops running millions of operations.
 //  * kFull — every span is additionally recorded as a row (name, start,
-//    duration, depth, parent), capped at kMaxRecordedSpans to bound memory;
-//    spans beyond the cap still aggregate. Suitable for tracing single CLI
-//    invocations (rqcheck --trace).
+//    duration, depth, parent, tid), capped at kMaxRecordedSpans to bound
+//    memory; spans beyond the cap still aggregate and are counted by the
+//    `obs.dropped_spans` counter. Suitable for tracing single CLI
+//    invocations (rqcheck --trace / --chrome-trace).
 //
 // Span names follow the counter naming scheme `<subsystem>.<verb-or-noun>`.
-// Nesting is tracked per thread; the recorded rows are shared process-wide.
+// Thread attribution: each thread that records a span is assigned a small
+// dense id (`tid`, 0 for the first recording thread) for the lifetime of
+// the trace session; `SpanRecord::parent` is always resolved WITHIN the
+// owning thread — concurrent batch workers each form their own span tree
+// (one Chrome-trace lane per worker, obs/chrome_trace.h). Session resets
+// (SetTraceMode / ClearTrace) bump an internal generation; spans that
+// straddle a reset are discarded rather than linked into the new session.
 #ifndef RQ_OBS_TRACE_H_
 #define RQ_OBS_TRACE_H_
 
@@ -46,16 +53,23 @@ struct SpanRecord {
   uint64_t start_ns = 0;     // relative to the trace session start
   uint64_t duration_ns = 0;  // 0 while the span is open
   uint32_t depth = 0;        // nesting depth within its thread, root = 0
-  int32_t parent = -1;       // index into the record vector, -1 for roots
+  int32_t parent = -1;  // index of the enclosing span (same tid), -1 = root
+  uint32_t tid = 0;     // dense per-session thread id (0 = first thread)
   std::vector<std::pair<std::string, uint64_t>> attrs;
 };
 
 // Per-name aggregate over all spans since the session started (both
-// enabled modes maintain these).
+// enabled modes maintain these). Quantiles come from a log-bucketed
+// duration histogram (obs/histogram.h): exact max, bucket-lower-bound
+// estimates for p50/p90/p99.
 struct SpanStats {
   std::string name;
   uint64_t count = 0;
   uint64_t total_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
 };
 
 inline constexpr size_t kMaxRecordedSpans = 1 << 20;
@@ -72,8 +86,9 @@ void ClearTrace();
 // name-sorted.
 std::vector<SpanRecord> CollectSpanRecords();
 std::vector<SpanStats> CollectSpanStats();
-// Number of spans that exceeded kMaxRecordedSpans in kFull mode (they are
-// aggregated but not recorded as rows).
+// Number of spans that exceeded kMaxRecordedSpans in kFull mode this
+// session (they are aggregated but not recorded as rows). Also exposed
+// process-wide as the `obs.dropped_spans` counter.
 uint64_t DroppedSpanRecords();
 
 // RAII span. `name` must outlive the span (string literals only).
@@ -100,7 +115,8 @@ class ScopedSpan {
   bool active_ = false;
   const char* name_ = nullptr;
   int32_t record_index_ = -1;  // -1 when not recorded (aggregate-only)
-  uint64_t start_ns_ = 0;
+  uint64_t generation_ = 0;    // session the span belongs to
+  uint64_t start_abs_ns_ = 0;  // absolute steady-clock time at Begin
 };
 
 #define RQ_OBS_CONCAT_INNER(a, b) a##b

@@ -148,6 +148,7 @@ PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
   obs::ContainmentCounters& counters = obs::ContainmentCounters::Get();
   counters.checks.Increment();
   counters.states_explored.Add(result.explored_states);
+  counters.states_explored_per_check.Record(result.explored_states);
   if (!result.contained) counters.refuted.Increment();
   span.AddAttr("states_explored", result.explored_states);
   if (ac.enabled()) {

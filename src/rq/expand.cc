@@ -208,6 +208,8 @@ Result<RqExpansions> ExpandRq(const RqQuery& query,
     out.expansions.push_back(std::move(cq));
   }
   obs::RqCounters::Get().expansions.Add(out.expansions.size());
+  obs::RqCounters::Get().live_expansions.Set(
+      static_cast<int64_t>(out.expansions.size()));
   span.AddAttr("expansions", out.expansions.size());
   return out;
 }

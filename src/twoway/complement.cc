@@ -150,6 +150,7 @@ Result<Nfa> VardiComplementNfa(const TwoNfa& m, size_t max_states) {
   counters.constructions.Increment();
   if (result.ok()) {
     counters.states.Add(result->num_states());
+    counters.peak_states.Set(result->num_states());
     span.AddAttr("states", result->num_states());
   } else if (result.status().code() == StatusCode::kResourceExhausted) {
     counters.budget_exhausted.Increment();

@@ -80,6 +80,8 @@ TwoNfa FoldTwoNfa(const Nfa& input) {
   counters.constructions.Increment();
   counters.states.Add(out.num_states());
   counters.transitions.Add(num_transitions);
+  counters.states_per_construction.Record(out.num_states());
+  counters.peak_states.Set(out.num_states());
   span.AddAttr("states", out.num_states());
   span.AddAttr("transitions", num_transitions);
   return out;

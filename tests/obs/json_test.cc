@@ -4,6 +4,8 @@
 
 #include "obs/counters.h"
 #include "obs/export.h"
+#include "obs/gauge.h"
+#include "obs/histogram.h"
 
 namespace rq {
 namespace obs {
@@ -11,7 +13,7 @@ namespace {
 
 TEST(JsonTest, DumpParseRoundTrip) {
   JsonValue doc = JsonValue::Object();
-  doc.Set("schema", JsonValue::String("rq-obs/1"));
+  doc.Set("schema", JsonValue::String("rq-obs/2"));
   doc.Set("flag", JsonValue::Bool(true));
   doc.Set("nothing", JsonValue::Null());
   doc.Set("count", JsonValue::Number(uint64_t{1234567890123}));
@@ -26,7 +28,7 @@ TEST(JsonTest, DumpParseRoundTrip) {
     auto parsed = JsonValue::Parse(doc.Dump(indent));
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     EXPECT_EQ(parsed->Dump(), doc.Dump());
-    EXPECT_EQ(parsed->Find("schema")->string_value(), "rq-obs/1");
+    EXPECT_EQ(parsed->Find("schema")->string_value(), "rq-obs/2");
     EXPECT_TRUE(parsed->Find("flag")->bool_value());
     EXPECT_TRUE(parsed->Find("nothing")->is_null());
     // Large integers survive exactly (no exponent/precision loss).
@@ -51,7 +53,7 @@ TEST(JsonTest, SnapshotExportRoundTrips) {
   GetCounter("test.snapshot_roundtrip")->Add(11);
   auto parsed = JsonValue::Parse(SnapshotJsonString());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  EXPECT_EQ(parsed->Find("schema")->string_value(), "rq-obs/1");
+  EXPECT_EQ(parsed->Find("schema")->string_value(), "rq-obs/2");
 
   // Every registered counter appears, name-sorted, with its exact value.
   const JsonValue* counters = parsed->Find("counters");
@@ -67,6 +69,48 @@ TEST(JsonTest, SnapshotExportRoundTrips) {
   }
   EXPECT_TRUE(found);
   ASSERT_NE(parsed->Find("span_stats"), nullptr);
+  ASSERT_NE(parsed->Find("dropped_spans"), nullptr);
+}
+
+TEST(JsonTest, SnapshotExportsGaugesAndHistograms) {
+  GetGauge("test.json_gauge")->Reset();
+  GetGauge("test.json_gauge")->Set(4);
+  GetGauge("test.json_gauge")->Set(1);
+  Histogram* h = GetHistogram("test.json_histogram");
+  h->Reset();
+  h->Record(2);
+  h->Record(2);
+  h->Record(1024);
+
+  auto parsed = JsonValue::Parse(SnapshotJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  bool gauge_found = false;
+  for (const JsonValue& entry : gauges->items()) {
+    if (entry.Find("name")->string_value() != "test.json_gauge") continue;
+    gauge_found = true;
+    EXPECT_EQ(entry.Find("value")->number_value(), 1.0);
+    EXPECT_EQ(entry.Find("peak")->number_value(), 4.0);
+  }
+  EXPECT_TRUE(gauge_found);
+
+  const JsonValue* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  bool histogram_found = false;
+  for (const JsonValue& entry : histograms->items()) {
+    if (entry.Find("name")->string_value() != "test.json_histogram") {
+      continue;
+    }
+    histogram_found = true;
+    EXPECT_EQ(entry.Find("count")->uint_value(), 3u);
+    EXPECT_EQ(entry.Find("sum")->uint_value(), 1028u);
+    EXPECT_EQ(entry.Find("max")->uint_value(), 1024u);
+    EXPECT_EQ(entry.Find("p50")->uint_value(), 2u);
+    EXPECT_EQ(entry.Find("p99")->uint_value(), 1024u);
+  }
+  EXPECT_TRUE(histogram_found);
 }
 
 }  // namespace

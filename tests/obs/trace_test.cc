@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace rq {
 namespace obs {
 namespace {
@@ -77,6 +80,89 @@ TEST_F(TraceTest, ClearTraceDropsCollectedSpans) {
   ClearTrace();
   EXPECT_TRUE(CollectSpanRecords().empty());
   EXPECT_TRUE(CollectSpanStats().empty());
+}
+
+TEST_F(TraceTest, TidsAreDensePerRecordingThread) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN("test.main_thread");  // first recorder → tid 0
+  }
+  std::thread worker([] { RQ_TRACE_SPAN("test.worker_thread"); });
+  worker.join();
+  std::vector<SpanRecord> records = CollectSpanRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "test.main_thread");
+  EXPECT_EQ(records[0].tid, 0u);
+  EXPECT_EQ(records[1].name, "test.worker_thread");
+  EXPECT_EQ(records[1].tid, 1u);
+}
+
+TEST_F(TraceTest, ParentsResolvePerThreadNotAcrossThreads) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN("test.outer");
+    // The worker runs while test.outer is open on this thread. Its spans
+    // must root in their own lane, never under another thread's open span.
+    std::thread worker([] {
+      RQ_TRACE_SPAN("test.worker_root");
+      { RQ_TRACE_SPAN("test.worker_child"); }
+    });
+    worker.join();
+  }
+  std::vector<SpanRecord> records = CollectSpanRecords();
+  ASSERT_EQ(records.size(), 3u);
+  int32_t worker_root = -1;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    if (r.name == "test.worker_root") {
+      worker_root = static_cast<int32_t>(i);
+      EXPECT_EQ(r.parent, -1);  // not parented under test.outer
+      EXPECT_EQ(r.depth, 0u);
+    }
+  }
+  ASSERT_GE(worker_root, 0);
+  for (const SpanRecord& r : records) {
+    if (r.name != "test.worker_child") continue;
+    EXPECT_EQ(r.parent, worker_root);
+    EXPECT_EQ(r.tid, records[static_cast<size_t>(worker_root)].tid);
+  }
+}
+
+TEST_F(TraceTest, SpanStraddlingClearIsDiscardedEntirely) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN_VAR(span, "test.straddler");
+    ClearTrace();  // invalidates the recording session mid-span
+    span.AddAttr("late", 1);  // must not touch the cleared buffer
+  }
+  // The straddling span contributes neither a record nor aggregate stats.
+  EXPECT_TRUE(CollectSpanRecords().empty());
+  EXPECT_TRUE(CollectSpanStats().empty());
+  // The session keeps working for spans opened after the clear.
+  {
+    RQ_TRACE_SPAN("test.after_clear");
+  }
+  std::vector<SpanRecord> records = CollectSpanRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "test.after_clear");
+  EXPECT_EQ(records[0].parent, -1);
+  EXPECT_EQ(records[0].depth, 0u);
+}
+
+TEST_F(TraceTest, ModeSwitchInvalidatesStaleThreadStacks) {
+  SetTraceMode(TraceMode::kFull);
+  {
+    RQ_TRACE_SPAN_VAR(span, "test.old_session");
+    // Restarting tracing mid-span starts a new session; the open span
+    // belongs to the old one and must not become a parent in the new one.
+    SetTraceMode(TraceMode::kFull);
+    { RQ_TRACE_SPAN("test.new_session"); }
+  }
+  std::vector<SpanRecord> records = CollectSpanRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "test.new_session");
+  EXPECT_EQ(records[0].parent, -1);
+  EXPECT_EQ(records[0].depth, 0u);
 }
 
 }  // namespace
