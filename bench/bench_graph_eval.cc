@@ -1,11 +1,17 @@
 // E9 (§3.1/§3.3): query evaluation over graph databases — RPQ and 2RPQ via
-// product-automaton BFS, C2RPQ via instantiate-then-join — as the graph
-// grows. Throughput is reported per evaluated query over the whole graph
-// (all-pairs semantics).
+// product-automaton BFS over immutable CSR snapshots, C2RPQ via
+// instantiate-then-join — as the graph grows. Throughput is reported per
+// evaluated query over the whole graph (all-pairs semantics). The
+// multi-source family sweeps the worker count (names embed jobs:N) so
+// bench/run_all.sh can report the parallel speedup headline
+// (graph_eval_speedup: jobs:1 vs jobs:8 real time).
 #include <benchmark/benchmark.h>
+
+#include <numeric>
 
 #include "crpq/crpq.h"
 #include "graph/generators.h"
+#include "graph/snapshot.h"
 #include "pathquery/path_query.h"
 
 namespace rq {
@@ -84,6 +90,78 @@ void BM_RpqEvalSingleSource(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RpqEvalSingleSource)->RangeMultiplier(4)->Range(256, 16384);
+
+// Snapshot construction cost: the one-time freeze callers pay per
+// evaluation batch (counting sort + per-bucket sort/dedup).
+void BM_SnapshotBuild(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  GraphDb db = RandomGraph(nodes, nodes * 4, {"a", "b", "c"}, 3);
+  for (auto _ : state) {
+    GraphSnapshotPtr snap = db.Snapshot();
+    benchmark::DoNotOptimize(snap->num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(db.num_edges());
+}
+BENCHMARK(BM_SnapshotBuild)->RangeMultiplier(4)->Range(1024, 16384);
+
+// Multi-source batch evaluation: every node is a source, sources fan out
+// across the worker pool over one shared snapshot. The jobs sweep is the
+// headline parallelism measurement (speedup tracks available cores; on a
+// single-core host jobs:8 ~= jobs:1 plus pool overhead).
+void BM_MultiSourceRpqEval(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const unsigned jobs = static_cast<unsigned>(state.range(1));
+  GraphDb db = RandomGraph(nodes, nodes * 4, {"a", "b", "c"}, 42);
+  auto q = ParsePathQuery("a (b | c)* a", &db.alphabet());
+  RQ_CHECK(q.ok());
+  const Nfa nfa =
+      q->regex->ToNfa(static_cast<uint32_t>(db.alphabet().num_symbols()))
+          .WithoutEpsilons();
+  const GraphSnapshotPtr snapshot = db.Snapshot();
+  std::vector<NodeId> sources(nodes);
+  std::iota(sources.begin(), sources.end(), 0);
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto per_source = EvalPathQueryFromSources(*snapshot, nfa, sources,
+                                               PathEvalOptions{.jobs = jobs});
+    benchmark::DoNotOptimize(per_source.size());
+    answers = 0;
+    for (const auto& a : per_source) answers += a.size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MultiSourceRpqEval)
+    ->ArgNames({"nodes", "jobs"})
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Args({8192, 1})
+    ->Args({8192, 8});
+
+// Same sweep with inverse symbols in the query (2RPQ semipath semantics).
+void BM_MultiSourceTwoRpqEval(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const unsigned jobs = static_cast<unsigned>(state.range(1));
+  GraphDb db = RandomGraph(nodes, nodes * 4, {"a", "b", "c"}, 42);
+  auto q = ParsePathQuery("a (b- | c)* a-", &db.alphabet());
+  RQ_CHECK(q.ok());
+  const Nfa nfa =
+      q->regex->ToNfa(static_cast<uint32_t>(db.alphabet().num_symbols()))
+          .WithoutEpsilons();
+  const GraphSnapshotPtr snapshot = db.Snapshot();
+  std::vector<NodeId> sources(nodes);
+  std::iota(sources.begin(), sources.end(), 0);
+  for (auto _ : state) {
+    auto per_source = EvalPathQueryFromSources(*snapshot, nfa, sources,
+                                               PathEvalOptions{.jobs = jobs});
+    benchmark::DoNotOptimize(per_source.size());
+  }
+}
+BENCHMARK(BM_MultiSourceTwoRpqEval)
+    ->ArgNames({"nodes", "jobs"})
+    ->Args({2048, 1})
+    ->Args({2048, 8});
 
 }  // namespace
 }  // namespace rq

@@ -23,8 +23,9 @@
 //                   report as "cache": true; cache.* counters land in the
 //                   obs snapshot. Benchmarks that manage the cache flag
 //                   themselves (bench_batch_containment) override it.
-//   --jobs N        set the process-default worker count for batched
-//                   containment checks (containment/batch.h).
+//   --jobs N        set the process-default worker count
+//                   (common/parallel.h): batched containment checks and
+//                   multi-source graph evaluation both read it.
 //
 // bench/run_all.sh drives every binary through this interface and merges
 // the per-binary reports into BENCH_results.json.
@@ -37,7 +38,7 @@
 #include <vector>
 
 #include "cache/automata_cache.h"
-#include "containment/batch.h"
+#include "common/parallel.h"
 #include "obs/chrome_trace.h"
 #include "obs/counters.h"
 #include "obs/export.h"
@@ -137,10 +138,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       cache = true;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      rq::SetDefaultContainmentJobs(
+      rq::SetDefaultParallelJobs(
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      rq::SetDefaultContainmentJobs(
+      rq::SetDefaultParallelJobs(
           static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10)));
     } else {
       passthrough.push_back(argv[i]);

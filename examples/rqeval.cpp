@@ -14,9 +14,11 @@
 //                         (Perfetto / chrome://tracing)
 //     --cache             enable the content-addressed automata/verdict
 //                         cache (docs/CACHING.md)
-//     --jobs N            worker threads for batched containment checks
-//                         (shared flag surface with rqcheck; evaluation
-//                         itself is single-threaded today)
+//     --jobs N            worker threads for evaluation: path and crpq
+//                         queries fan their multi-source product-BFS over
+//                         N workers sharing one immutable graph snapshot
+//                         (shared flag surface with rqcheck, where the
+//                         same knob drives batched containment checks)
 //
 // Examples:
 //   rqeval net.graph path 'knows+'
@@ -31,7 +33,7 @@
 #include <vector>
 
 #include "cache/automata_cache.h"
-#include "containment/batch.h"
+#include "common/parallel.h"
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
 #include "graph/graph_db.h"
@@ -130,10 +132,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache") {
       cache::AutomataCache::Global().SetEnabled(true);
     } else if (arg == "--jobs" && i + 1 < argc) {
-      SetDefaultContainmentJobs(
+      SetDefaultParallelJobs(
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      SetDefaultContainmentJobs(
+      SetDefaultParallelJobs(
           static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10)));
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];

@@ -7,7 +7,7 @@
 namespace rq {
 
 uint32_t Alphabet::InternLabel(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   uint32_t id = static_cast<uint32_t>(labels_.size());
   labels_.emplace_back(name);
@@ -16,7 +16,7 @@ uint32_t Alphabet::InternLabel(std::string_view name) {
 }
 
 Result<uint32_t> Alphabet::FindLabel(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it == index_.end()) {
     return NotFoundError("unknown label: " + std::string(name));
   }

@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/strings.h"
 
 namespace rq {
 
@@ -74,7 +74,7 @@ class Alphabet {
 
  private:
   std::vector<std::string> labels_;
-  std::unordered_map<std::string, uint32_t> index_;
+  StringMap<uint32_t> index_;  // transparent: string_view lookups
 };
 
 // Renders a word over Sigma± as space-separated symbol names.

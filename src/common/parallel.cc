@@ -1,0 +1,17 @@
+#include "common/parallel.h"
+
+namespace rq {
+
+namespace {
+std::atomic<unsigned> g_default_jobs{1};
+}  // namespace
+
+void SetDefaultParallelJobs(unsigned jobs) {
+  g_default_jobs.store(jobs == 0 ? 1 : jobs, std::memory_order_relaxed);
+}
+
+unsigned DefaultParallelJobs() {
+  return g_default_jobs.load(std::memory_order_relaxed);
+}
+
+}  // namespace rq

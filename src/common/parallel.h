@@ -1,0 +1,58 @@
+// Shared ticket-queue worker pool.
+//
+// ParallelFor(n, jobs, work) runs work(i) for i in [0, n) on `jobs`
+// std::jthread workers. The queue is an atomic ticket counter: each worker
+// claims the next unclaimed index, so uneven per-item costs balance
+// automatically and no static partition can stall the pool. jobs <= 1 (or
+// n <= 1) runs inline on the calling thread with no pool at all, so serial
+// callers pay nothing.
+//
+// `work` must only touch per-index state or state that is internally
+// synchronized (obs counters/histograms/gauges and the automata cache
+// qualify). Exceptions must not escape `work`.
+//
+// This is the pool behind batched containment (containment/batch.h) and
+// multi-source graph evaluation (pathquery/path_query.h).
+#ifndef RQ_COMMON_PARALLEL_H_
+#define RQ_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace rq {
+
+// Process-wide default worker count used when a caller's jobs option is 0.
+// Starts at 1 (serial); the CLI --jobs flags (rqcheck, rqeval, bench
+// harness) raise it. Batched containment and multi-source graph evaluation
+// both read it.
+void SetDefaultParallelJobs(unsigned jobs);
+unsigned DefaultParallelJobs();
+
+template <typename Work>
+void ParallelFor(size_t n, unsigned jobs, Work&& work) {
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) work(i);
+    return;
+  }
+  unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
+  std::atomic<size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&next, n, &work] {
+        for (;;) {
+          size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          work(i);
+        }
+      });
+    }
+  }  // jthreads join here
+}
+
+}  // namespace rq
+
+#endif  // RQ_COMMON_PARALLEL_H_

@@ -1,8 +1,8 @@
 #include "containment/batch.h"
 
 #include <atomic>
-#include <thread>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
@@ -11,13 +11,10 @@ namespace rq {
 
 namespace {
 
-std::atomic<unsigned> g_default_jobs{1};
-
-// Runs `work(i)` for i in [0, n) on `jobs` workers. The shared queue is an
-// atomic ticket counter: each worker claims the next unclaimed index, so
-// long checks don't stall the others behind a static partition. `work` must
-// only touch per-index state (the checkers' shared state — obs counters and
-// the automata cache — is internally synchronized).
+// Runs `work(i)` for i in [0, n) on the shared ticket-queue pool
+// (common/parallel.h), wrapped in the batch engine's bookkeeping. `work`
+// must only touch per-index state (the checkers' shared state — obs
+// counters and the automata cache — is internally synchronized).
 template <typename Work>
 void RunJobs(size_t n, unsigned jobs, Work work) {
   obs::BatchCounters& counters = obs::BatchCounters::Get();
@@ -28,29 +25,10 @@ void RunJobs(size_t n, unsigned jobs, Work work) {
   // overlapping batches. One gauge update per job, not per inner step, so
   // the checkers' hot loops stay untouched.
   counters.queue_depth.Add(static_cast<int64_t>(n));
-  auto drained_work = [&counters, &work](size_t i) {
+  ParallelFor(n, jobs, [&counters, &work](size_t i) {
     work(i);
     counters.queue_depth.Sub(1);
-  };
-  if (jobs <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) drained_work(i);
-    return;
-  }
-  unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
-  std::atomic<size_t> next{0};
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&next, n, &drained_work] {
-        for (;;) {
-          size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          drained_work(i);
-        }
-      });
-    }
-  }  // jthreads join here
+  });
 }
 
 unsigned EffectiveJobs(const ContainmentBatchOptions& options) {
@@ -60,12 +38,10 @@ unsigned EffectiveJobs(const ContainmentBatchOptions& options) {
 }  // namespace
 
 void SetDefaultContainmentJobs(unsigned jobs) {
-  g_default_jobs.store(jobs == 0 ? 1 : jobs, std::memory_order_relaxed);
+  SetDefaultParallelJobs(jobs);
 }
 
-unsigned DefaultContainmentJobs() {
-  return g_default_jobs.load(std::memory_order_relaxed);
-}
+unsigned DefaultContainmentJobs() { return DefaultParallelJobs(); }
 
 std::vector<LanguageContainmentResult> CheckContainmentBatch(
     const std::vector<NfaContainmentJob>& jobs,

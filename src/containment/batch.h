@@ -33,7 +33,9 @@ struct ContainmentBatchOptions {
 };
 
 // Process-wide default worker count used when options.jobs == 0. Starts at
-// 1 (serial); rqcheck --jobs N and the bench harness raise it.
+// 1 (serial); rqcheck/rqeval --jobs N and the bench harness raise it.
+// Aliases the shared knob in common/parallel.h, which multi-source graph
+// evaluation (pathquery/path_query.h) also reads.
 void SetDefaultContainmentJobs(unsigned jobs);
 unsigned DefaultContainmentJobs();
 

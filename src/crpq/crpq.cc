@@ -192,10 +192,11 @@ Result<Uc2Rpq> ParseUc2Rpq(std::string_view text, Alphabet* alphabet) {
   return out;
 }
 
-Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query) {
+Result<Relation> EvalCrpq(const GraphSnapshot& snapshot, const Crpq& query,
+                          const PathEvalOptions& options) {
   RQ_RETURN_IF_ERROR(query.Validate());
   // Instantiate each distinct 2RPQ as a binary relation (phase one), then
-  // join (phase two).
+  // join (phase two). Every atom runs over the same shared snapshot.
   std::unordered_map<const Regex*, Relation> cache;
   std::vector<MatchAtom> atoms;
   std::vector<std::vector<VarId>> var_lists;
@@ -204,7 +205,8 @@ Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query) {
     auto it = cache.find(atom.regex.get());
     if (it == cache.end()) {
       Relation rel(2);
-      for (const auto& [x, y] : EvalPathQuery(db, *atom.regex)) {
+      for (const auto& [x, y] : EvalPathQuery(snapshot, *atom.regex,
+                                              options)) {
         rel.Insert({x, y});
       }
       it = cache.emplace(atom.regex.get(), std::move(rel)).first;
@@ -227,14 +229,26 @@ Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query) {
   return out;
 }
 
-Result<Relation> EvalUc2Rpq(const GraphDb& db, const Uc2Rpq& query) {
+Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query,
+                          const PathEvalOptions& options) {
+  return EvalCrpq(*db.Snapshot(), query, options);
+}
+
+Result<Relation> EvalUc2Rpq(const GraphSnapshot& snapshot,
+                            const Uc2Rpq& query,
+                            const PathEvalOptions& options) {
   RQ_RETURN_IF_ERROR(query.Validate());
   Relation out(query.disjuncts[0].head.size());
   for (const Crpq& q : query.disjuncts) {
-    RQ_ASSIGN_OR_RETURN(Relation part, EvalCrpq(db, q));
+    RQ_ASSIGN_OR_RETURN(Relation part, EvalCrpq(snapshot, q, options));
     out.InsertAll(part);
   }
   return out;
+}
+
+Result<Relation> EvalUc2Rpq(const GraphDb& db, const Uc2Rpq& query,
+                            const PathEvalOptions& options) {
+  return EvalUc2Rpq(*db.Snapshot(), query, options);
 }
 
 namespace {
@@ -433,8 +447,12 @@ Result<CrpqContainmentResult> CheckUc2RpqContainment(
       }
       CanonicalExpansion canonical =
           BuildCanonical(disjunct, choice, alphabet);
-      RQ_ASSIGN_OR_RETURN(Relation answers,
-                          EvalUc2Rpq(canonical.graph, q2));
+      // Canonical graphs are tiny; evaluating them serially avoids paying
+      // a worker-pool spin-up per expansion when a global --jobs is set
+      // (parallelism belongs to the per-disjunct batch dispatch above).
+      RQ_ASSIGN_OR_RETURN(
+          Relation answers,
+          EvalUc2Rpq(canonical.graph, q2, PathEvalOptions{.jobs = 1}));
       Tuple head_tuple;
       for (VarId v : disjunct.head) {
         head_tuple.push_back(canonical.node_of_var[v]);

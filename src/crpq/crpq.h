@@ -28,6 +28,7 @@
 #include "automata/alphabet.h"
 #include "common/status.h"
 #include "graph/graph_db.h"
+#include "pathquery/path_query.h"
 #include "regex/regex.h"
 #include "relational/matcher.h"
 #include "relational/relation.h"
@@ -65,9 +66,20 @@ Result<Crpq> ParseCrpq(std::string_view text, Alphabet* alphabet);
 Result<Uc2Rpq> ParseUc2Rpq(std::string_view text, Alphabet* alphabet);
 
 // Evaluation over a graph database (whose alphabet must be the alphabet the
-// query was parsed against).
-Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query);
-Result<Relation> EvalUc2Rpq(const GraphDb& db, const Uc2Rpq& query);
+// query was parsed against). Atom 2RPQs instantiate through the shared
+// product-BFS kernel; `options` fans the per-atom source sets across the
+// worker pool (pathquery/path_query.h). The GraphDb overloads take one CSR
+// snapshot for the whole query (all atoms / all disjuncts); pass a
+// snapshot yourself to amortize it across queries.
+Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query,
+                          const PathEvalOptions& options = {});
+Result<Relation> EvalCrpq(const GraphSnapshot& snapshot, const Crpq& query,
+                          const PathEvalOptions& options = {});
+Result<Relation> EvalUc2Rpq(const GraphDb& db, const Uc2Rpq& query,
+                            const PathEvalOptions& options = {});
+Result<Relation> EvalUc2Rpq(const GraphSnapshot& snapshot,
+                            const Uc2Rpq& query,
+                            const PathEvalOptions& options = {});
 
 struct CrpqContainmentOptions {
   // Longest atom-language word instantiated during expansion.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "graph/snapshot.h"
 
 namespace rq {
 
@@ -12,7 +13,7 @@ NodeId GraphDb::AddNode() {
 }
 
 NodeId GraphDb::AddNamedNode(std::string_view name) {
-  auto it = node_index_.find(std::string(name));
+  auto it = node_index_.find(name);
   if (it != node_index_.end()) return it->second;
   NodeId id = static_cast<NodeId>(num_nodes_++);
   node_names_.emplace_back(name);
@@ -33,7 +34,7 @@ std::string GraphDb::NodeName(NodeId node) const {
 }
 
 Result<NodeId> GraphDb::FindNode(std::string_view name) const {
-  auto it = node_index_.find(std::string(name));
+  auto it = node_index_.find(name);
   if (it == node_index_.end()) {
     return NotFoundError("unknown node: " + std::string(name));
   }
@@ -44,31 +45,26 @@ void GraphDb::AddEdge(NodeId src, uint32_t label, NodeId dst) {
   RQ_CHECK(src < num_nodes_ && dst < num_nodes_);
   RQ_CHECK(label < alphabet_.num_labels());
   edges_.push_back({src, label, dst});
-  index_dirty_ = true;
 }
 
-void GraphDb::RebuildIndexIfNeeded() const {
-  if (!index_dirty_ && indexed_symbols_ == alphabet_.num_symbols()) return;
-  indexed_symbols_ = alphabet_.num_symbols();
-  adjacency_.assign(num_nodes_ * indexed_symbols_, {});
+std::shared_ptr<const GraphSnapshot> GraphDb::Snapshot() const {
+  return std::make_shared<GraphSnapshot>(*this);
+}
+
+std::vector<NodeId> GraphDb::Successors(NodeId node, Symbol symbol) const {
+  std::vector<NodeId> out;
+  uint32_t label = SymbolLabel(symbol);
   for (const Edge& e : edges_) {
-    adjacency_[e.src * indexed_symbols_ + ForwardSymbolOf(e.label)].push_back(
-        e.dst);
-    adjacency_[e.dst * indexed_symbols_ + InverseSymbolOf(e.label)].push_back(
-        e.src);
+    if (e.label != label) continue;
+    if (IsInverseSymbol(symbol)) {
+      if (e.dst == node) out.push_back(e.src);
+    } else {
+      if (e.src == node) out.push_back(e.dst);
+    }
   }
-  for (auto& list : adjacency_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-  }
-  index_dirty_ = false;
-}
-
-const std::vector<NodeId>& GraphDb::Successors(NodeId node,
-                                               Symbol symbol) const {
-  RebuildIndexIfNeeded();
-  if (node >= num_nodes_ || symbol >= indexed_symbols_) return empty_;
-  return adjacency_[node * indexed_symbols_ + symbol];
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::vector<std::pair<NodeId, NodeId>> GraphDb::SymbolPairs(

@@ -7,22 +7,37 @@
 // edge labels agree by construction. Both directions are indexed: a
 // traversal step over an inverse symbol r- walks r-edges backward, which is
 // what 2RPQ semipath semantics require.
+//
+// Thread-safety contract (docs/EVALUATION.md has the long form):
+//   * GraphDb is a plain container: writes (AddNode/AddEdge/...) require
+//     external synchronization, like a std::vector. No const method
+//     mutates hidden state — the lazily-rebuilt adjacency index that used
+//     to make concurrent const readers race is gone.
+//   * Once mutation stops, any number of threads may read concurrently.
+//   * Evaluation hot paths do not touch GraphDb at all: they run over an
+//     immutable GraphSnapshot (graph/snapshot.h) obtained from
+//     Snapshot(). The snapshot is a frozen CSR copy — it stays valid and
+//     safely shareable across threads for its whole lifetime, no matter
+//     what is done to the GraphDb afterwards.
 #ifndef RQ_GRAPH_GRAPH_DB_H_
 #define RQ_GRAPH_GRAPH_DB_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "automata/alphabet.h"
 #include "common/status.h"
+#include "common/strings.h"
 
 namespace rq {
 
 using NodeId = uint32_t;
+
+class GraphSnapshot;
 
 struct Edge {
   NodeId src;
@@ -63,12 +78,25 @@ class GraphDb {
   size_t num_edges() const { return edges_.size(); }
   const std::vector<Edge>& edges() const { return edges_; }
 
+  // Freezes the current edge set into an immutable CSR snapshot
+  // (graph/snapshot.h) — the representation every evaluation hot path
+  // runs on. Built eagerly, each call; hold the handle across an
+  // evaluation (or batch of them) rather than re-snapshotting per query.
+  // Safe to call from concurrent readers; not concurrently with writes.
+  std::shared_ptr<const GraphSnapshot> Snapshot() const;
+
   // Nodes reachable from `node` in one step over `symbol` (forward edges
-  // for forward symbols, backward edges for inverse symbols). The returned
-  // reference is invalidated by the next AddEdge.
-  const std::vector<NodeId>& Successors(NodeId node, Symbol symbol) const;
+  // for forward symbols, backward edges for inverse symbols), sorted and
+  // deduplicated.
+  //
+  // Convenience for tests and one-off probes: every call is an O(edges)
+  // scan with no hidden index (so it is safe under concurrent const
+  // readers and the result, returned by value, never dangles). Hot paths
+  // must use Snapshot()->Successors(), which is O(1) per step.
+  std::vector<NodeId> Successors(NodeId node, Symbol symbol) const;
 
   // All node pairs (x, y) connected by one `symbol` step, sorted.
+  // O(edges) scan; prefer Snapshot()->SymbolPairs() in hot paths.
   std::vector<std::pair<NodeId, NodeId>> SymbolPairs(Symbol symbol) const;
 
   // Serialization: one "src label dst" line per edge, node names preserved.
@@ -76,19 +104,11 @@ class GraphDb {
   static Result<GraphDb> FromText(std::string_view text);
 
  private:
-  void RebuildIndexIfNeeded() const;
-
   Alphabet alphabet_;
   size_t num_nodes_ = 0;
   std::vector<Edge> edges_;
   std::vector<std::string> node_names_;  // empty string = anonymous
-  std::unordered_map<std::string, NodeId> node_index_;
-
-  // adjacency_[node * num_symbols + symbol] -> successor list.
-  mutable bool index_dirty_ = true;
-  mutable size_t indexed_symbols_ = 0;
-  mutable std::vector<std::vector<NodeId>> adjacency_;
-  mutable std::vector<NodeId> empty_;
+  StringMap<NodeId> node_index_;  // transparent: string_view lookups
 };
 
 }  // namespace rq

@@ -1,0 +1,72 @@
+#include "graph/snapshot.h"
+
+#include <algorithm>
+
+#include "obs/subsystems.h"
+
+namespace rq {
+
+GraphSnapshot::GraphSnapshot(const GraphDb& db)
+    : num_nodes_(db.num_nodes()),
+      num_symbols_(db.alphabet().num_symbols()),
+      num_edges_(db.num_edges()) {
+  const size_t rows = num_nodes_ * num_symbols_;
+  // Every edge lands in exactly two buckets (forward + inverse), so the
+  // pre-dedup target count is 2 * edges; uint32 offsets cap the snapshot
+  // at ~2B adjacency entries, far beyond in-memory graph sizes here.
+  RQ_CHECK(db.num_edges() * 2 <= 0xffffffffull);
+  offsets_.assign(rows + 1, 0);
+
+  // Counting sort: bucket sizes, prefix-sum into offsets, then fill.
+  for (const Edge& e : db.edges()) {
+    ++offsets_[static_cast<size_t>(ForwardSymbolOf(e.label)) * num_nodes_ +
+               e.src + 1];
+    ++offsets_[static_cast<size_t>(InverseSymbolOf(e.label)) * num_nodes_ +
+               e.dst + 1];
+  }
+  for (size_t row = 0; row < rows; ++row) offsets_[row + 1] += offsets_[row];
+  targets_.resize(offsets_[rows]);
+  std::vector<uint32_t> fill(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : db.edges()) {
+    targets_[fill[static_cast<size_t>(ForwardSymbolOf(e.label)) * num_nodes_ +
+                  e.src]++] = e.dst;
+    targets_[fill[static_cast<size_t>(InverseSymbolOf(e.label)) * num_nodes_ +
+                  e.dst]++] = e.src;
+  }
+
+  // Sort each bucket and compact out duplicate parallel edges in place.
+  // Rows are processed in offset order, so the write cursor never passes
+  // a row still waiting to be read.
+  uint32_t write = 0;
+  for (size_t row = 0; row < rows; ++row) {
+    uint32_t begin = offsets_[row];
+    uint32_t end = offsets_[row + 1];
+    std::sort(targets_.begin() + begin, targets_.begin() + end);
+    offsets_[row] = write;
+    for (uint32_t i = begin; i < end; ++i) {
+      if (i > begin && targets_[i] == targets_[i - 1]) continue;
+      targets_[write++] = targets_[i];
+    }
+  }
+  offsets_[rows] = write;
+  targets_.resize(write);
+  targets_.shrink_to_fit();
+
+  obs::GraphEvalCounters::Get().snapshots.Increment();
+}
+
+std::vector<std::pair<NodeId, NodeId>> GraphSnapshot::SymbolPairs(
+    Symbol symbol) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  if (symbol >= num_symbols_) return out;
+  const size_t base = static_cast<size_t>(symbol) * num_nodes_;
+  out.reserve(offsets_[base + num_nodes_] - offsets_[base]);
+  for (NodeId x = 0; x < num_nodes_; ++x) {
+    for (uint32_t i = offsets_[base + x]; i < offsets_[base + x + 1]; ++i) {
+      out.emplace_back(x, targets_[i]);
+    }
+  }
+  return out;  // already sorted: outer loop ascending, buckets sorted
+}
+
+}  // namespace rq

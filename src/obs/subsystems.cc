@@ -41,6 +41,11 @@ CacheCounters& CacheCounters::Get() {
   return *instance;
 }
 
+GraphEvalCounters& GraphEvalCounters::Get() {
+  static GraphEvalCounters* instance = new GraphEvalCounters();
+  return *instance;
+}
+
 BatchCounters& BatchCounters::Get() {
   static BatchCounters* instance = new BatchCounters();
   return *instance;

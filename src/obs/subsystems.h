@@ -117,6 +117,25 @@ struct CacheCounters {
   static CacheCounters& Get();
 };
 
+// Graph evaluation: product-of-graph-and-automaton BFS over immutable CSR
+// snapshots (graph/snapshot.h, pathquery/path_query.h). Workers flush once
+// per single-source evaluation; histograms record per-eval distributions
+// (frontier = per-BFS-level product frontier size, the memory pressure
+// signal; product_states = product states visited per eval, the work
+// signal).
+struct GraphEvalCounters {
+  Counter& snapshots = *GetCounter("graph.snapshots");
+  Counter& evals = *GetCounter("graph.evals");
+  Counter& product_states = *GetCounter("graph.product_states");
+  // Per-level frontier sizes and per-eval product states visited.
+  Histogram& frontier_per_level = *GetHistogram("graph.frontier");
+  Histogram& product_states_per_eval = *GetHistogram("graph.product_states");
+  // Widest product frontier any single BFS level ever reached.
+  Gauge& peak_frontier = *GetGauge("graph.peak_frontier");
+
+  static GraphEvalCounters& Get();
+};
+
 // Batch containment engine (src/containment/batch.h).
 struct BatchCounters {
   Counter& batches = *GetCounter("containment.batches");

@@ -1,7 +1,12 @@
 #include "pathquery/path_query.h"
 
 #include <algorithm>
-#include <deque>
+#include <numeric>
+
+#include "common/bitset.h"
+#include "common/parallel.h"
+#include "obs/subsystems.h"
+#include "obs/trace.h"
 
 namespace rq {
 
@@ -10,70 +15,141 @@ Result<PathQuery> ParsePathQuery(std::string_view text, Alphabet* alphabet) {
   return PathQuery{std::move(regex)};
 }
 
-std::vector<NodeId> EvalPathQueryFrom(const GraphDb& db, const Nfa& input,
-                                      NodeId start) {
-  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+namespace {
+
+// The single evaluation kernel (paper §3.1/§3.3): level-synchronous BFS
+// over the product of the graph and the automaton. Visited product states
+// live in a bitset keyed node * |Q| + state; the frontier is a dense
+// vector swapped per level. `nfa` must be epsilon-free. Thread-safe for
+// concurrent calls over one shared snapshot — all mutable state is local,
+// and the obs sinks are internally synchronized (flushed once per eval,
+// once per level for the frontier histogram).
+std::vector<NodeId> ProductBfs(const GraphSnapshot& snapshot, const Nfa& nfa,
+                               NodeId start) {
+  obs::GraphEvalCounters& counters = obs::GraphEvalCounters::Get();
+  counters.evals.Increment();
+
   const size_t num_states = nfa.num_states();
-  std::vector<bool> seen(db.num_nodes() * num_states, false);
-  std::deque<std::pair<NodeId, uint32_t>> work;
+  const size_t num_nodes = snapshot.num_nodes();
+  std::vector<NodeId> out;
+  if (num_states == 0 || start >= num_nodes) return out;
+
+  struct ProductState {
+    NodeId node;
+    uint32_t state;
+  };
+  Bitset visited(num_nodes * num_states);
+  Bitset answer(num_nodes);
+  std::vector<ProductState> frontier;
+  std::vector<ProductState> next;
+  uint64_t states_visited = 0;
+  size_t peak_frontier = 0;
+
   auto push = [&](NodeId node, uint32_t state) {
     size_t key = static_cast<size_t>(node) * num_states + state;
-    if (!seen[key]) {
-      seen[key] = true;
-      work.emplace_back(node, state);
-    }
+    if (visited.Test(key)) return;
+    visited.Set(key);
+    next.push_back({node, state});
   };
   for (uint32_t s : nfa.initial()) push(start, s);
+  std::swap(frontier, next);
 
-  std::vector<bool> answer(db.num_nodes(), false);
-  while (!work.empty()) {
-    auto [node, state] = work.front();
-    work.pop_front();
-    if (nfa.IsAccepting(state)) answer[node] = true;
-    for (const NfaTransition& t : nfa.TransitionsFrom(state)) {
-      for (NodeId next : db.Successors(node, t.symbol)) {
-        push(next, t.to);
+  while (!frontier.empty()) {
+    counters.frontier_per_level.Record(frontier.size());
+    peak_frontier = std::max(peak_frontier, frontier.size());
+    for (const ProductState& ps : frontier) {
+      ++states_visited;
+      if (nfa.IsAccepting(ps.state)) answer.Set(ps.node);
+      for (const NfaTransition& t : nfa.TransitionsFrom(ps.state)) {
+        for (NodeId successor : snapshot.Successors(ps.node, t.symbol)) {
+          push(successor, t.to);
+        }
       }
     }
+    frontier.clear();
+    std::swap(frontier, next);
   }
-  std::vector<NodeId> out;
-  for (NodeId y = 0; y < db.num_nodes(); ++y) {
-    if (answer[y]) out.push_back(y);
-  }
+
+  counters.product_states.Add(states_visited);
+  counters.product_states_per_eval.Record(states_visited);
+  counters.peak_frontier.Set(static_cast<int64_t>(peak_frontier));
+
+  out.reserve(answer.Count());
+  answer.ForEach([&](size_t y) { out.push_back(static_cast<NodeId>(y)); });
   return out;
 }
 
-std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(const GraphDb& db,
-                                                        const Nfa& input) {
-  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
-  std::vector<std::pair<NodeId, NodeId>> out;
-  for (NodeId x = 0; x < db.num_nodes(); ++x) {
-    for (NodeId y : EvalPathQueryFrom(db, nfa, x)) {
-      out.emplace_back(x, y);
-    }
-  }
-  return out;  // already sorted: outer loop ascending, inner sorted
-}
-
-namespace {
-
-uint32_t SymbolUniverse(const GraphDb& db, const Regex& regex) {
-  return std::max(static_cast<uint32_t>(db.alphabet().num_symbols()),
+uint32_t SymbolUniverse(size_t num_symbols, const Regex& regex) {
+  return std::max(static_cast<uint32_t>(num_symbols),
                   regex.MinNumSymbols());
 }
 
 }  // namespace
 
-std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(const GraphDb& db,
-                                                     const Regex& regex) {
-  Nfa nfa = regex.ToNfa(SymbolUniverse(db, regex));
-  return EvalPathQueryNfa(db, nfa);
+std::vector<NodeId> EvalPathQueryFrom(const GraphSnapshot& snapshot,
+                                      const Nfa& input, NodeId start) {
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  return ProductBfs(snapshot, nfa, start);
+}
+
+std::vector<NodeId> EvalPathQueryFrom(const GraphDb& db, const Nfa& nfa,
+                                      NodeId start) {
+  return EvalPathQueryFrom(*db.Snapshot(), nfa, start);
+}
+
+std::vector<std::vector<NodeId>> EvalPathQueryFromSources(
+    const GraphSnapshot& snapshot, const Nfa& input,
+    const std::vector<NodeId>& sources, const PathEvalOptions& options) {
+  RQ_TRACE_SPAN_VAR(span, "graph.eval_sources");
+  span.AddAttr("sources", sources.size());
+  const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
+  std::vector<std::vector<NodeId>> answers(sources.size());
+  unsigned jobs = options.jobs != 0 ? options.jobs : DefaultParallelJobs();
+  ParallelFor(sources.size(), jobs, [&](size_t i) {
+    answers[i] = ProductBfs(snapshot, nfa, sources[i]);
+  });
+  return answers;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(
+    const GraphSnapshot& snapshot, const Nfa& input,
+    const PathEvalOptions& options) {
+  std::vector<NodeId> sources(snapshot.num_nodes());
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  std::vector<std::vector<NodeId>> answers =
+      EvalPathQueryFromSources(snapshot, input, sources, options);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (size_t x = 0; x < answers.size(); ++x) {
+    for (NodeId y : answers[x]) out.emplace_back(static_cast<NodeId>(x), y);
+  }
+  return out;  // already sorted: outer loop ascending, inner sorted
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(
+    const GraphDb& db, const Nfa& nfa, const PathEvalOptions& options) {
+  return EvalPathQueryNfa(*db.Snapshot(), nfa, options);
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(
+    const GraphSnapshot& snapshot, const Regex& regex,
+    const PathEvalOptions& options) {
+  Nfa nfa = regex.ToNfa(SymbolUniverse(snapshot.num_symbols(), regex));
+  return EvalPathQueryNfa(snapshot, nfa, options);
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(
+    const GraphDb& db, const Regex& regex, const PathEvalOptions& options) {
+  Nfa nfa =
+      regex.ToNfa(SymbolUniverse(db.alphabet().num_symbols(), regex));
+  return EvalPathQueryNfa(*db.Snapshot(), nfa, options);
 }
 
 bool PathQueryAnswers(const GraphDb& db, const Regex& regex, NodeId x,
                       NodeId y) {
-  Nfa nfa = regex.ToNfa(SymbolUniverse(db, regex));
-  std::vector<NodeId> ys = EvalPathQueryFrom(db, nfa.WithoutEpsilons(), x);
+  Nfa nfa =
+      regex.ToNfa(SymbolUniverse(db.alphabet().num_symbols(), regex));
+  std::vector<NodeId> ys =
+      EvalPathQueryFrom(*db.Snapshot(), nfa.WithoutEpsilons(), x);
   return std::binary_search(ys.begin(), ys.end(), y);
 }
 

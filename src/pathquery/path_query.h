@@ -4,8 +4,16 @@
 // graph database D is the set of node pairs connected by a directed path
 // spelling a word of the language. A 2RPQ may use inverse symbols r- and is
 // evaluated over semipaths (paths that may traverse edges backward). Both
-// evaluate with the same product-of-graph-and-automaton BFS, because
-// GraphDb::Successors already resolves inverse symbols to backward steps.
+// evaluate with the same product-of-graph-and-automaton BFS, because the
+// graph's adjacency already resolves inverse symbols to backward steps.
+//
+// Every evaluator runs over an immutable GraphSnapshot (graph/snapshot.h):
+// the CSR arrays are safe to share across threads, so the multi-source
+// entry point fans its sources across the worker pool (common/parallel.h)
+// — one single-source product BFS per worker, answers stitched back in
+// source order. The GraphDb overloads are conveniences that take one
+// snapshot internally; callers issuing several queries against the same
+// graph should snapshot once and reuse it.
 #ifndef RQ_PATHQUERY_PATH_QUERY_H_
 #define RQ_PATHQUERY_PATH_QUERY_H_
 
@@ -15,6 +23,7 @@
 
 #include "automata/nfa.h"
 #include "graph/graph_db.h"
+#include "graph/snapshot.h"
 #include "regex/regex.h"
 
 namespace rq {
@@ -27,18 +36,44 @@ struct PathQuery {
   bool IsTwoWay() const { return regex->UsesInverse(); }
 };
 
+// Knobs for the multi-source evaluators.
+struct PathEvalOptions {
+  // Worker threads fanning sources across the pool; 0 means
+  // DefaultParallelJobs() (the process-wide --jobs knob). Values <= 1 run
+  // serially on the calling thread.
+  unsigned jobs = 0;
+};
+
 // Parses a path query; labels are interned into db_alphabet.
 Result<PathQuery> ParsePathQuery(std::string_view text, Alphabet* alphabet);
 
-// All nodes y such that (start, y) is in the answer.
+// All nodes y such that (start, y) is in the answer, sorted.
+std::vector<NodeId> EvalPathQueryFrom(const GraphSnapshot& snapshot,
+                                      const Nfa& nfa, NodeId start);
 std::vector<NodeId> EvalPathQueryFrom(const GraphDb& db, const Nfa& nfa,
                                       NodeId start);
 
-// The full answer set, sorted by (x, y).
-std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(const GraphDb& db,
-                                                     const Regex& regex);
-std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(const GraphDb& db,
-                                                        const Nfa& nfa);
+// Batch evaluation: answers[i] holds the sorted nodes reachable from
+// sources[i]. Sources fan out across options.jobs workers over the shared
+// snapshot; results always come back in source order regardless of
+// scheduling.
+std::vector<std::vector<NodeId>> EvalPathQueryFromSources(
+    const GraphSnapshot& snapshot, const Nfa& nfa,
+    const std::vector<NodeId>& sources, const PathEvalOptions& options = {});
+
+// The full answer set, sorted by (x, y). All-pairs semantics = the
+// multi-source evaluation from every node.
+std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(
+    const GraphSnapshot& snapshot, const Regex& regex,
+    const PathEvalOptions& options = {});
+std::vector<std::pair<NodeId, NodeId>> EvalPathQuery(
+    const GraphDb& db, const Regex& regex,
+    const PathEvalOptions& options = {});
+std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(
+    const GraphSnapshot& snapshot, const Nfa& nfa,
+    const PathEvalOptions& options = {});
+std::vector<std::pair<NodeId, NodeId>> EvalPathQueryNfa(
+    const GraphDb& db, const Nfa& nfa, const PathEvalOptions& options = {});
 
 // Membership test for one pair.
 bool PathQueryAnswers(const GraphDb& db, const Regex& regex, NodeId x,

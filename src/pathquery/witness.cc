@@ -1,10 +1,10 @@
 #include "pathquery/witness.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_map>
 
 #include "automata/nfa.h"
+#include "common/bitset.h"
+#include "graph/snapshot.h"
 
 namespace rq {
 
@@ -15,6 +15,16 @@ std::optional<std::vector<SemipathStep>> FindWitnessSemipath(
                regex.MinNumSymbols());
   Nfa nfa = regex.ToNfa(k).WithoutEpsilons().Trimmed();
 
+  // Same product BFS as the evaluators (pathquery/path_query.cc), run over
+  // an immutable CSR snapshot, but tracking per-visit parents so the
+  // shortest accepting semipath can be reconstructed. The visits vector
+  // doubles as the BFS queue (indices only ever grow), and the bitset
+  // keyed node * |Q| + state deduplicates product states.
+  const GraphSnapshotPtr snapshot = db.Snapshot();
+  const size_t num_states = nfa.num_states();
+  const size_t num_nodes = snapshot->num_nodes();
+  if (num_states == 0 || x >= num_nodes) return std::nullopt;
+
   struct Visit {
     uint32_t parent;  // index into visits, or UINT32_MAX
     NodeId node;
@@ -22,24 +32,17 @@ std::optional<std::vector<SemipathStep>> FindWitnessSemipath(
     Symbol via;  // kInvalidSymbol at roots
   };
   std::vector<Visit> visits;
-  std::unordered_map<uint64_t, uint32_t> seen;
-  std::deque<uint32_t> work;
-  auto key_of = [&](NodeId node, uint32_t state) {
-    return (static_cast<uint64_t>(node) << 32) | state;
-  };
+  Bitset seen(num_nodes * num_states);
   auto push = [&](NodeId node, uint32_t state, uint32_t parent, Symbol via) {
-    uint64_t key = key_of(node, state);
-    if (seen.contains(key)) return;
-    seen.emplace(key, static_cast<uint32_t>(visits.size()));
+    size_t key = static_cast<size_t>(node) * num_states + state;
+    if (seen.Test(key)) return;
+    seen.Set(key);
     visits.push_back({parent, node, state, via});
-    work.push_back(static_cast<uint32_t>(visits.size() - 1));
   };
   for (uint32_t s : nfa.initial()) {
     push(x, s, 0xffffffffu, kInvalidSymbol);
   }
-  while (!work.empty()) {
-    uint32_t idx = work.front();
-    work.pop_front();
+  for (uint32_t idx = 0; idx < visits.size(); ++idx) {
     Visit visit = visits[idx];
     if (visit.node == y && nfa.IsAccepting(visit.state)) {
       std::vector<SemipathStep> path;
@@ -52,7 +55,7 @@ std::optional<std::vector<SemipathStep>> FindWitnessSemipath(
       return path;
     }
     for (const NfaTransition& t : nfa.TransitionsFrom(visit.state)) {
-      for (NodeId next : db.Successors(visit.node, t.symbol)) {
+      for (NodeId next : snapshot->Successors(visit.node, t.symbol)) {
         push(next, t.to, idx, t.symbol);
       }
     }

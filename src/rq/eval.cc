@@ -9,16 +9,15 @@
 
 namespace rq {
 
-namespace {
-
-// Index of `v` within sorted `vars`.
-size_t ColumnOf(const std::vector<VarId>& vars, VarId v) {
+Result<size_t> FindColumn(const std::vector<VarId>& vars, VarId v) {
   auto it = std::lower_bound(vars.begin(), vars.end(), v);
-  RQ_CHECK(it != vars.end() && *it == v);
+  if (it == vars.end() || *it != v) {
+    return InvalidArgumentError(
+        "RQ eval: variable v" + std::to_string(v) +
+        " is not a column of the subresult (malformed expression)");
+  }
   return static_cast<size_t>(it - vars.begin());
 }
-
-}  // namespace
 
 Relation BinaryTransitiveClosure(const Relation& base) {
   RQ_CHECK(base.arity() == 2);
@@ -53,12 +52,19 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
         return InvalidArgumentError("RQ atom " + e.predicate() +
                                     " arity mismatch with database");
       }
+      // Column of each atom position, resolved once up front.
+      std::vector<size_t> col_of_pos;
+      col_of_pos.reserve(e.atom_vars().size());
+      for (VarId v : e.atom_vars()) {
+        RQ_ASSIGN_OR_RETURN(size_t col, FindColumn(out.vars, v));
+        col_of_pos.push_back(col);
+      }
       for (const Tuple& t : stored->tuples()) {
         // Repeated variables filter; then project onto sorted free vars.
         bool ok = true;
         Tuple projected(out.vars.size());
         for (size_t i = 0; i < e.atom_vars().size() && ok; ++i) {
-          size_t col = ColumnOf(out.vars, e.atom_vars()[i]);
+          size_t col = col_of_pos[i];
           // First write wins; later occurrences must agree.
           bool first = true;
           for (size_t j = 0; j < i; ++j) {
@@ -126,7 +132,10 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
       out.relation = Relation(out.vars.size());
       std::vector<size_t> keep;
       keep.reserve(out.vars.size());
-      for (VarId v : out.vars) keep.push_back(ColumnOf(child.vars, v));
+      for (VarId v : out.vars) {
+        RQ_ASSIGN_OR_RETURN(size_t col, FindColumn(child.vars, v));
+        keep.push_back(col);
+      }
       for (const Tuple& t : child.relation.tuples()) {
         Tuple projected;
         projected.reserve(keep.size());
@@ -138,8 +147,8 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
     case RqExpr::Kind::kEq: {
       RQ_ASSIGN_OR_RETURN(RqRelation child,
                           EvalRqExpr(db, *e.children()[0]));
-      size_t ca = ColumnOf(child.vars, e.eq_a());
-      size_t cb = ColumnOf(child.vars, e.eq_b());
+      RQ_ASSIGN_OR_RETURN(size_t ca, FindColumn(child.vars, e.eq_a()));
+      RQ_ASSIGN_OR_RETURN(size_t cb, FindColumn(child.vars, e.eq_b()));
       RqRelation out;
       out.vars = child.vars;
       out.relation = Relation(out.vars.size());
@@ -153,8 +162,9 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
                           EvalRqExpr(db, *e.children()[0]));
       // Orient columns (from, to) for the closure; remaining columns are
       // parameters, fixed along a chain: group by them and close per group.
-      size_t cf = ColumnOf(child.vars, e.closure_from());
-      size_t ct = ColumnOf(child.vars, e.closure_to());
+      RQ_ASSIGN_OR_RETURN(size_t cf,
+                          FindColumn(child.vars, e.closure_from()));
+      RQ_ASSIGN_OR_RETURN(size_t ct, FindColumn(child.vars, e.closure_to()));
       std::vector<size_t> param_cols;
       for (size_t col = 0; col < child.vars.size(); ++col) {
         if (col != cf && col != ct) param_cols.push_back(col);
@@ -198,7 +208,10 @@ Result<Relation> EvalRqQuery(const Database& db, const RqQuery& query) {
   Relation out(query.head.size());
   std::vector<size_t> cols;
   cols.reserve(query.head.size());
-  for (VarId v : query.head) cols.push_back(ColumnOf(result.vars, v));
+  for (VarId v : query.head) {
+    RQ_ASSIGN_OR_RETURN(size_t col, FindColumn(result.vars, v));
+    cols.push_back(col);
+  }
   for (const Tuple& t : result.relation.tuples()) {
     Tuple projected;
     projected.reserve(cols.size());

@@ -23,6 +23,13 @@ struct RqRelation {
   Relation relation{0};
 };
 
+// Index of variable `v` within the sorted column list `vars`, or
+// InvalidArgumentError when `v` is not a column. The evaluator routes all
+// column lookups through this so a malformed expression tree (however
+// constructed) surfaces as a Status through the Result<> channel instead
+// of aborting the process.
+Result<size_t> FindColumn(const std::vector<VarId>& vars, VarId v);
+
 // Evaluates an expression; columns follow e.FreeVars() order.
 Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e);
 

@@ -192,6 +192,30 @@ TEST(RqEvalTest, BinaryTransitiveClosureOnCycle) {
   EXPECT_EQ(closed.size(), 9u);
 }
 
+TEST(RqEvalTest, FindColumnLocatesSortedVariables) {
+  std::vector<VarId> vars{0, 2, 5};
+  EXPECT_EQ(FindColumn(vars, 0).value(), 0u);
+  EXPECT_EQ(FindColumn(vars, 2).value(), 1u);
+  EXPECT_EQ(FindColumn(vars, 5).value(), 2u);
+}
+
+// A malformed expression tree (a variable that is not a column of the
+// subresult) must surface as InvalidArgument through the Result<> channel,
+// not abort the process.
+TEST(RqEvalTest, FindColumnMissingVariableIsInvalidArgument) {
+  std::vector<VarId> vars{0, 2, 5};
+  for (VarId missing : {1u, 3u, 9u}) {
+    Result<size_t> col = FindColumn(vars, missing);
+    ASSERT_FALSE(col.ok());
+    EXPECT_EQ(col.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(col.status().message().find("v" + std::to_string(missing)),
+              std::string::npos);
+  }
+  Result<size_t> empty = FindColumn({}, 0);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(RqEvalTest, MissingRelationIsEmpty) {
   Database db;
   Relation out = EvalRqQuery(db, Parse("q(x, y) := ghost(x, y)")).value();
