@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
-"""Regression gate over two rq-bench-suite/1 files (bench/run_all.sh output).
+"""Regression gate over two rq-bench-suite files (bench/run_all.sh output;
+schemas rq-bench-suite/1 and /2 are both accepted).
 
 Compares the per-benchmark real times of a baseline suite against a current
 suite, matched by (binary, benchmark name). For every binary the geomean of
 the current/baseline time ratios is the regression signal: a geomean above
 1 + threshold fails the gate.
+
+A binary present in the baseline but absent from the current run also fails
+the gate (exit 1): a deleted or silently crashing bench binary must not
+read as "no regression". Such binaries are listed under "missing_binaries"
+in the comparison JSON. --warn-only downgrades this to a warning like any
+other failure.
 
     bench/compare.py BASELINE.json CURRENT.json
         [--threshold-pct N]   per-binary geomean regression allowance
@@ -34,12 +41,16 @@ import math
 import sys
 
 
+ACCEPTED_SCHEMAS = ("rq-bench-suite/1", "rq-bench-suite/2")
+
+
 def load_suite(path):
     with open(path) as f:
         suite = json.load(f)
-    if suite.get("schema") != "rq-bench-suite/1":
-        sys.exit(f"{path}: expected schema rq-bench-suite/1, "
-                 f"got {suite.get('schema')!r}")
+    if suite.get("schema") not in ACCEPTED_SCHEMAS:
+        print(f"{path}: expected schema in {ACCEPTED_SCHEMAS}, "
+              f"got {suite.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
     return suite
 
 
@@ -69,6 +80,10 @@ def compare(baseline, current, threshold_pct):
 
     binaries = []
     unmatched = []
+    # Baseline binaries with no counterpart in the current run: renamed,
+    # deleted, or crashed before producing a report. Hard failure — their
+    # absence would otherwise shrink the comparison set silently.
+    missing_binaries = sorted(set(base_times) - set(cur_times))
     regressed = False
     for binary in sorted(set(base_times) | set(cur_times)):
         base = base_times.get(binary, {})
@@ -100,6 +115,7 @@ def compare(baseline, current, threshold_pct):
         "regressed": regressed,
         "binaries": binaries,
         "unmatched": unmatched,
+        "missing_binaries": missing_binaries,
     }
 
 
@@ -118,7 +134,7 @@ def main():
     result = compare(load_suite(args.baseline), load_suite(args.current),
                      args.threshold_pct)
 
-    if not result["binaries"]:
+    if not result["binaries"] and not result["missing_binaries"]:
         print("compare.py: no matching benchmarks between the two suites",
               file=sys.stderr)
         return 2
@@ -132,8 +148,12 @@ def main():
     if result["unmatched"]:
         print(f"unmatched (excluded): {len(result['unmatched'])} "
               f"benchmark(s), e.g. {result['unmatched'][0]}")
-    print(f"overall geomean x{result['overall_geomean_ratio']:.3f} "
-          f"(threshold +{args.threshold_pct:.1f}% per binary)")
+    if result["missing_binaries"]:
+        print("MISSING from current run: "
+              + ", ".join(result["missing_binaries"]), file=sys.stderr)
+    if result["binaries"]:
+        print(f"overall geomean x{result['overall_geomean_ratio']:.3f} "
+              f"(threshold +{args.threshold_pct:.1f}% per binary)")
 
     if args.json_out:
         with open(args.json_out, "w") as f:
@@ -147,6 +167,10 @@ def main():
             json.dump(suite, f, indent=2)
             f.write("\n")
 
+    if result["missing_binaries"] and not args.warn_only:
+        print("FAIL: baseline binaries missing from the current run",
+              file=sys.stderr)
+        return 1
     if result["regressed"] and not args.warn_only:
         print(f"FAIL: geomean regression beyond +{args.threshold_pct:.1f}% "
               "in at least one binary", file=sys.stderr)

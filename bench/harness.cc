@@ -26,6 +26,10 @@
 //   --jobs N        set the process-default worker count
 //                   (common/parallel.h): batched containment checks and
 //                   multi-source graph evaluation both read it.
+//   --prometheus <path>
+//                   write the end-of-run registry state (every counter,
+//                   gauge, and histogram) in Prometheus text exposition
+//                   format to <path> (obs/prometheus.h).
 //
 // bench/run_all.sh drives every binary through this interface and merges
 // the per-binary reports into BENCH_results.json.
@@ -44,6 +48,7 @@
 #include "obs/export.h"
 #include "obs/gauge.h"
 #include "obs/histogram.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 
 namespace {
@@ -115,6 +120,7 @@ rq::obs::JsonValue ReportJson(const std::string& binary, bool smoke,
 int main(int argc, char** argv) {
   std::string json_path;
   std::string chrome_trace_path;
+  std::string prometheus_path;
   bool smoke = false;
   bool trace = false;
   bool cache = false;
@@ -131,6 +137,10 @@ int main(int argc, char** argv) {
       chrome_trace_path = argv[++i];
     } else if (std::strncmp(argv[i], "--chrome-trace=", 15) == 0) {
       chrome_trace_path = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--prometheus") == 0 && i + 1 < argc) {
+      prometheus_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--prometheus=", 13) == 0) {
+      prometheus_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -185,6 +195,13 @@ int main(int argc, char** argv) {
   }
   if (!chrome_trace_path.empty()) {
     rq::Status status = rq::obs::WriteChromeTraceFile(chrome_trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!prometheus_path.empty()) {
+    rq::Status status = rq::obs::WritePrometheusTextFile(prometheus_path);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Runs every bench_* binary through the shared harness and aggregates the
 # per-binary "rq-bench/1" reports into one BENCH_results.json
-# (schema "rq-bench-suite/1").
+# (schema "rq-bench-suite/2": adds run wall-clock start/finish and host
+# provenance — nproc, kernel, compiler — to the /1 layout; compare.py
+# accepts both).
 #
 # Usage: bench/run_all.sh [--smoke] [--trace] [--cache] [--jobs N]
 #                         [--baseline FILE] [--build-dir DIR] [--out FILE]
 #   --smoke       abbreviated pass (~1 ms per benchmark) — CI smoke target.
+#                 Each binary additionally writes its registry in
+#                 Prometheus text format; every file is validated by
+#                 bench/check_prometheus.py and the last one is kept next
+#                 to --out as <out-stem>.prom.
 #                 Without an explicit --baseline, the first smoke run saves
 #                 its suite as <build-dir>/BENCH_baseline.json and later
 #                 runs self-compare against it (warn-only: smoke timings
@@ -58,25 +64,69 @@ fi
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
+# Run provenance for the suite report: wall-clock window and host identity,
+# so a results file is interpretable long after the run (and across hosts).
+started_iso="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+started_epoch="$(date +%s)"
+host_nproc="$(nproc 2>/dev/null || echo 1)"
+host_uname="$(uname -srm 2>/dev/null || echo unknown)"
+host_compiler="$("${CXX:-c++}" --version 2>/dev/null | head -1 || true)"
+
 reports=()
+proms=()
 failed=0
 for bin in "${found[@]}"; do
   name="$(basename "$bin")"
   report="${tmp_dir}/${name}.json"
+  per_bin_flags=()
+  if [[ "$smoke" == true ]]; then
+    per_bin_flags+=(--prometheus "${tmp_dir}/${name}.prom")
+  fi
   echo "== ${name}" >&2
-  if "$bin" "${extra_flags[@]}" --json "$report" >&2; then
+  if "$bin" "${extra_flags[@]}" "${per_bin_flags[@]}" --json "$report" >&2
+  then
     reports+=("$report")
+    [[ "$smoke" == true ]] && proms+=("${tmp_dir}/${name}.prom")
   else
     echo "FAILED: ${name}" >&2
     failed=1
   fi
 done
 
+# Every smoke run's Prometheus exposition must parse; the last binary's
+# file is kept as the suite artifact.
+if [[ ${#proms[@]} -gt 0 ]]; then
+  if ! python3 "${repo_root}/bench/check_prometheus.py" "${proms[@]}" >&2
+  then
+    echo "FAILED: Prometheus exposition validation" >&2
+    failed=1
+  fi
+  cp "${proms[-1]}" "${out%.json}.prom"
+  echo "wrote ${out%.json}.prom" >&2
+fi
+
+finished_iso="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+finished_epoch="$(date +%s)"
+
+RQ_BENCH_STARTED="$started_iso" RQ_BENCH_FINISHED="$finished_iso" \
+RQ_BENCH_DURATION_S="$((finished_epoch - started_epoch))" \
+RQ_BENCH_NPROC="$host_nproc" RQ_BENCH_UNAME="$host_uname" \
+RQ_BENCH_COMPILER="$host_compiler" \
 python3 - "$out" "$smoke" "$cache" "${reports[@]}" <<'PY'
-import json, sys
+import json, os, sys
 
 out_path, smoke, cache = sys.argv[1], sys.argv[2] == "true", sys.argv[3] == "true"
-suite = {"schema": "rq-bench-suite/1", "smoke": smoke, "cache": cache,
+suite = {"schema": "rq-bench-suite/2", "smoke": smoke, "cache": cache,
+         "run": {
+             "started": os.environ.get("RQ_BENCH_STARTED", ""),
+             "finished": os.environ.get("RQ_BENCH_FINISHED", ""),
+             "duration_s": int(os.environ.get("RQ_BENCH_DURATION_S", "0")),
+         },
+         "host": {
+             "nproc": int(os.environ.get("RQ_BENCH_NPROC", "0")),
+             "uname": os.environ.get("RQ_BENCH_UNAME", ""),
+             "compiler": os.environ.get("RQ_BENCH_COMPILER", ""),
+         },
          "binaries": []}
 for path in sys.argv[4:]:
     with open(path) as f:

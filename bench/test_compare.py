@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/compare.py on fixture suite JSON (no benchmarks are
+run). Registered with ctest as bench_compare_unit; also runnable directly:
+
+    python3 bench/test_compare.py
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+COMPARE = os.path.join(BENCH_DIR, "compare.py")
+
+
+def suite(binaries, schema="rq-bench-suite/2"):
+    return {
+        "schema": schema,
+        "smoke": True,
+        "cache": False,
+        "binaries": [
+            {
+                "schema": "rq-bench/1",
+                "binary": binary,
+                "benchmarks": [
+                    {"name": name, "iterations": 10, "real_time_ns": ns,
+                     "cpu_time_ns": ns, "counters": {}}
+                    for name, ns in benchmarks.items()
+                ],
+            }
+            for binary, benchmarks in binaries.items()
+        ],
+    }
+
+
+BASELINE = suite({
+    "bench_fold": {"BM_Fold/1": 1000.0, "BM_Fold/2": 2000.0},
+    "bench_datalog": {"BM_Eval": 5000.0},
+})
+
+
+class CompareTest(unittest.TestCase):
+    def run_compare(self, baseline, current, *flags):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cur_path = os.path.join(tmp, "cur.json")
+            out_path = os.path.join(tmp, "out.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            proc = subprocess.run(
+                [sys.executable, COMPARE, base_path, cur_path,
+                 "--json-out", out_path, *flags],
+                capture_output=True, text=True)
+            result = None
+            if os.path.exists(out_path):
+                with open(out_path) as f:
+                    result = json.load(f)
+            return proc, result
+
+    def test_identical_suites_pass(self):
+        proc, result = self.run_compare(BASELINE, copy.deepcopy(BASELINE))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertFalse(result["regressed"])
+        self.assertEqual(result["missing_binaries"], [])
+        self.assertAlmostEqual(result["overall_geomean_ratio"], 1.0)
+
+    def test_missing_binary_fails(self):
+        current = suite({"bench_fold": {"BM_Fold/1": 1000.0,
+                                        "BM_Fold/2": 2000.0}})
+        proc, result = self.run_compare(BASELINE, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("bench_datalog", proc.stderr)
+        self.assertEqual(result["missing_binaries"], ["bench_datalog"])
+
+    def test_missing_binary_warn_only_passes(self):
+        current = suite({"bench_fold": {"BM_Fold/1": 1000.0,
+                                        "BM_Fold/2": 2000.0}})
+        proc, result = self.run_compare(BASELINE, current, "--warn-only")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(result["missing_binaries"], ["bench_datalog"])
+
+    def test_all_binaries_missing_still_fails(self):
+        current = suite({"bench_new": {"BM_Other": 100.0}})
+        proc, result = self.run_compare(BASELINE, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertEqual(result["missing_binaries"],
+                         ["bench_datalog", "bench_fold"])
+
+    def test_regression_beyond_threshold_fails(self):
+        current = suite({
+            "bench_fold": {"BM_Fold/1": 1500.0, "BM_Fold/2": 3000.0},
+            "bench_datalog": {"BM_Eval": 5000.0},
+        })
+        proc, result = self.run_compare(BASELINE, current)
+        self.assertEqual(proc.returncode, 1)
+        self.assertTrue(result["regressed"])
+        rows = {b["binary"]: b for b in result["binaries"]}
+        self.assertTrue(rows["bench_fold"]["regressed"])
+        self.assertFalse(rows["bench_datalog"]["regressed"])
+        self.assertAlmostEqual(rows["bench_fold"]["geomean_ratio"], 1.5)
+
+    def test_regression_within_threshold_passes(self):
+        current = suite({
+            "bench_fold": {"BM_Fold/1": 1050.0, "BM_Fold/2": 2100.0},
+            "bench_datalog": {"BM_Eval": 5000.0},
+        })
+        proc, result = self.run_compare(BASELINE, current)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertFalse(result["regressed"])
+
+    def test_renamed_benchmark_is_unmatched_not_missing(self):
+        current = suite({
+            "bench_fold": {"BM_Fold/1": 1000.0, "BM_FoldRenamed": 2000.0},
+            "bench_datalog": {"BM_Eval": 5000.0},
+        })
+        proc, result = self.run_compare(BASELINE, current)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(result["missing_binaries"], [])
+        self.assertIn("bench_fold:BM_Fold/2", result["unmatched"])
+        self.assertIn("bench_fold:BM_FoldRenamed", result["unmatched"])
+
+    def test_v1_schema_accepted(self):
+        base = suite({"bench_fold": {"BM_Fold/1": 1000.0}},
+                     schema="rq-bench-suite/1")
+        cur = suite({"bench_fold": {"BM_Fold/1": 1000.0}})
+        proc, _ = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_unknown_schema_rejected(self):
+        bad = suite({"bench_fold": {"BM_Fold/1": 1000.0}},
+                    schema="rq-bench-suite/99")
+        proc, _ = self.run_compare(bad, copy.deepcopy(BASELINE))
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

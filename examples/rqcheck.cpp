@@ -1,19 +1,32 @@
 // rqcheck — command-line containment checker for every query class in the
 // paper's ladder.
 //
-//   rqcheck [--trace] [--stats-json <path>] [--chrome-trace <path>]
+//   rqcheck [--trace] [--profile] [--profile-json <path>]
+//           [--stats-json <path>] [--chrome-trace <path>]
+//           [--flight-dump <path>] [--prometheus <path>]
 //           [--cache] [--jobs N] <class> <query1> <query2>
 //     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
 //     queryN : query text, or @path to read the text from a file
 //     --trace             print the span tree of the check (plus non-zero
 //                         counters/gauges/histograms and any dropped-span
 //                         count) to stderr
+//     --profile           print an EXPLAIN ANALYZE-style per-query report
+//                         (counter deltas, windowed distributions, gauge
+//                         levels, batch-worker rows) after the verdict
+//     --profile-json <path> write the same report as JSON (schema
+//                         "rq-profile/1") to <path>
 //     --stats-json <path> write the observability snapshot (counters,
 //                         gauges, histograms, spans; schema "rq-obs/2")
 //                         to <path>
 //     --chrome-trace <path> write the spans as Chrome trace-event JSON
 //                         (Perfetto / chrome://tracing; one lane per
 //                         batch worker thread)
+//     --flight-dump <path> write the flight recorder's ring of completed
+//                         queries plus the slow-query log to <path>
+//                         ("-" = stderr); the ring also dumps to stderr
+//                         from the fatal-signal handler
+//     --prometheus <path> write every counter, gauge, and histogram in
+//                         Prometheus text exposition format to <path>
 //     --cache             enable the content-addressed automata/verdict
 //                         cache (docs/CACHING.md); cache.* counters report
 //                         hits/misses/evictions
@@ -43,6 +56,9 @@
 #include "crpq/crpq.h"
 #include "obs/chrome_trace.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "pathquery/containment.h"
 #include "relational/cq.h"
@@ -188,13 +204,31 @@ int RunCheck(const std::string& cls, const std::string& t1,
 
 int main(int argc, char** argv) {
   bool trace = false;
+  bool profile_text = false;
+  std::string profile_json;
   std::string stats_json;
   std::string chrome_trace;
+  std::string flight_dump;
+  std::string prometheus;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--profile") {
+      profile_text = true;
+    } else if (arg == "--profile-json" && i + 1 < argc) {
+      profile_json = argv[++i];
+    } else if (arg.rfind("--profile-json=", 0) == 0) {
+      profile_json = arg.substr(15);
+    } else if (arg == "--flight-dump" && i + 1 < argc) {
+      flight_dump = argv[++i];
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      flight_dump = arg.substr(14);
+    } else if (arg == "--prometheus" && i + 1 < argc) {
+      prometheus = argv[++i];
+    } else if (arg.rfind("--prometheus=", 0) == 0) {
+      prometheus = arg.substr(13);
     } else if (arg == "--cache") {
       cache::AutomataCache::Global().SetEnabled(true);
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -217,18 +251,37 @@ int main(int argc, char** argv) {
   }
   if (positional.size() != 3) {
     return Fail(
-        "usage: rqcheck [--trace] [--stats-json <path>] "
-        "[--chrome-trace <path>] [--cache] [--jobs N] "
+        "usage: rqcheck [--trace] [--profile] [--profile-json <path>] "
+        "[--stats-json <path>] [--chrome-trace <path>] "
+        "[--flight-dump <path>] [--prometheus <path>] [--cache] [--jobs N] "
         "<rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
   }
   // Full tracing when any flag needs span data; counters always run.
   if (trace || !stats_json.empty() || !chrome_trace.empty()) {
     obs::SetTraceMode(obs::TraceMode::kFull);
   }
+  obs::InstallFlightSignalHandler();
 
-  int code = RunCheck(positional[0], LoadArg(positional[1]),
-                      LoadArg(positional[2]));
+  const std::string cls = positional[0];
+  const std::string q1 = LoadArg(positional[1]);
+  const std::string q2 = LoadArg(positional[2]);
+  obs::SetFlightQueryLabel(cls + " " + q1 + " <= " + q2);
 
+  obs::QueryProfile profile;
+  const bool profiling = profile_text || !profile_json.empty();
+  if (profiling) profile.Begin("rqcheck", cls, q1 + "  <=  " + q2);
+
+  int code = RunCheck(cls, q1, q2);
+
+  if (profiling) {
+    profile.End();
+    if (profile_text) std::fputs(profile.ToText().c_str(), stdout);
+    if (!profile_json.empty()) {
+      std::ofstream out(profile_json);
+      out << profile.ToJson().Dump(2) << '\n';
+      if (!out) return Fail("cannot write " + profile_json);
+    }
+  }
   if (trace) obs::PrintSpanTree(stderr);
   if (!stats_json.empty()) {
     Status status = obs::WriteSnapshotJsonFile(stats_json);
@@ -236,6 +289,14 @@ int main(int argc, char** argv) {
   }
   if (!chrome_trace.empty()) {
     Status status = obs::WriteChromeTraceFile(chrome_trace);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (!flight_dump.empty()) {
+    Status status = obs::WriteFlightDump(flight_dump);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (!prometheus.empty()) {
+    Status status = obs::WritePrometheusTextFile(prometheus);
     if (!status.ok()) return Fail(status.ToString());
   }
   return code;

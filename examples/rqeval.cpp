@@ -1,17 +1,29 @@
 // rqeval — evaluate a query of any class over a graph database file.
 //
-//   rqeval [--trace] [--stats-json <path>] [--chrome-trace <path>]
+//   rqeval [--trace] [--profile] [--profile-json <path>]
+//          [--stats-json <path>] [--chrome-trace <path>]
+//          [--flight-dump <path>] [--prometheus <path>]
 //          [--cache] [--jobs N] <graph-file> <class> <query>
 //     graph-file : edge list, one "src label dst" per line ('#' comments)
 //     class      : path | crpq | rq | datalog
 //     query      : query text, or @path to read from a file
 //     --trace             print the span tree of the evaluation (plus
 //                         non-zero counters/gauges/histograms) to stderr
+//     --profile           print an EXPLAIN ANALYZE-style per-query report
+//                         (counter deltas, windowed distributions, gauge
+//                         levels) after the answers
+//     --profile-json <path> write the same report as JSON (schema
+//                         "rq-profile/1") to <path>
 //     --stats-json <path> write the observability snapshot (counters,
 //                         gauges, histograms, spans; schema "rq-obs/2")
 //                         to <path>
 //     --chrome-trace <path> write the spans as Chrome trace-event JSON
 //                         (Perfetto / chrome://tracing)
+//     --flight-dump <path> write the flight recorder's ring of completed
+//                         queries plus the slow-query log to <path>
+//                         ("-" = stderr)
+//     --prometheus <path> write every counter, gauge, and histogram in
+//                         Prometheus text exposition format to <path>
 //     --cache             enable the content-addressed automata/verdict
 //                         cache (docs/CACHING.md)
 //     --jobs N            worker threads for evaluation: path and crpq
@@ -39,6 +51,9 @@
 #include "graph/graph_db.h"
 #include "obs/chrome_trace.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "pathquery/path_query.h"
 #include "rq/eval.h"
@@ -122,13 +137,31 @@ int RunEval(const std::string& graph_file, const std::string& cls,
 
 int main(int argc, char** argv) {
   bool trace = false;
+  bool profile_text = false;
+  std::string profile_json;
   std::string stats_json;
   std::string chrome_trace;
+  std::string flight_dump;
+  std::string prometheus;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--profile") {
+      profile_text = true;
+    } else if (arg == "--profile-json" && i + 1 < argc) {
+      profile_json = argv[++i];
+    } else if (arg.rfind("--profile-json=", 0) == 0) {
+      profile_json = arg.substr(15);
+    } else if (arg == "--flight-dump" && i + 1 < argc) {
+      flight_dump = argv[++i];
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      flight_dump = arg.substr(14);
+    } else if (arg == "--prometheus" && i + 1 < argc) {
+      prometheus = argv[++i];
+    } else if (arg.rfind("--prometheus=", 0) == 0) {
+      prometheus = arg.substr(13);
     } else if (arg == "--cache") {
       cache::AutomataCache::Global().SetEnabled(true);
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -151,17 +184,35 @@ int main(int argc, char** argv) {
   }
   if (positional.size() != 3) {
     return Fail(
-        "usage: rqeval [--trace] [--stats-json <path>] "
-        "[--chrome-trace <path>] [--cache] [--jobs N] <graph-file> "
-        "<path|crpq|rq|datalog> <query>");
+        "usage: rqeval [--trace] [--profile] [--profile-json <path>] "
+        "[--stats-json <path>] [--chrome-trace <path>] "
+        "[--flight-dump <path>] [--prometheus <path>] [--cache] [--jobs N] "
+        "<graph-file> <path|crpq|rq|datalog> <query>");
   }
   // Full tracing when any flag needs span data; counters always run.
   if (trace || !stats_json.empty() || !chrome_trace.empty()) {
     obs::SetTraceMode(obs::TraceMode::kFull);
   }
+  obs::InstallFlightSignalHandler();
 
-  int code = RunEval(positional[0], positional[1], LoadArg(positional[2]));
+  const std::string query = LoadArg(positional[2]);
+  obs::SetFlightQueryLabel(positional[1] + " " + query);
 
+  obs::QueryProfile profile;
+  const bool profiling = profile_text || !profile_json.empty();
+  if (profiling) profile.Begin("rqeval", positional[1], query);
+
+  int code = RunEval(positional[0], positional[1], query);
+
+  if (profiling) {
+    profile.End();
+    if (profile_text) std::fputs(profile.ToText().c_str(), stdout);
+    if (!profile_json.empty()) {
+      std::ofstream out(profile_json);
+      out << profile.ToJson().Dump(2) << '\n';
+      if (!out) return Fail("cannot write " + profile_json);
+    }
+  }
   if (trace) obs::PrintSpanTree(stderr);
   if (!stats_json.empty()) {
     Status status = obs::WriteSnapshotJsonFile(stats_json);
@@ -169,6 +220,14 @@ int main(int argc, char** argv) {
   }
   if (!chrome_trace.empty()) {
     Status status = obs::WriteChromeTraceFile(chrome_trace);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (!flight_dump.empty()) {
+    Status status = obs::WriteFlightDump(flight_dump);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (!prometheus.empty()) {
+    Status status = obs::WritePrometheusTextFile(prometheus);
     if (!status.ok()) return Fail(status.ToString());
   }
   return code;

@@ -30,10 +30,16 @@ namespace rq {
 void SetDefaultParallelJobs(unsigned jobs);
 unsigned DefaultParallelJobs();
 
+// Worker-attributed variant: work(worker, i) additionally receives the
+// dense id of the pool thread running it (0..workers-1; always 0 on the
+// inline serial path). Lets callers keep PER-WORKER accumulators that are
+// touched by exactly one thread — the batch containment engine uses this
+// to isolate per-worker profile deltas (obs/profile.h) without shared
+// state in the job loop.
 template <typename Work>
-void ParallelFor(size_t n, unsigned jobs, Work&& work) {
+void ParallelForWorker(size_t n, unsigned jobs, Work&& work) {
   if (jobs <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) work(i);
+    for (size_t i = 0; i < n; ++i) work(0u, i);
     return;
   }
   unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
@@ -42,15 +48,21 @@ void ParallelFor(size_t n, unsigned jobs, Work&& work) {
     std::vector<std::jthread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&next, n, &work] {
+      pool.emplace_back([&next, n, &work, w] {
         for (;;) {
           size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
-          work(i);
+          work(w, i);
         }
       });
     }
   }  // jthreads join here
+}
+
+template <typename Work>
+void ParallelFor(size_t n, unsigned jobs, Work&& work) {
+  ParallelForWorker(n, jobs,
+                    [&work](unsigned /*worker*/, size_t i) { work(i); });
 }
 
 }  // namespace rq

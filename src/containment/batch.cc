@@ -1,9 +1,12 @@
 #include "containment/batch.h"
 
 #include <atomic>
+#include <chrono>
+#include <vector>
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "obs/profile.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -11,10 +14,23 @@ namespace rq {
 
 namespace {
 
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Runs `work(i)` for i in [0, n) on the shared ticket-queue pool
 // (common/parallel.h), wrapped in the batch engine's bookkeeping. `work`
 // must only touch per-index state (the checkers' shared state — obs
 // counters and the automata cache — is internally synchronized).
+//
+// Per-worker delta isolation for the profiler: when a query profile is
+// active (obs/profile.h), each pool thread accumulates its own job count
+// and busy wall-time in a slot only it touches, and the rows are flushed
+// to the profile once after the pool joins — worker attribution without
+// any shared mutable state inside the job loop.
 template <typename Work>
 void RunJobs(size_t n, unsigned jobs, Work work) {
   obs::BatchCounters& counters = obs::BatchCounters::Get();
@@ -25,10 +41,34 @@ void RunJobs(size_t n, unsigned jobs, Work work) {
   // overlapping batches. One gauge update per job, not per inner step, so
   // the checkers' hot loops stay untouched.
   counters.queue_depth.Add(static_cast<int64_t>(n));
-  ParallelFor(n, jobs, [&counters, &work](size_t i) {
-    work(i);
-    counters.queue_depth.Sub(1);
-  });
+  obs::QueryProfile* profile = obs::QueryProfile::Active();
+  if (profile == nullptr) {
+    ParallelFor(n, jobs, [&counters, &work](size_t i) {
+      work(i);
+      counters.queue_depth.Sub(1);
+    });
+    return;
+  }
+  struct WorkerStats {
+    uint64_t jobs = 0;
+    uint64_t busy_ns = 0;
+  };
+  unsigned slots = jobs > 1 ? jobs : 1;
+  std::vector<WorkerStats> per_worker(slots);
+  ParallelForWorker(n, jobs,
+                    [&counters, &work, &per_worker](unsigned worker,
+                                                    size_t i) {
+                      uint64_t begin = SteadyNowNs();
+                      work(i);
+                      counters.queue_depth.Sub(1);
+                      WorkerStats& stats = per_worker[worker];
+                      ++stats.jobs;
+                      stats.busy_ns += SteadyNowNs() - begin;
+                    });
+  for (unsigned w = 0; w < slots; ++w) {
+    if (per_worker[w].jobs == 0) continue;
+    profile->RecordWorker(w, per_worker[w].jobs, per_worker[w].busy_ns);
+  }
 }
 
 unsigned EffectiveJobs(const ContainmentBatchOptions& options) {

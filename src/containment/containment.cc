@@ -1,11 +1,17 @@
 #include "containment/containment.h"
 
 #include "datalog/eval.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "rq/from_datalog.h"
 
 namespace rq {
 
-Result<RqContainmentResult> CheckDatalogContainment(
+namespace {
+
+// Dispatcher body; the public CheckDatalogContainment wraps it with flight
+// recording and per-query profile annotation.
+Result<RqContainmentResult> CheckDatalogContainmentImpl(
     const DatalogProgram& q1, const DatalogProgram& q2,
     const DatalogContainmentOptions& options) {
   RQ_RETURN_IF_ERROR(q1.Validate());
@@ -55,6 +61,26 @@ Result<RqContainmentResult> CheckDatalogContainment(
   }
   result.certainty =
       complete ? Certainty::kProved : Certainty::kUnknownUpToBound;
+  return result;
+}
+
+}  // namespace
+
+Result<RqContainmentResult> CheckDatalogContainment(
+    const DatalogProgram& q1, const DatalogProgram& q2,
+    const DatalogContainmentOptions& options) {
+  obs::FlightTimer timer(obs::QueryKind::kDatalogContainment);
+  Result<RqContainmentResult> result =
+      CheckDatalogContainmentImpl(q1, q2, options);
+  if (!result.ok()) {
+    timer.Finish(obs::kFlightVerdictError, 0);
+    return result;
+  }
+  timer.Finish(FlightVerdictFromCertainty(result->certainty),
+               result->expansions_checked);
+  if (obs::QueryProfile* profile = obs::QueryProfile::Active()) {
+    profile->AddNote("datalog.method", result->method);
+  }
   return result;
 }
 

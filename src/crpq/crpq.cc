@@ -6,6 +6,8 @@
 #include "automata/words.h"
 #include "common/strings.h"
 #include "containment/batch.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "pathquery/containment.h"
 #include "pathquery/path_query.h"
 
@@ -237,12 +239,14 @@ Result<Relation> EvalCrpq(const GraphDb& db, const Crpq& query,
 Result<Relation> EvalUc2Rpq(const GraphSnapshot& snapshot,
                             const Uc2Rpq& query,
                             const PathEvalOptions& options) {
+  obs::FlightTimer timer(obs::QueryKind::kUc2RpqEval);
   RQ_RETURN_IF_ERROR(query.Validate());
   Relation out(query.disjuncts[0].head.size());
   for (const Crpq& q : query.disjuncts) {
     RQ_ASSIGN_OR_RETURN(Relation part, EvalCrpq(snapshot, q, options));
     out.InsertAll(part);
   }
+  timer.Finish(obs::kFlightVerdictOk, out.tuples().size());
   return out;
 }
 
@@ -323,9 +327,9 @@ CanonicalExpansion BuildCanonical(const Crpq& query,
   return out;
 }
 
-}  // namespace
-
-Result<CrpqContainmentResult> CheckUc2RpqContainment(
+// Dispatcher body; the public CheckUc2RpqContainment wraps it with flight
+// recording and per-query profile annotation.
+Result<CrpqContainmentResult> CheckUc2RpqContainmentImpl(
     const Uc2Rpq& q1, const Uc2Rpq& q2, const Alphabet& alphabet,
     const CrpqContainmentOptions& options) {
   RQ_RETURN_IF_ERROR(q1.Validate());
@@ -484,6 +488,26 @@ Result<CrpqContainmentResult> CheckUc2RpqContainment(
   result.method = complete ? "expansion-exact" : "expansion-bounded";
   result.certainty =
       complete ? Certainty::kProved : Certainty::kUnknownUpToBound;
+  return result;
+}
+
+}  // namespace
+
+Result<CrpqContainmentResult> CheckUc2RpqContainment(
+    const Uc2Rpq& q1, const Uc2Rpq& q2, const Alphabet& alphabet,
+    const CrpqContainmentOptions& options) {
+  obs::FlightTimer timer(obs::QueryKind::kUc2RpqContainment);
+  Result<CrpqContainmentResult> result =
+      CheckUc2RpqContainmentImpl(q1, q2, alphabet, options);
+  if (!result.ok()) {
+    timer.Finish(obs::kFlightVerdictError, 0);
+    return result;
+  }
+  timer.Finish(FlightVerdictFromCertainty(result->certainty),
+               result->expansions_checked);
+  if (obs::QueryProfile* profile = obs::QueryProfile::Active()) {
+    profile->AddNote("uc2rpq.method", result->method);
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -42,6 +43,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
                                     const Database& edb, DatalogEvalMode mode,
                                     DatalogEvalStats* stats) {
   RQ_TRACE_SPAN_VAR(span, "datalog.eval");
+  obs::FlightTimer timer(obs::QueryKind::kDatalogEval);
   RQ_RETURN_IF_ERROR(program.Validate());
   DatalogEvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -222,6 +224,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
   counters.rounds_per_eval.Record(stats->rounds);
   span.AddAttr("rounds", stats->rounds);
   span.AddAttr("tuples_considered", stats->tuples_considered);
+  timer.Finish(obs::kFlightVerdictOk, stats->rounds);
   return db;
 }
 

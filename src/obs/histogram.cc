@@ -26,19 +26,30 @@ uint64_t Histogram::BucketLowerBound(size_t index) {
 
 uint64_t Histogram::ValueAtQuantile(double q) const {
   if (q >= 1.0) return max();
-  if (q < 0.0) q = 0.0;
+  return QuantileFromBuckets(SnapshotBuckets(), q);
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::SnapshotBuckets()
+    const {
   std::array<uint64_t, kNumBuckets> snapshot;
-  uint64_t total = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += snapshot[i];
   }
+  return snapshot;
+}
+
+uint64_t Histogram::QuantileFromBuckets(
+    const std::array<uint64_t, kNumBuckets>& buckets, double q) {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
   if (total == 0) return 0;
   uint64_t target = static_cast<uint64_t>(std::ceil(q * total));
   if (target == 0) target = 1;
   uint64_t cumulative = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    cumulative += snapshot[i];
+    cumulative += buckets[i];
     if (cumulative >= target) return BucketLowerBound(i);
   }
   return BucketLowerBound(kNumBuckets - 1);
@@ -81,6 +92,23 @@ std::vector<HistogramSample> HistogramRegistry::Snapshot() const {
     sample.p50 = histogram->ValueAtQuantile(0.50);
     sample.p90 = histogram->ValueAtQuantile(0.90);
     sample.p99 = histogram->ValueAtQuantile(0.99);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<HistogramBucketsSample> HistogramRegistry::SnapshotBuckets()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramBucketsSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramBucketsSample sample;
+    sample.name = name;
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    sample.max = histogram->max();
+    sample.buckets = histogram->SnapshotBuckets();
     out.push_back(std::move(sample));
   }
   return out;

@@ -72,6 +72,19 @@ class Histogram {
   // exact maximum for q >= 1. q outside [0, 1] is clamped.
   uint64_t ValueAtQuantile(double q) const;
 
+  // Relaxed copy of the raw per-bucket counts. This is the substrate both
+  // for windowed quantiles (obs/profile.h diffs two snapshots) and for the
+  // Prometheus cumulative-bucket rendering (obs/prometheus.h maps bucket
+  // index i to the inclusive upper bound BucketLowerBound(i + 1) - 1).
+  std::array<uint64_t, kNumBuckets> SnapshotBuckets() const;
+
+  // Quantile extraction over an externally held bucket snapshot (same
+  // lower-bound semantics as ValueAtQuantile; 0 when the snapshot is
+  // empty). Lets callers compute quantiles of a bucket DIFFERENCE — the
+  // per-query windows of obs/profile.h — without a live Histogram.
+  static uint64_t QuantileFromBuckets(
+      const std::array<uint64_t, kNumBuckets>& buckets, double q);
+
   // Zeroes every bucket and the count/sum/max. Not atomic with respect to
   // concurrent Record() calls (meant for tests and per-run bench resets).
   void Reset();
@@ -99,6 +112,16 @@ struct HistogramSample {
   uint64_t p99 = 0;
 };
 
+// Full-resolution snapshot row: summary plus the raw bucket counts
+// (obs/profile.h windows, obs/prometheus.h cumulative buckets).
+struct HistogramBucketsSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+};
+
 // Process-wide histogram registry, mirroring the counter registry: lookup
 // takes a lock and interns the name; callers cache the stable handle.
 class HistogramRegistry {
@@ -109,6 +132,9 @@ class HistogramRegistry {
 
   // Name-sorted snapshot with quantiles extracted.
   std::vector<HistogramSample> Snapshot() const;
+
+  // Name-sorted snapshot carrying the raw buckets.
+  std::vector<HistogramBucketsSample> SnapshotBuckets() const;
 
   // Resets every histogram (per-run bench deltas; histograms themselves
   // stay registered).

@@ -103,6 +103,14 @@ std::string JsonEscape(std::string_view text) {
 namespace {
 
 void AppendNumber(double value, std::string* out) {
+  // JSON has no inf/nan tokens; render them as null rather than emitting a
+  // bare "inf" that breaks every downstream parser (Google Benchmark's
+  // items_per_second is +inf whenever the coarse CPU clock reads zero in a
+  // smoke run).
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
   // Integers (the common case: counters, nanosecond timings) print without
   // a fractional part so the schema stays stable and diffable.
   if (std::isfinite(value) && value == std::floor(value) &&

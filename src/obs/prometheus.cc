@@ -1,0 +1,117 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/counters.h"
+#include "obs/flight_recorder.h"
+#include "obs/gauge.h"
+#include "obs/histogram.h"
+
+namespace rq {
+namespace obs {
+
+namespace {
+
+void AppendLine(std::string* out, const std::string& name,
+                const char* suffix, const std::string& labels,
+                uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += name;
+  *out += suffix;
+  *out += labels;
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+void AppendType(std::string* out, const std::string& name,
+                const char* type) {
+  *out += "# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out = "rq_";
+  out.reserve(name.size() + 3);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  std::string out;
+
+  // The flight recorder's ticket total is not a registry counter (it lives
+  // in the recorder); surface it here so scrapes see ring pressure next to
+  // the obs.flight_dropped counter.
+  AppendType(&out, "rq_flight_recorded_total", "counter");
+  AppendLine(&out, "rq_flight_recorded_total", "", "",
+             FlightRecorder::Global().TotalRecorded());
+
+  for (const CounterSample& sample : Registry::Global().Snapshot()) {
+    std::string name = PrometheusMetricName(sample.name);
+    AppendType(&out, name, "counter");
+    AppendLine(&out, name, "", "", sample.value);
+  }
+
+  for (const GaugeSample& sample : GaugeRegistry::Global().Snapshot()) {
+    std::string name = PrometheusMetricName(sample.name);
+    AppendType(&out, name, "gauge");
+    // Gauge levels are int64 but never negative in the rq vocabulary
+    // (sizes, depths, byte totals); clamp defensively.
+    AppendLine(&out, name, "", "",
+               sample.value > 0 ? static_cast<uint64_t>(sample.value) : 0);
+    AppendType(&out, name + "_peak", "gauge");
+    AppendLine(&out, name + "_peak", "", "",
+               sample.peak > 0 ? static_cast<uint64_t>(sample.peak) : 0);
+  }
+
+  for (const HistogramBucketsSample& sample :
+       HistogramRegistry::Global().SnapshotBuckets()) {
+    std::string name = PrometheusMetricName(sample.name) + "_dist";
+    AppendType(&out, name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (sample.buckets[i] == 0) continue;
+      cumulative += sample.buckets[i];
+      if (i + 1 >= Histogram::kNumBuckets) break;  // folded into +Inf
+      char le[32];
+      std::snprintf(le, sizeof(le), "{le=\"%" PRIu64 "\"}",
+                    Histogram::BucketLowerBound(i + 1) - 1);
+      AppendLine(&out, name, "_bucket", le, cumulative);
+    }
+    AppendLine(&out, name, "_bucket", "{le=\"+Inf\"}", sample.count);
+    AppendLine(&out, name, "_sum", "", sample.sum);
+    AppendLine(&out, name, "_count", "", sample.count);
+  }
+
+  return out;
+}
+
+Status WritePrometheusTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  std::string text = RenderPrometheusText();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace rq

@@ -1,0 +1,54 @@
+// Prometheus text-exposition rendering of the observability registries
+// (exposition format version 0.0.4; the scrape-format sibling of the
+// rq-obs/2 JSON export in obs/export.h — see docs/OBSERVABILITY.md).
+//
+// Every registered counter, gauge, and histogram is rendered with the
+// metric name sanitized to [a-zA-Z0-9_:] and namespaced `rq_`
+// (`containment.states_explored` -> `rq_containment_states_explored`):
+//
+//  * counters  -> `# TYPE rq_<name> counter` + one sample;
+//  * gauges    -> two gauge families, `rq_<name>` (current level) and
+//    `rq_<name>_peak` (high-water mark);
+//  * histograms -> a `rq_<name>_dist` histogram family with cumulative
+//    `_bucket{le="..."}` / `_sum` / `_count` series. The `_dist` suffix
+//    keeps the family distinct from the same-named counter (a histogram
+//    shares its counter's dotted name by convention; Prometheus forbids
+//    one name with two types). Bucket index i of the 252-bucket
+//    log-bucketed layout (obs/histogram.h) holds integer values in
+//    [BucketLowerBound(i), BucketLowerBound(i+1)), so its inclusive upper
+//    bound — the Prometheus `le` — is BucketLowerBound(i+1) - 1; the
+//    rendering emits one cumulative line per OCCUPIED bucket plus the
+//    mandatory `le="+Inf"` (equal to `_count`), keeping the output sparse
+//    while preserving exact cumulative semantics for integer samples.
+//
+// Also exported: `rq_flight_recorded_total` / the `obs.flight_dropped`
+// counter (flight recorder pressure) arrive through the counter registry
+// like everything else.
+//
+// Surfaced as `--prometheus <path>` on rqcheck, rqeval, and the bench
+// harness; bench/run_all.sh --smoke validates the emission with
+// bench/check_prometheus.py.
+#ifndef RQ_OBS_PROMETHEUS_H_
+#define RQ_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rq {
+namespace obs {
+
+// `rq_` + name with every character outside [a-zA-Z0-9_:] replaced by '_'.
+std::string PrometheusMetricName(std::string_view name);
+
+// The full exposition document (counters, gauges, histograms).
+std::string RenderPrometheusText();
+
+// Writes the exposition to `path` (overwrites).
+Status WritePrometheusTextFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace rq
+
+#endif  // RQ_OBS_PROMETHEUS_H_

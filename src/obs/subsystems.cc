@@ -51,6 +51,11 @@ BatchCounters& BatchCounters::Get() {
   return *instance;
 }
 
+ObsCounters& ObsCounters::Get() {
+  static ObsCounters* instance = new ObsCounters();
+  return *instance;
+}
+
 DatalogCounters& DatalogCounters::Get() {
   static DatalogCounters* instance = new DatalogCounters();
   return *instance;

@@ -147,6 +147,16 @@ struct BatchCounters {
   static BatchCounters& Get();
 };
 
+// The observability layer's own health counters: spans past the tracer's
+// record cap (obs/trace.h) and completed-query summaries evicted from (or
+// lost to) the flight-recorder ring (obs/flight_recorder.h).
+struct ObsCounters {
+  Counter& dropped_spans = *GetCounter("obs.dropped_spans");
+  Counter& flight_dropped = *GetCounter("obs.flight_dropped");
+
+  static ObsCounters& Get();
+};
+
 // Datalog fixpoint engine (§2.2), naive and semi-naive modes.
 struct DatalogCounters {
   Counter& evals = *GetCounter("datalog.evals");

@@ -13,6 +13,8 @@
 #include "cache/automata_cache.h"
 #include "cache/key.h"
 #include "graph/generators.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 #include "twoway/fold.h"
@@ -165,20 +167,29 @@ PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
 PathContainmentResult CheckPathQueryContainment(const Regex& q1,
                                                 const Regex& q2,
                                                 const Alphabet& alphabet) {
+  obs::FlightTimer timer(obs::QueryKind::kPathContainment);
+  PathContainmentResult result;
   if (!q1.UsesInverse() && !q2.UsesInverse()) {
     // Lemma 1: plain language containment (memoized compilations; the
     // verdict itself is memoized inside CheckLanguageContainment).
     const uint32_t k = SymbolUniverse(q1, q2, alphabet);
     LanguageContainmentResult lang = CheckLanguageContainment(
         *cache::CachedRegexToNfa(q1, k), *cache::CachedRegexToNfa(q2, k));
-    PathContainmentResult result;
     result.contained = lang.contained;
     result.counterexample = std::move(lang.counterexample);
     result.explored_states = lang.explored_states;
     result.used_fold_pipeline = false;
-    return result;
+  } else {
+    result = CheckTwoWayContainment(q1, q2, alphabet);
   }
-  return CheckTwoWayContainment(q1, q2, alphabet);
+  if (obs::QueryProfile* profile = obs::QueryProfile::Active()) {
+    profile->AddNote("path.pipeline",
+                     result.used_fold_pipeline ? "2rpq-fold" : "lemma1");
+  }
+  timer.Finish(result.contained ? obs::kFlightVerdictOk
+                                : obs::kFlightVerdictRefuted,
+               result.explored_states);
+  return result;
 }
 
 SemipathWitness BuildSemipathWitness(const Alphabet& alphabet,

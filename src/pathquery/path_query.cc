@@ -5,6 +5,7 @@
 
 #include "common/bitset.h"
 #include "common/parallel.h"
+#include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -102,12 +103,16 @@ std::vector<std::vector<NodeId>> EvalPathQueryFromSources(
     const std::vector<NodeId>& sources, const PathEvalOptions& options) {
   RQ_TRACE_SPAN_VAR(span, "graph.eval_sources");
   span.AddAttr("sources", sources.size());
+  obs::FlightTimer timer(obs::QueryKind::kGraphEval);
   const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
   std::vector<std::vector<NodeId>> answers(sources.size());
   unsigned jobs = options.jobs != 0 ? options.jobs : DefaultParallelJobs();
   ParallelFor(sources.size(), jobs, [&](size_t i) {
     answers[i] = ProductBfs(snapshot, nfa, sources[i]);
   });
+  uint64_t total_answers = 0;
+  for (const std::vector<NodeId>& a : answers) total_answers += a.size();
+  timer.Finish(obs::kFlightVerdictOk, total_answers);
   return answers;
 }
 

@@ -1,6 +1,8 @@
 #include "rq/containment.h"
 
 #include "graph/generators.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 #include "pathquery/containment.h"
@@ -22,6 +24,18 @@ const char* CertaintyName(Certainty certainty) {
   return "?";
 }
 
+int32_t FlightVerdictFromCertainty(Certainty certainty) {
+  switch (certainty) {
+    case Certainty::kProved:
+      return obs::kFlightVerdictOk;
+    case Certainty::kRefuted:
+      return obs::kFlightVerdictRefuted;
+    case Certainty::kUnknownUpToBound:
+      return obs::kFlightVerdictUnknown;
+  }
+  return obs::kFlightVerdictError;
+}
+
 namespace {
 
 // Converts a 2RPQ counterexample word into a relational counterexample
@@ -34,9 +48,9 @@ void AttachSemipathCounterexample(const Alphabet& alphabet,
   result->witness_tuple = {witness.start, witness.end};
 }
 
-}  // namespace
-
-Result<RqContainmentResult> CheckRqContainment(
+// Dispatcher body; the public CheckRqContainment wraps it with flight
+// recording and per-query profile annotation.
+Result<RqContainmentResult> CheckRqContainmentImpl(
     const RqQuery& q1, const RqQuery& q2,
     const RqContainmentOptions& options) {
   RQ_TRACE_SPAN("rq.containment");
@@ -127,6 +141,26 @@ Result<RqContainmentResult> CheckRqContainment(
     return result;
   }
   result.certainty = Certainty::kUnknownUpToBound;
+  return result;
+}
+
+}  // namespace
+
+Result<RqContainmentResult> CheckRqContainment(
+    const RqQuery& q1, const RqQuery& q2,
+    const RqContainmentOptions& options) {
+  obs::FlightTimer timer(obs::QueryKind::kRqContainment);
+  Result<RqContainmentResult> result =
+      CheckRqContainmentImpl(q1, q2, options);
+  if (!result.ok()) {
+    timer.Finish(obs::kFlightVerdictError, 0);
+    return result;
+  }
+  timer.Finish(FlightVerdictFromCertainty(result->certainty),
+               result->expansions_checked);
+  if (obs::QueryProfile* profile = obs::QueryProfile::Active()) {
+    profile->AddNote("rq.method", result->method);
+  }
   return result;
 }
 

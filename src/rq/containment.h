@@ -19,6 +19,7 @@
 #ifndef RQ_RQ_CONTAINMENT_H_
 #define RQ_RQ_CONTAINMENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -36,6 +37,12 @@ enum class Certainty {
 };
 
 const char* CertaintyName(Certainty certainty);
+
+// Maps a certainty onto the flight recorder's verdict codes
+// (obs/flight_recorder.h): proved → ok, refuted → refuted,
+// unknown-up-to-bound → unknown. Shared by every containment entry point
+// that records a flight summary.
+int32_t FlightVerdictFromCertainty(Certainty certainty);
 
 struct RqContainmentOptions {
   RqExpandLimits expand;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 #include "relational/matcher.h"
@@ -202,6 +203,7 @@ Result<RqRelation> EvalRqExpr(const Database& db, const RqExpr& e) {
 
 Result<Relation> EvalRqQuery(const Database& db, const RqQuery& query) {
   RQ_TRACE_SPAN("rq.eval");
+  obs::FlightTimer timer(obs::QueryKind::kRqEval);
   obs::RqCounters::Get().evals.Increment();
   RQ_RETURN_IF_ERROR(query.Validate());
   RQ_ASSIGN_OR_RETURN(RqRelation result, EvalRqExpr(db, *query.root));
@@ -218,6 +220,7 @@ Result<Relation> EvalRqQuery(const Database& db, const RqQuery& query) {
     for (size_t col : cols) projected.push_back(t[col]);
     out.Insert(projected);
   }
+  timer.Finish(obs::kFlightVerdictOk, out.tuples().size());
   return out;
 }
 
