@@ -26,6 +26,11 @@
 //   --jobs N        set the process-default worker count
 //                   (common/parallel.h): batched containment checks and
 //                   multi-source graph evaluation both read it.
+//   --timeout-ms N  install an execution deadline (common/deadline.h) over
+//                   the whole benchmark run; library loops bail out with
+//                   DeadlineExceeded instead of hanging the harness. The
+//                   exit code stays 0 — pair with run_all.sh --timeout for
+//                   a hard process kill.
 //   --prometheus <path>
 //                   write the end-of-run registry state (every counter,
 //                   gauge, and histogram) in Prometheus text exposition
@@ -42,6 +47,7 @@
 #include <vector>
 
 #include "cache/automata_cache.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "obs/chrome_trace.h"
 #include "obs/counters.h"
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool trace = false;
   bool cache = false;
+  int64_t timeout_ms = 0;
 
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -153,6 +160,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       rq::SetDefaultParallelJobs(
           static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      timeout_ms = std::strtoll(argv[i] + 13, nullptr, 10);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -178,7 +189,13 @@ int main(int argc, char** argv) {
   if (cache) rq::cache::AutomataCache::Global().SetEnabled(true);
 
   CaptureReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  {
+    rq::ExecContext ctx(timeout_ms > 0
+                            ? rq::Deadline::AfterMillis(timeout_ms)
+                            : rq::Deadline::Infinite());
+    rq::ScopedExecContext scoped(timeout_ms > 0 ? &ctx : nullptr);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
 
   if (!json_path.empty()) {

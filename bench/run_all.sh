@@ -6,7 +6,8 @@
 # accepts both).
 #
 # Usage: bench/run_all.sh [--smoke] [--trace] [--cache] [--jobs N]
-#                         [--baseline FILE] [--build-dir DIR] [--out FILE]
+#                         [--timeout SECS] [--baseline FILE]
+#                         [--build-dir DIR] [--out FILE]
 #   --smoke       abbreviated pass (~1 ms per benchmark) — CI smoke target.
 #                 Each binary additionally writes its registry in
 #                 Prometheus text format; every file is validated by
@@ -21,6 +22,11 @@
 #                 report then records the aggregate cache hit rate, and the
 #                 run fails if the cache saw no traffic at all
 #   --jobs N      process-default worker count for batched containment
+#   --timeout S   hard per-binary wall-clock cap: a binary still running
+#                 after S seconds is killed (SIGTERM, then SIGKILL after
+#                 10 s) and the run fails with "TIMEOUT: <name>". Guards
+#                 the suite against a hung benchmark; complements the
+#                 harness's cooperative --timeout-ms flag
 #   --baseline F  compare this run against a prior suite file F via
 #                 bench/compare.py: the deltas are recorded under
 #                 "baseline_comparison" in the output, and a >10% geomean
@@ -37,6 +43,7 @@ extra_flags=()
 smoke=false
 cache=false
 baseline=""
+timeout_s=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -44,6 +51,7 @@ while [[ $# -gt 0 ]]; do
     --trace) extra_flags+=(--trace); shift ;;
     --cache) cache=true; extra_flags+=(--cache); shift ;;
     --jobs) extra_flags+=(--jobs "$2"); shift 2 ;;
+    --timeout) timeout_s="$2"; shift 2 ;;
     --baseline) baseline="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
@@ -82,13 +90,23 @@ for bin in "${found[@]}"; do
   if [[ "$smoke" == true ]]; then
     per_bin_flags+=(--prometheus "${tmp_dir}/${name}.prom")
   fi
+  runner=()
+  if [[ -n "$timeout_s" ]]; then
+    runner=(timeout --foreground --kill-after=10 "$timeout_s")
+  fi
   echo "== ${name}" >&2
-  if "$bin" "${extra_flags[@]}" "${per_bin_flags[@]}" --json "$report" >&2
+  if "${runner[@]}" "$bin" "${extra_flags[@]}" "${per_bin_flags[@]}" \
+       --json "$report" >&2
   then
     reports+=("$report")
     [[ "$smoke" == true ]] && proms+=("${tmp_dir}/${name}.prom")
   else
-    echo "FAILED: ${name}" >&2
+    rc=$?
+    if [[ -n "$timeout_s" && ( $rc -eq 124 || $rc -eq 137 ) ]]; then
+      echo "TIMEOUT: ${name} (exceeded ${timeout_s}s)" >&2
+    else
+      echo "FAILED: ${name}" >&2
+    fi
     failed=1
   fi
 done

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench/run_all.sh --timeout guard, driven by fake
+bench_* binaries (no real benchmarks run). Registered with ctest as
+bench_run_all_timeout_unit; also runnable directly:
+
+    python3 bench/test_run_all_timeout.py
+"""
+
+import json
+import os
+import stat
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+RUN_ALL = os.path.join(BENCH_DIR, "run_all.sh")
+
+# A fake harness binary: answers --json <path> with a minimal but valid
+# "rq-bench/1" report whose counters satisfy the suite's subsystem check.
+OK_REPORT = {
+    "schema": "rq-bench/1",
+    "binary": "bench_ok",
+    "smoke": False,
+    "cache": False,
+    "benchmarks": [
+        {"name": "W/jobs:1", "iterations": 1, "real_time_ns": 100.0,
+         "cpu_time_ns": 100.0, "counters": {}}
+    ],
+    "obs": {"counters": [
+        {"name": "containment.checks", "value": 1},
+        {"name": "fold.folds", "value": 1},
+        {"name": "complement.builds", "value": 1},
+        {"name": "datalog.rounds", "value": 1},
+    ]},
+}
+
+OK_SCRIPT = """#!/usr/bin/env bash
+# Fake bench binary: emit a fixed report at the path following --json.
+json=""
+while [[ $# -gt 0 ]]; do
+  if [[ "$1" == "--json" ]]; then json="$2"; shift 2; else shift; fi
+done
+cat > "$json" <<'EOF'
+%s
+EOF
+"""
+
+HANG_SCRIPT = """#!/usr/bin/env bash
+# Fake hung bench binary: never returns on its own. exec so the sleep IS
+# the process timeout kills — no orphan holding the output pipe open.
+exec sleep 600
+"""
+
+
+def write_executable(path, text):
+    with open(path, "w") as f:
+        f.write(text)
+    os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR | stat.S_IXGRP)
+
+
+def run(build_dir, *flags):
+    out = os.path.join(build_dir, "BENCH_results.json")
+    proc = subprocess.run(
+        [RUN_ALL, "--build-dir", build_dir, "--out", out, *flags],
+        capture_output=True, text=True)
+    return proc, out
+
+
+class RunAllTimeoutTest(unittest.TestCase):
+    def test_hung_binary_fails_the_run_with_timeout_marker(self):
+        with tempfile.TemporaryDirectory() as build_dir:
+            write_executable(os.path.join(build_dir, "bench_hang"),
+                             HANG_SCRIPT)
+            proc, _ = run(build_dir, "--timeout", "1")
+            self.assertNotEqual(proc.returncode, 0)
+            self.assertIn("TIMEOUT: bench_hang", proc.stderr)
+
+    def test_fast_binary_passes_under_timeout(self):
+        with tempfile.TemporaryDirectory() as build_dir:
+            write_executable(
+                os.path.join(build_dir, "bench_ok"),
+                OK_SCRIPT % json.dumps(OK_REPORT, indent=2))
+            proc, out = run(build_dir, "--timeout", "60")
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            self.assertNotIn("TIMEOUT", proc.stderr)
+            with open(out) as f:
+                suite = json.load(f)
+            self.assertEqual(suite["schema"], "rq-bench-suite/2")
+            self.assertEqual(len(suite["binaries"]), 1)
+
+    def test_no_timeout_flag_keeps_legacy_behavior(self):
+        with tempfile.TemporaryDirectory() as build_dir:
+            write_executable(
+                os.path.join(build_dir, "bench_ok"),
+                OK_SCRIPT % json.dumps(OK_REPORT, indent=2))
+            proc, _ = run(build_dir)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -4,7 +4,7 @@
 //   rqcheck [--trace] [--profile] [--profile-json <path>]
 //           [--stats-json <path>] [--chrome-trace <path>]
 //           [--flight-dump <path>] [--prometheus <path>]
-//           [--cache] [--jobs N] <class> <query1> <query2>
+//           [--cache] [--jobs N] [--timeout-ms N] <class> <query1> <query2>
 //     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
 //     queryN : query text, or @path to read the text from a file
 //     --trace             print the span tree of the check (plus non-zero
@@ -32,6 +32,10 @@
 //                         hits/misses/evictions
 //     --jobs N            worker threads for batched per-disjunct
 //                         containment checks (default 1 = serial)
+//     --timeout-ms N      wall-clock budget for the whole check; expiry
+//                         fails with DeadlineExceeded (exit 3) instead of
+//                         hanging, and bumps the deadline.expired counter
+//                         (docs/ROBUSTNESS.md)
 //
 // Examples:
 //   rqcheck 2rpq 'p' 'p p- p'
@@ -44,12 +48,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include <vector>
 
 #include "cache/automata_cache.h"
+#include "common/deadline.h"
 #include "containment/batch.h"
 #include "containment/containment.h"
 #include "rq/equivalence.h"
@@ -111,6 +117,7 @@ int RunCheck(const std::string& cls, const std::string& t1,
     if (!r2.ok()) return Fail(r2.status().ToString());
     PathContainmentResult result =
         CheckPathQueryContainment(**r1, **r2, alphabet);
+    if (!result.status.ok()) return Fail(result.status.ToString());
     std::printf("verdict: %s (pipeline: %s)\n",
                 result.contained ? "proved" : "refuted",
                 result.used_fold_pipeline ? "2rpq-fold" : "lemma1");
@@ -144,6 +151,11 @@ int RunCheck(const std::string& cls, const std::string& t1,
     if (!result.ok()) return Fail(result.status().ToString());
     std::printf("verdict: %s (method: %s)\n",
                 CertaintyName(result->certainty), result->method.c_str());
+    if (result->truncated) {
+      std::printf(
+          "note: expansion set truncated at the budget; verdict covers "
+          "only the explored expansions\n");
+    }
     if (result->counterexample.has_value()) {
       std::printf("counterexample graph:\n%s",
                   result->counterexample->ToText().c_str());
@@ -210,6 +222,7 @@ int main(int argc, char** argv) {
   std::string chrome_trace;
   std::string flight_dump;
   std::string prometheus;
+  int64_t timeout_ms = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -237,6 +250,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0) {
       SetDefaultContainmentJobs(
           static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10)));
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      timeout_ms = std::strtoll(arg.c_str() + 13, nullptr, 10);
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
@@ -254,6 +271,7 @@ int main(int argc, char** argv) {
         "usage: rqcheck [--trace] [--profile] [--profile-json <path>] "
         "[--stats-json <path>] [--chrome-trace <path>] "
         "[--flight-dump <path>] [--prometheus <path>] [--cache] [--jobs N] "
+        "[--timeout-ms N] "
         "<rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
   }
   // Full tracing when any flag needs span data; counters always run.
@@ -271,7 +289,16 @@ int main(int argc, char** argv) {
   const bool profiling = profile_text || !profile_json.empty();
   if (profiling) profile.Begin("rqcheck", cls, q1 + "  <=  " + q2);
 
-  int code = RunCheck(cls, q1, q2);
+  int code;
+  {
+    // Scope the deadline to the check itself so the stats/trace dumps
+    // below never run under an expired context.
+    ExecContext ctx(timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                   : Deadline::Infinite());
+    std::optional<ScopedExecContext> scoped;
+    if (timeout_ms > 0) scoped.emplace(&ctx);
+    code = RunCheck(cls, q1, q2);
+  }
 
   if (profiling) {
     profile.End();

@@ -3,7 +3,7 @@
 //   rqeval [--trace] [--profile] [--profile-json <path>]
 //          [--stats-json <path>] [--chrome-trace <path>]
 //          [--flight-dump <path>] [--prometheus <path>]
-//          [--cache] [--jobs N] <graph-file> <class> <query>
+//          [--cache] [--jobs N] [--timeout-ms N] <graph-file> <class> <query>
 //     graph-file : edge list, one "src label dst" per line ('#' comments)
 //     class      : path | crpq | rq | datalog
 //     query      : query text, or @path to read from a file
@@ -31,6 +31,9 @@
 //                         N workers sharing one immutable graph snapshot
 //                         (shared flag surface with rqcheck, where the
 //                         same knob drives batched containment checks)
+//     --timeout-ms N      wall-clock budget for the evaluation; expiry
+//                         fails with DeadlineExceeded (exit 2) instead of
+//                         hanging (docs/ROBUSTNESS.md)
 //
 // Examples:
 //   rqeval net.graph path 'knows+'
@@ -38,13 +41,16 @@
 //   rqeval net.graph rq 'q(x,y) := tc[x,y](knows(x,y))'
 //   rqeval net.graph datalog @reach.dl
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include <vector>
 
 #include "cache/automata_cache.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
@@ -103,6 +109,10 @@ int RunEval(const std::string& graph_file, const std::string& cls,
     for (const auto& [x, y] : EvalPathQuery(*graph, *q->regex)) {
       out.Insert({x, y});
     }
+    // Path evaluation reports truncation through the installed context
+    // rather than a Status return; surface it instead of printing a
+    // silently partial answer set.
+    if (Status s = CheckExecContext(); !s.ok()) return Fail(s.ToString());
     PrintTuples(*graph, out);
     return 0;
   }
@@ -143,6 +153,7 @@ int main(int argc, char** argv) {
   std::string chrome_trace;
   std::string flight_dump;
   std::string prometheus;
+  int64_t timeout_ms = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -170,6 +181,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0) {
       SetDefaultParallelJobs(
           static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10)));
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      timeout_ms = std::strtoll(arg.c_str() + 13, nullptr, 10);
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
@@ -187,7 +202,7 @@ int main(int argc, char** argv) {
         "usage: rqeval [--trace] [--profile] [--profile-json <path>] "
         "[--stats-json <path>] [--chrome-trace <path>] "
         "[--flight-dump <path>] [--prometheus <path>] [--cache] [--jobs N] "
-        "<graph-file> <path|crpq|rq|datalog> <query>");
+        "[--timeout-ms N] <graph-file> <path|crpq|rq|datalog> <query>");
   }
   // Full tracing when any flag needs span data; counters always run.
   if (trace || !stats_json.empty() || !chrome_trace.empty()) {
@@ -202,7 +217,16 @@ int main(int argc, char** argv) {
   const bool profiling = profile_text || !profile_json.empty();
   if (profiling) profile.Begin("rqeval", positional[1], query);
 
-  int code = RunEval(positional[0], positional[1], query);
+  int code;
+  {
+    // Scope the deadline to the evaluation so the stats/trace dumps below
+    // never run under an expired context.
+    ExecContext ctx(timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                   : Deadline::Infinite());
+    std::optional<ScopedExecContext> scoped;
+    if (timeout_ms > 0) scoped.emplace(&ctx);
+    code = RunEval(positional[0], positional[1], query);
+  }
 
   if (profiling) {
     profile.End();

@@ -10,6 +10,7 @@
 #include "automata/dfa.h"
 #include "automata/ops.h"
 #include "cache/automata_cache.h"
+#include "common/deadline.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -117,6 +118,10 @@ LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
   };
 
   while (!work.empty()) {
+    if (Status s = CheckExecContext(); !s.ok()) {
+      result.status = std::move(s);
+      return result;
+    }
     uint32_t idx = work.front();
     work.pop_front();
     PairKey key = nodes[idx].key;
@@ -200,6 +205,10 @@ LanguageContainmentResult CheckLanguageContainmentAntichainImpl(
   };
 
   while (!work.empty()) {
+    if (Status s = CheckExecContext(); !s.ok()) {
+      result.status = std::move(s);
+      return result;
+    }
     uint32_t idx = work.front();
     work.pop_front();
     // Note: a node may have been superseded in the antichain after being
@@ -233,7 +242,17 @@ LanguageContainmentResult CheckLanguageContainmentExplicitImpl(const Nfa& a,
                                                                const Nfa& b) {
   RQ_CHECK(a.num_symbols() == b.num_symbols());
   LanguageContainmentResult result;
+  if (Status s = CheckExecContext(); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
+  // Determinize stops early when the context trips; poll again afterwards
+  // so a truncated complement is never used for a verdict.
   std::shared_ptr<const Dfa> complement = cache::CachedComplementToDfa(b);
+  if (Status s = CheckExecContext(); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
   Nfa diff = Intersect(a, NfaFromDfa(*complement));
   result.explored_states = diff.num_states();
   std::vector<Symbol> witness;
@@ -261,7 +280,9 @@ LanguageContainmentResult CheckWithVerdictCache(const char* span_name,
   RQ_TRACE_SPAN_VAR(span, span_name);
   LanguageContainmentResult result = impl(a, b);
   RecordCheck(span, result);
-  if (ac.enabled()) {
+  // Never cache a verdict cut short by deadline/cancellation — it is not a
+  // verdict, and the key would otherwise serve it to unbounded callers.
+  if (ac.enabled() && result.status.ok()) {
     ac.verdict().Put(std::move(key), result, cache::ApproxBytes(result));
   }
   return result;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "automata/nfa.h"
+#include "common/status.h"
 
 namespace rq {
 
@@ -21,6 +22,10 @@ struct LanguageContainmentResult {
   // Number of product states explored (for benchmarking the on-the-fly vs
   // explicit-complement tradeoff).
   uint64_t explored_states = 0;
+  // Non-OK (kDeadlineExceeded / kCancelled) when the installed ExecContext
+  // tripped mid-search; `contained` is meaningless then. Always OK when no
+  // context is installed (common/deadline.h, docs/ROBUSTNESS.md).
+  Status status;
 };
 
 // Decides L(a) ⊆ L(b). Both automata must share num_symbols.

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/deadline.h"
+
 namespace rq {
 
 namespace {
@@ -43,9 +45,13 @@ Dfa Determinize(const Nfa& input) {
   std::vector<uint32_t> start = nfa.EpsilonClosure(nfa.initial());
   uint32_t start_id = intern(std::move(start));
 
-  // Transition rows, built as we explore.
+  // Transition rows, built as we explore. The subset construction is the
+  // exponential step; when the installed ExecContext trips we stop early
+  // and return the truncated DFA — Status-returning callers poll the same
+  // context right after and discard it (docs/ROBUSTNESS.md).
   std::vector<std::vector<uint32_t>> rows;
   while (!work.empty()) {
+    if (ExecStopRequested()) break;
     uint32_t id = work.front();
     work.pop_front();
     if (rows.size() <= id) rows.resize(id + 1);

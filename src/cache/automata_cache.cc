@@ -5,6 +5,7 @@
 #include "automata/ops.h"
 #include "automata/reduce.h"
 #include "cache/key.h"
+#include "common/deadline.h"
 #include "twoway/complement.h"
 #include "twoway/fold.h"
 
@@ -145,6 +146,12 @@ std::shared_ptr<const TwoNfa> CachedFoldTwoNfa(const Nfa& nfa) {
   std::string key = Encode(nfa);
   if (auto hit = cache.fold().Get(key)) return hit;
   TwoNfa fold = FoldTwoNfa(nfa);
+  // A construction cut short by deadline/cancellation is truncated; hand
+  // it back (the caller polls the context and discards it) but never let
+  // it into the cache under the full automaton's key.
+  if (ExecStopRequested()) {
+    return std::make_shared<const TwoNfa>(std::move(fold));
+  }
   size_t bytes = ApproxBytes(fold);
   return cache.fold().Put(std::move(key), std::move(fold), bytes);
 }
@@ -157,6 +164,9 @@ std::shared_ptr<const Dfa> CachedComplementToDfa(const Nfa& nfa) {
   std::string key = Encode(nfa);
   if (auto hit = cache.complement().Get(key)) return hit;
   Dfa dfa = ComplementToDfa(nfa);
+  if (ExecStopRequested()) {
+    return std::make_shared<const Dfa>(std::move(dfa));
+  }
   size_t bytes = ApproxBytes(dfa);
   return cache.complement().Put(std::move(key), std::move(dfa), bytes);
 }

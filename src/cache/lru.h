@@ -32,7 +32,8 @@ class LruByteCache {
         byte_budget_(byte_budget),
         hits_(*obs::GetCounter("cache." + kind_ + "_hits")),
         misses_(*obs::GetCounter("cache." + kind_ + "_misses")),
-        evictions_(*obs::GetCounter("cache." + kind_ + "_evictions")) {}
+        evictions_(*obs::GetCounter("cache." + kind_ + "_evictions")),
+        oversized_(*obs::GetCounter("cache." + kind_ + "_oversized")) {}
 
   LruByteCache(const LruByteCache&) = delete;
   LruByteCache& operator=(const LruByteCache&) = delete;
@@ -58,15 +59,22 @@ class LruByteCache {
   // thread inserted the same key first, the existing entry wins (both
   // threads computed the same value, so sharing the first is sound).
   // `value_bytes` is the caller's estimate of the value's heap footprint.
+  // A value too large to ever fit the budget is handed back uncached —
+  // inserting it would only evict every resident entry before being
+  // evicted itself.
   std::shared_ptr<const V> Put(std::string key, V value, size_t value_bytes) {
     auto stored = std::make_shared<const V>(std::move(value));
+    size_t entry_bytes = value_bytes + key.size() + kEntryOverhead;
     std::lock_guard<std::mutex> lock(mu_);
+    if (entry_bytes > byte_budget_) {
+      oversized_.Increment();
+      return stored;
+    }
     auto it = index_.find(std::string_view(key));
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->value;
     }
-    size_t entry_bytes = value_bytes + key.size() + kEntryOverhead;
     lru_.push_front(Entry{std::move(key), stored, entry_bytes});
     index_.emplace(std::string_view(lru_.front().key), lru_.begin());
     bytes_ += entry_bytes;
@@ -139,6 +147,7 @@ class LruByteCache {
   obs::Counter& hits_;
   obs::Counter& misses_;
   obs::Counter& evictions_;
+  obs::Counter& oversized_;
 };
 
 }  // namespace cache

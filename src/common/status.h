@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -59,6 +61,8 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 // A value of type T or a non-OK Status. Modeled after absl::StatusOr.
 template <typename T>

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "obs/profile.h"
@@ -75,6 +76,53 @@ unsigned EffectiveJobs(const ContainmentBatchOptions& options) {
   return options.jobs != 0 ? options.jobs : DefaultContainmentJobs();
 }
 
+// Per-batch deadline/cancellation bookkeeping shared by both batch entry
+// points. The parent ExecContext is captured on the CALLING thread (pool
+// workers do not inherit its thread-local installation); each job then
+// runs under a fresh child context combining:
+//   * a fresh job deadline (options.job_timeout_ms, measured from pickup)
+//     clipped to the parent's deadline, and
+//   * one cancel source — the caller-supplied token, else the parent's
+//     token, else the batch's internal first-error token.
+// Jobs not yet started when any of those sources fires report kCancelled
+// without running; jobs already running unwind at their next poll only if
+// their own context watches the fired token.
+struct BatchExecGuard {
+  const ContainmentBatchOptions& options;
+  ExecContext* parent;
+  CancelToken first_error;
+
+  explicit BatchExecGuard(const ContainmentBatchOptions& opts)
+      : options(opts), parent(ExecContext::Current()) {}
+
+  CancelToken* JobCancelToken() {
+    if (options.cancel != nullptr) return options.cancel;
+    if (parent != nullptr && parent->cancel_token() != nullptr) {
+      return parent->cancel_token();
+    }
+    return &first_error;
+  }
+
+  bool CancelledBeforeStart() {
+    return first_error.Cancelled() ||
+           (options.cancel != nullptr && options.cancel->Cancelled()) ||
+           (parent != nullptr && parent->cancel_token() != nullptr &&
+            parent->cancel_token()->Cancelled());
+  }
+
+  Deadline JobDeadline() const {
+    Deadline d = options.job_timeout_ms > 0
+                     ? Deadline::AfterMillis(options.job_timeout_ms)
+                     : Deadline::Infinite();
+    if (parent != nullptr) d = Deadline::Earlier(d, parent->deadline());
+    return d;
+  }
+
+  void OnJobResult(const Status& status) {
+    if (!status.ok() && options.cancel_on_error) first_error.Cancel();
+  }
+};
+
 }  // namespace
 
 void SetDefaultContainmentJobs(unsigned jobs) {
@@ -89,21 +137,45 @@ std::vector<LanguageContainmentResult> CheckContainmentBatch(
   RQ_TRACE_SPAN_VAR(span, "containment.batch");
   span.AddAttr("jobs", jobs.size());
   std::vector<LanguageContainmentResult> results(jobs.size());
-  RunJobs(jobs.size(), EffectiveJobs(options), [&](size_t i) {
-    RQ_CHECK(jobs[i].a != nullptr && jobs[i].b != nullptr);
-    switch (options.algo) {
-      case ContainmentAlgo::kOnTheFly:
-        results[i] = CheckLanguageContainment(*jobs[i].a, *jobs[i].b);
-        break;
-      case ContainmentAlgo::kAntichain:
-        results[i] =
-            CheckLanguageContainmentAntichain(*jobs[i].a, *jobs[i].b);
-        break;
-      case ContainmentAlgo::kExplicit:
-        results[i] =
-            CheckLanguageContainmentExplicit(*jobs[i].a, *jobs[i].b);
-        break;
+  // Validate up front: a bad job fails with a per-job status instead of
+  // aborting the process from a worker thread, and — unlike runtime
+  // failures — never cancels the rest of the batch.
+  std::vector<bool> invalid(jobs.size(), false);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].a == nullptr || jobs[i].b == nullptr) {
+      invalid[i] = true;
+      results[i].status = InvalidArgumentError(
+          "CheckContainmentBatch: job " + std::to_string(i) +
+          " has a null automaton");
     }
+  }
+  BatchExecGuard guard(options);
+  RunJobs(jobs.size(), EffectiveJobs(options), [&](size_t i) {
+    if (invalid[i]) return;
+    if (guard.CancelledBeforeStart()) {
+      results[i].status = CancelledError(
+          "CheckContainmentBatch: job " + std::to_string(i) +
+          " cancelled before start");
+      return;
+    }
+    ExecContext ctx(guard.JobDeadline(), guard.JobCancelToken());
+    {
+      ScopedExecContext scoped(&ctx);
+      switch (options.algo) {
+        case ContainmentAlgo::kOnTheFly:
+          results[i] = CheckLanguageContainment(*jobs[i].a, *jobs[i].b);
+          break;
+        case ContainmentAlgo::kAntichain:
+          results[i] =
+              CheckLanguageContainmentAntichain(*jobs[i].a, *jobs[i].b);
+          break;
+        case ContainmentAlgo::kExplicit:
+          results[i] =
+              CheckLanguageContainmentExplicit(*jobs[i].a, *jobs[i].b);
+          break;
+      }
+    }
+    guard.OnJobResult(results[i].status);
   });
   return results;
 }
@@ -114,9 +186,31 @@ std::vector<PathContainmentResult> CheckPathContainmentBatch(
   RQ_TRACE_SPAN_VAR(span, "containment.batch");
   span.AddAttr("jobs", jobs.size());
   std::vector<PathContainmentResult> results(jobs.size());
+  std::vector<bool> invalid(jobs.size(), false);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].q1 == nullptr || jobs[i].q2 == nullptr) {
+      invalid[i] = true;
+      results[i].status = InvalidArgumentError(
+          "CheckPathContainmentBatch: job " + std::to_string(i) +
+          " has a null regex");
+    }
+  }
+  BatchExecGuard guard(options);
   RunJobs(jobs.size(), EffectiveJobs(options), [&](size_t i) {
-    RQ_CHECK(jobs[i].q1 != nullptr && jobs[i].q2 != nullptr);
-    results[i] = CheckPathQueryContainment(*jobs[i].q1, *jobs[i].q2, alphabet);
+    if (invalid[i]) return;
+    if (guard.CancelledBeforeStart()) {
+      results[i].status = CancelledError(
+          "CheckPathContainmentBatch: job " + std::to_string(i) +
+          " cancelled before start");
+      return;
+    }
+    ExecContext ctx(guard.JobDeadline(), guard.JobCancelToken());
+    {
+      ScopedExecContext scoped(&ctx);
+      results[i] =
+          CheckPathQueryContainment(*jobs[i].q1, *jobs[i].q2, alphabet);
+    }
+    guard.OnJobResult(results[i].status);
   });
   return results;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "automata/containment.h"
+#include "common/deadline.h"
 #include "pathquery/containment.h"
 #include "regex/regex.h"
 
@@ -30,6 +31,20 @@ struct ContainmentBatchOptions {
   // batch inline on the calling thread (no pool).
   unsigned jobs = 0;
   ContainmentAlgo algo = ContainmentAlgo::kOnTheFly;
+  // Per-job wall-clock budget in milliseconds (0 = none). Each job gets a
+  // FRESH deadline when a worker picks it up, clipped to the caller's own
+  // installed ExecContext deadline; expiry fails that job with
+  // kDeadlineExceeded in its result Status (docs/ROBUSTNESS.md).
+  int64_t job_timeout_ms = 0;
+  // Optional external cancellation: trip it from any thread and jobs not
+  // yet started report kCancelled (running jobs unwind at their next
+  // poll). Must outlive the batch call.
+  CancelToken* cancel = nullptr;
+  // When a job fails at runtime (deadline, cancellation, internal error),
+  // cancel the jobs still queued behind it — they report kCancelled.
+  // Up-front validation failures (null pointers) never trigger this; the
+  // rest of the batch still runs.
+  bool cancel_on_error = true;
 };
 
 // Process-wide default worker count used when options.jobs == 0. Starts at
@@ -46,7 +61,10 @@ struct NfaContainmentJob {
   const Nfa* b = nullptr;
 };
 
-// Runs every job and returns the verdicts in job order.
+// Runs every job and returns the verdicts in job order. A job never aborts
+// the process or the batch: null-pointer jobs come back with a per-job
+// kInvalidArgument status (the other jobs still run), and deadline /
+// cancellation trips land in the affected job's result Status.
 std::vector<LanguageContainmentResult> CheckContainmentBatch(
     const std::vector<NfaContainmentJob>& jobs,
     const ContainmentBatchOptions& options = {});

@@ -1,5 +1,6 @@
 #include "containment/containment.h"
 
+#include "common/deadline.h"
 #include "datalog/eval.h"
 #include "obs/flight_recorder.h"
 #include "obs/profile.h"
@@ -47,6 +48,7 @@ Result<RqContainmentResult> CheckDatalogContainmentImpl(
   result.method =
       complete ? "datalog-expansion-exact" : "datalog-expansion-bounded";
   for (const ConjunctiveQuery& cq : expansions.expansions) {
+    RQ_RETURN_IF_ERROR(CheckExecContext());
     ++result.expansions_checked;
     Database canonical = cq.CanonicalDatabase();
     RQ_ASSIGN_OR_RETURN(
@@ -73,7 +75,7 @@ Result<RqContainmentResult> CheckDatalogContainment(
   Result<RqContainmentResult> result =
       CheckDatalogContainmentImpl(q1, q2, options);
   if (!result.ok()) {
-    timer.Finish(obs::kFlightVerdictError, 0);
+    timer.Finish(obs::FlightVerdictFromError(result.status()), 0);
     return result;
   }
   timer.Finish(FlightVerdictFromCertainty(result->certainty),

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "automata/words.h"
+#include "common/deadline.h"
 #include "common/strings.h"
 #include "containment/batch.h"
 #include "obs/flight_recorder.h"
@@ -204,6 +205,7 @@ Result<Relation> EvalCrpq(const GraphSnapshot& snapshot, const Crpq& query,
   std::vector<std::vector<VarId>> var_lists;
   var_lists.reserve(query.atoms.size());
   for (const CrpqAtom& atom : query.atoms) {
+    RQ_RETURN_IF_ERROR(CheckExecContext());
     auto it = cache.find(atom.regex.get());
     if (it == cache.end()) {
       Relation rel(2);
@@ -377,6 +379,7 @@ Result<CrpqContainmentResult> CheckUc2RpqContainmentImpl(
         CheckPathContainmentBatch(batch, alphabet, batch_options);
     result.method = "2rpq-fold";
     for (const PathContainmentResult& path : verdicts) {
+      RQ_RETURN_IF_ERROR(path.status);
       if (path.contained) continue;
       result.certainty = Certainty::kRefuted;
       SemipathWitness witness =
@@ -403,6 +406,7 @@ Result<CrpqContainmentResult> CheckUc2RpqContainmentImpl(
         disjunct.atoms.size());
     bool disjunct_empty = false;
     for (size_t i = 0; i < disjunct.atoms.size(); ++i) {
+      RQ_RETURN_IF_ERROR(CheckExecContext());
       Nfa nfa = disjunct.atoms[i]
                     .regex->ToNfa(std::max(
                         k, disjunct.atoms[i].regex->MinNumSymbols()))
@@ -438,6 +442,7 @@ Result<CrpqContainmentResult> CheckUc2RpqContainmentImpl(
     // Cartesian product over atom word choices (odometer).
     std::vector<size_t> idx(disjunct.atoms.size(), 0);
     for (;;) {
+      RQ_RETURN_IF_ERROR(CheckExecContext());
       if (result.expansions_checked >= options.max_expansions) {
         complete = false;
         truncated = true;
@@ -464,6 +469,7 @@ Result<CrpqContainmentResult> CheckUc2RpqContainmentImpl(
       if (!answers.Contains(head_tuple)) {
         result.certainty = Certainty::kRefuted;
         result.method = "expansion";
+        result.truncated = truncated;
         result.witness_tuple = head_tuple;
         result.witness_x = head_tuple.empty()
                                ? 0
@@ -483,11 +489,11 @@ Result<CrpqContainmentResult> CheckUc2RpqContainmentImpl(
       }
       if (pos == idx.size()) break;
     }
-    (void)truncated;
   }
   result.method = complete ? "expansion-exact" : "expansion-bounded";
   result.certainty =
       complete ? Certainty::kProved : Certainty::kUnknownUpToBound;
+  result.truncated = truncated;
   return result;
 }
 
@@ -500,13 +506,15 @@ Result<CrpqContainmentResult> CheckUc2RpqContainment(
   Result<CrpqContainmentResult> result =
       CheckUc2RpqContainmentImpl(q1, q2, alphabet, options);
   if (!result.ok()) {
-    timer.Finish(obs::kFlightVerdictError, 0);
+    timer.Finish(obs::FlightVerdictFromError(result.status()), 0);
     return result;
   }
   timer.Finish(FlightVerdictFromCertainty(result->certainty),
                result->expansions_checked);
   if (obs::QueryProfile* profile = obs::QueryProfile::Active()) {
-    profile->AddNote("uc2rpq.method", result->method);
+    profile->AddNote("uc2rpq.method",
+                     result->truncated ? result->method + " (truncated)"
+                                       : result->method);
   }
   return result;
 }

@@ -101,6 +101,10 @@ struct CrpqContainmentResult {
   NodeId witness_x = 0;
   NodeId witness_y = 0;
   size_t expansions_checked = 0;
+  // True when the expansion enumeration hit max_word_length/max_expansions
+  // before exhausting q1's language: a kUnknownUpToBound verdict then means
+  // "cap hit", not "infinite language bounded exactly".
+  bool truncated = false;
 };
 
 Result<CrpqContainmentResult> CheckUc2RpqContainment(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/deadline.h"
 #include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
@@ -12,11 +13,12 @@ namespace {
 
 // Applies one rule, reading body atom i from `sources[i]` and inserting new
 // head tuples into `out` (only tuples absent from `existing`). Returns the
-// number of new tuples.
+// number of new tuples. Polls the installed ExecContext per candidate
+// binding; a trip lands in `*stop` and aborts the join early.
 size_t ApplyRule(const DatalogRule& rule,
                  const std::vector<const Relation*>& sources,
                  const Relation& existing, Relation* out,
-                 DatalogEvalStats* stats) {
+                 DatalogEvalStats* stats, Status* stop) {
   std::vector<MatchAtom> atoms;
   atoms.reserve(rule.body.size());
   for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -26,6 +28,10 @@ size_t ApplyRule(const DatalogRule& rule,
   size_t added = 0;
   MatchConjunction(atoms, rule.num_vars,
                    [&](const std::vector<Value>& binding) {
+                     if (Status s = CheckExecContext(); !s.ok()) {
+                       *stop = std::move(s);
+                       return false;
+                     }
                      if (stats != nullptr) ++stats->tuples_considered;
                      Tuple t;
                      t.reserve(rule.head.vars.size());
@@ -37,13 +43,13 @@ size_t ApplyRule(const DatalogRule& rule,
   return added;
 }
 
-}  // namespace
-
-Result<Database> EvalDatalogProgram(const DatalogProgram& program,
-                                    const Database& edb, DatalogEvalMode mode,
-                                    DatalogEvalStats* stats) {
+// Fixpoint body; the public EvalDatalogProgram wraps it with flight
+// recording so timeouts and errors record their verdict.
+Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
+                                        const Database& edb,
+                                        DatalogEvalMode mode,
+                                        DatalogEvalStats* stats) {
   RQ_TRACE_SPAN_VAR(span, "datalog.eval");
-  obs::FlightTimer timer(obs::QueryKind::kDatalogEval);
   RQ_RETURN_IF_ERROR(program.Validate());
   DatalogEvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -84,7 +90,9 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
     for (PredId p : sccs[i].predicates) scc_of[p] = i;
   }
 
+  Status stop;  // set by ApplyRule when the installed ExecContext trips
   for (uint32_t scc_index = 0; scc_index < sccs.size(); ++scc_index) {
+    RQ_RETURN_IF_ERROR(CheckExecContext());
     const DatalogProgram::Scc& scc = sccs[scc_index];
     // Rules contributing to this SCC.
     std::vector<const DatalogRule*> rules;
@@ -113,7 +121,8 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
         Relation* head_rel = rel_of(rule->head.predicate);
         Relation fresh(head_rel->arity());
         stats->tuples_derived +=
-            ApplyRule(*rule, sources, *head_rel, &fresh, stats);
+            ApplyRule(*rule, sources, *head_rel, &fresh, stats, &stop);
+        RQ_RETURN_IF_ERROR(stop);
         head_rel->InsertAll(fresh);
       }
       ++stats->rounds;
@@ -126,6 +135,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
       // This makes a "round" mean the same thing in both modes — see the
       // round-counting contract on DatalogEvalStats in eval.h.
       for (;;) {
+        RQ_RETURN_IF_ERROR(CheckExecContext());
         ++stats->rounds;
         std::vector<Relation> fresh;
         for (PredId p : scc_preds) {
@@ -139,7 +149,8 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
           }
           int hd = scc_pred_index(rule->head.predicate);
           added += ApplyRule(*rule, sources, *rel_of(rule->head.predicate),
-                             &fresh[hd], stats);
+                             &fresh[hd], stats, &stop);
+          RQ_RETURN_IF_ERROR(stop);
         }
         stats->tuples_derived += added;
         if (added == 0) break;
@@ -165,7 +176,9 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
       }
       Relation* head_rel = rel_of(rule->head.predicate);
       int di = scc_pred_index(rule->head.predicate);
-      seed_added += ApplyRule(*rule, sources, *head_rel, &delta[di], stats);
+      seed_added +=
+          ApplyRule(*rule, sources, *head_rel, &delta[di], stats, &stop);
+      RQ_RETURN_IF_ERROR(stop);
     }
     stats->tuples_derived += seed_added;
     for (size_t i = 0; i < scc_preds.size(); ++i) {
@@ -177,6 +190,7 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
     if (seed_added == 0) continue;
 
     for (;;) {
+      RQ_RETURN_IF_ERROR(CheckExecContext());
       ++stats->rounds;
       std::vector<Relation> next_delta;
       for (PredId p : scc_preds) {
@@ -200,7 +214,8 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
           Relation* head_rel = rel_of(rule->head.predicate);
           int hd = scc_pred_index(rule->head.predicate);
           added += ApplyRule(*rule, sources, *head_rel, &next_delta[hd],
-                             stats);
+                             stats, &stop);
+          RQ_RETURN_IF_ERROR(stop);
         }
       }
       stats->tuples_derived += added;
@@ -224,8 +239,23 @@ Result<Database> EvalDatalogProgram(const DatalogProgram& program,
   counters.rounds_per_eval.Record(stats->rounds);
   span.AddAttr("rounds", stats->rounds);
   span.AddAttr("tuples_considered", stats->tuples_considered);
-  timer.Finish(obs::kFlightVerdictOk, stats->rounds);
   return db;
+}
+
+}  // namespace
+
+Result<Database> EvalDatalogProgram(const DatalogProgram& program,
+                                    const Database& edb, DatalogEvalMode mode,
+                                    DatalogEvalStats* stats) {
+  obs::FlightTimer timer(obs::QueryKind::kDatalogEval);
+  DatalogEvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Result<Database> result =
+      EvalDatalogProgramImpl(program, edb, mode, stats);
+  timer.Finish(result.ok() ? obs::kFlightVerdictOk
+                           : obs::FlightVerdictFromError(result.status()),
+               stats->rounds);
+  return result;
 }
 
 Result<Relation> EvalDatalogGoal(const DatalogProgram& program,

@@ -128,6 +128,8 @@ const char* FlightVerdictName(int32_t verdict) {
       return "unknown";
     case kFlightVerdictError:
       return "error";
+    case kFlightVerdictTimeout:
+      return "timeout";
     case kFlightVerdictAbandoned:
       return "abandoned";
   }

@@ -72,8 +72,19 @@ inline constexpr int32_t kFlightVerdictOk = 0;
 inline constexpr int32_t kFlightVerdictRefuted = 1;
 inline constexpr int32_t kFlightVerdictUnknown = 2;
 inline constexpr int32_t kFlightVerdictError = 3;
+inline constexpr int32_t kFlightVerdictTimeout = 4;
 inline constexpr int32_t kFlightVerdictAbandoned = -1;
 const char* FlightVerdictName(int32_t verdict);
+
+// Verdict for an entry point unwinding with `error`: deadline expiry and
+// cancellation record kFlightVerdictTimeout (the operation was cut short,
+// not wrong), anything else kFlightVerdictError.
+inline int32_t FlightVerdictFromError(const Status& error) {
+  return (error.code() == StatusCode::kDeadlineExceeded ||
+          error.code() == StatusCode::kCancelled)
+             ? kFlightVerdictTimeout
+             : kFlightVerdictError;
+}
 
 // Reader-side copy of one completed-query summary (oldest-first in
 // snapshots; seq is the global completion ticket, starting at 0).

@@ -56,6 +56,11 @@ ObsCounters& ObsCounters::Get() {
   return *instance;
 }
 
+DeadlineCounters& DeadlineCounters::Get() {
+  static DeadlineCounters* instance = new DeadlineCounters();
+  return *instance;
+}
+
 DatalogCounters& DatalogCounters::Get() {
   static DatalogCounters* instance = new DatalogCounters();
   return *instance;

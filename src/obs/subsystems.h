@@ -157,6 +157,19 @@ struct ObsCounters {
   static ObsCounters& Get();
 };
 
+// Deadline / cancellation layer (common/deadline.h, docs/ROBUSTNESS.md).
+// expired/cancelled count tripped ExecContexts (once per context, however
+// many loops polled it); slack_ns records how much headroom finite-deadline
+// operations finished with — a shrinking p50 means timeouts are about to
+// start firing.
+struct DeadlineCounters {
+  Counter& expired = *GetCounter("deadline.expired");
+  Counter& cancelled = *GetCounter("deadline.cancelled");
+  Histogram& slack_ns = *GetHistogram("deadline.slack_ns");
+
+  static DeadlineCounters& Get();
+};
+
 // Datalog fixpoint engine (§2.2), naive and semi-naive modes.
 struct DatalogCounters {
   Counter& evals = *GetCounter("datalog.evals");

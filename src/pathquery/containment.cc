@@ -12,6 +12,7 @@
 #include "automata/reduce.h"
 #include "cache/automata_cache.h"
 #include "cache/key.h"
+#include "common/deadline.h"
 #include "graph/generators.h"
 #include "obs/flight_recorder.h"
 #include "obs/profile.h"
@@ -47,8 +48,13 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
   std::shared_ptr<const Nfa> a1_ptr = cache::CachedCompiledNfa(q1, k);
   std::shared_ptr<const Nfa> a2_ptr = cache::CachedCompiledNfa(q2, k);
   const Nfa& a1 = *a1_ptr;
-  // Step 2: 2NFA for fold(L(Q2)) (Lemma 3, polynomial).
+  // Step 2: 2NFA for fold(L(Q2)) (Lemma 3, polynomial). FoldTwoNfa stops
+  // early when the context trips; the poll below discards the truncation.
   std::shared_ptr<const TwoNfa> fold2_ptr = cache::CachedFoldTwoNfa(*a2_ptr);
+  if (Status s = CheckExecContext(); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
   const TwoNfa& fold2 = *fold2_ptr;
   // Steps 3-5: search L(Q1) ∩ complement(fold(L(Q2))) on the fly. The
   // complement side is represented by deterministic Shepherdson tables, so
@@ -90,6 +96,12 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
   for (uint32_t s : a1.initial()) push(s, t0, 0xffffffffu, kInvalidSymbol);
 
   while (!work.empty()) {
+    // The table product is the EXPSPACE pressure point (doubly exponential
+    // table space); poll per node so adversarial inputs time out promptly.
+    if (Status s = CheckExecContext(); !s.ok()) {
+      result.status = std::move(s);
+      return result;
+    }
     uint32_t idx = work.front();
     work.pop_front();
     Node node = nodes[idx];
@@ -153,7 +165,9 @@ PathContainmentResult CheckTwoWayContainment(const Regex& q1, const Regex& q2,
   counters.states_explored_per_check.Record(result.explored_states);
   if (!result.contained) counters.refuted.Increment();
   span.AddAttr("states_explored", result.explored_states);
-  if (ac.enabled()) {
+  // A check cut short by deadline/cancellation produced no verdict; never
+  // memoize it.
+  if (ac.enabled() && result.status.ok()) {
     LanguageContainmentResult stored;
     stored.contained = result.contained;
     stored.counterexample = result.counterexample;
@@ -179,6 +193,7 @@ PathContainmentResult CheckPathQueryContainment(const Regex& q1,
     result.counterexample = std::move(lang.counterexample);
     result.explored_states = lang.explored_states;
     result.used_fold_pipeline = false;
+    result.status = std::move(lang.status);
   } else {
     result = CheckTwoWayContainment(q1, q2, alphabet);
   }
@@ -186,8 +201,10 @@ PathContainmentResult CheckPathQueryContainment(const Regex& q1,
     profile->AddNote("path.pipeline",
                      result.used_fold_pipeline ? "2rpq-fold" : "lemma1");
   }
-  timer.Finish(result.contained ? obs::kFlightVerdictOk
-                                : obs::kFlightVerdictRefuted,
+  timer.Finish(!result.status.ok()
+                   ? obs::FlightVerdictFromError(result.status)
+                   : (result.contained ? obs::kFlightVerdictOk
+                                       : obs::kFlightVerdictRefuted),
                result.explored_states);
   return result;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "automata/alphabet.h"
+#include "common/status.h"
 #include "graph/graph_db.h"
 #include "regex/regex.h"
 
@@ -35,6 +36,9 @@ struct PathContainmentResult {
   uint64_t explored_states = 0;
   // True if the two-way (fold) pipeline ran; false if Lemma 1 sufficed.
   bool used_fold_pipeline = false;
+  // Non-OK (kDeadlineExceeded / kCancelled) when the installed ExecContext
+  // tripped mid-check; `contained` is meaningless then (docs/ROBUSTNESS.md).
+  Status status;
 };
 
 // Decides Q1 ⊑ Q2 for path queries over the alphabet. Dispatches to the

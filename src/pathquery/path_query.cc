@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/bitset.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
@@ -55,10 +56,18 @@ std::vector<NodeId> ProductBfs(const GraphSnapshot& snapshot, const Nfa& nfa,
   for (uint32_t s : nfa.initial()) push(start, s);
   std::swap(frontier, next);
 
-  while (!frontier.empty()) {
+  // The BFS has no Status channel; when the installed ExecContext trips we
+  // abandon the remaining frontier and return the partial answer set — the
+  // Status-returning caller polls the same context and discards it.
+  bool stopped = false;
+  while (!frontier.empty() && !stopped) {
     counters.frontier_per_level.Record(frontier.size());
     peak_frontier = std::max(peak_frontier, frontier.size());
     for (const ProductState& ps : frontier) {
+      if (ExecStopRequested()) {
+        stopped = true;
+        break;
+      }
       ++states_visited;
       if (nfa.IsAccepting(ps.state)) answer.Set(ps.node);
       for (const NfaTransition& t : nfa.TransitionsFrom(ps.state)) {
@@ -107,12 +116,29 @@ std::vector<std::vector<NodeId>> EvalPathQueryFromSources(
   const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
   std::vector<std::vector<NodeId>> answers(sources.size());
   unsigned jobs = options.jobs != 0 ? options.jobs : DefaultParallelJobs();
-  ParallelFor(sources.size(), jobs, [&](size_t i) {
+  // Pool workers don't inherit the caller's thread-local ExecContext;
+  // mirror it per worker slot so every BFS observes the same deadline and
+  // cancel token (ChildOf(nullptr) is a free no-op context).
+  ExecContext* parent = ExecContext::Current();
+  unsigned slots = jobs > 1 ? jobs : 1;
+  std::vector<ExecContext> worker_ctx;
+  worker_ctx.reserve(slots);
+  for (unsigned w = 0; w < slots; ++w) {
+    worker_ctx.push_back(ExecContext::ChildOf(parent));
+  }
+  ParallelForWorker(sources.size(), jobs, [&](unsigned w, size_t i) {
+    ScopedExecContext scoped(&worker_ctx[w]);
     answers[i] = ProductBfs(snapshot, nfa, sources[i]);
   });
   uint64_t total_answers = 0;
   for (const std::vector<NodeId>& a : answers) total_answers += a.size();
-  timer.Finish(obs::kFlightVerdictOk, total_answers);
+  // Map the parent context's verdict (partial answers are the workers'
+  // problem to discard; callers poll CheckExecContext after this returns).
+  Status parent_status = CheckExecContext();
+  timer.Finish(parent_status.ok()
+                   ? obs::kFlightVerdictOk
+                   : obs::FlightVerdictFromError(parent_status),
+               total_answers);
   return answers;
 }
 

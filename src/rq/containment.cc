@@ -1,5 +1,6 @@
 #include "rq/containment.h"
 
+#include "common/deadline.h"
 #include "graph/generators.h"
 #include "obs/flight_recorder.h"
 #include "obs/profile.h"
@@ -71,6 +72,7 @@ Result<RqContainmentResult> CheckRqContainmentImpl(
       obs::RqCounters::Get().dispatch_2rpq.Increment();
       PathContainmentResult path =
           CheckPathQueryContainment(**r1, **r2, alphabet);
+      RQ_RETURN_IF_ERROR(path.status);
       result.method = "2rpq-fold";
       if (path.contained) {
         result.certainty = Certainty::kProved;
@@ -116,6 +118,7 @@ Result<RqContainmentResult> CheckRqContainmentImpl(
   result.method =
       expansions.complete ? "expansion-exact" : "expansion-bounded";
   for (const ConjunctiveQuery& cq : expansions.expansions) {
+    RQ_RETURN_IF_ERROR(CheckExecContext());
     ++result.expansions_checked;
     counters.expansion_checks.Increment();
     Database canonical = cq.CanonicalDatabase();
@@ -153,7 +156,7 @@ Result<RqContainmentResult> CheckRqContainment(
   Result<RqContainmentResult> result =
       CheckRqContainmentImpl(q1, q2, options);
   if (!result.ok()) {
-    timer.Finish(obs::kFlightVerdictError, 0);
+    timer.Finish(obs::FlightVerdictFromError(result.status()), 0);
     return result;
   }
   timer.Finish(FlightVerdictFromCertainty(result->certainty),

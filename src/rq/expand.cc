@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/deadline.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -21,6 +22,9 @@ struct Expander {
   const RqExpandLimits* limits;
   uint32_t next_var;
   bool truncated = false;
+  // Set when the installed ExecContext trips mid-enumeration; Gen bails
+  // out with empty results and ExpandRq propagates it.
+  Status status;
 
   using Env = std::unordered_map<VarId, VarId>;
 
@@ -35,6 +39,7 @@ struct Expander {
     std::vector<Alternative> out;
     for (const Alternative& x : a) {
       for (const Alternative& y : b) {
+        if (!status.ok()) return out;
         if (out.size() >= limits->max_expansions) {
           truncated = true;
           return out;
@@ -55,6 +60,11 @@ struct Expander {
   }
 
   std::vector<Alternative> Gen(const RqExpr& e, const Env& env) {
+    if (!status.ok()) return {};
+    if (Status s = CheckExecContext(); !s.ok()) {
+      status = std::move(s);
+      return {};
+    }
     switch (e.kind()) {
       case RqExpr::Kind::kAtom: {
         Alternative alt;
@@ -187,6 +197,7 @@ Result<RqExpansions> ExpandRq(const RqQuery& query,
   expander.next_var = query.root->MaxVarIdPlus1();
 
   std::vector<Alternative> alts = expander.Gen(*query.root, {});
+  RQ_RETURN_IF_ERROR(expander.status);
 
   RqExpansions out;
   out.truncated = expander.truncated;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -109,9 +110,12 @@ Result<Nfa> VardiComplementNfaImpl(const TwoNfa& m, size_t max_states) {
     uint32_t req = 0;
     // Left moves at ⊢ fall off the tape (die): treat pred as "anything".
     if (!CellOk(left_marker, full, u0, &req)) continue;
-    // Enumerate U_1 ⊇ req.
+    // Enumerate U_1 ⊇ req. Up to 2^n iterations per pair, and intern only
+    // caps FRESH states — existing ids keep the loop spinning — so poll the
+    // ExecContext inside, not just per work item.
     uint32_t rest = full & ~req;
     for (uint32_t extra = rest;; extra = (extra - 1) & rest) {
+      RQ_RETURN_IF_ERROR(CheckExecContext());
       RQ_ASSIGN_OR_RETURN(uint32_t id, intern(u0, req | extra));
       out.AddInitial(id);
       if (extra == 0) break;
@@ -128,6 +132,7 @@ Result<Nfa> VardiComplementNfaImpl(const TwoNfa& m, size_t max_states) {
       if (!CellOk(arrows[a], pred, mid, &req)) continue;
       uint32_t rest = full & ~req;
       for (uint32_t extra = rest;; extra = (extra - 1) & rest) {
+        RQ_RETURN_IF_ERROR(CheckExecContext());
         RQ_ASSIGN_OR_RETURN(uint32_t id, intern(mid, req | extra));
         out.AddTransition(from, a, id);
         if (extra == 0) break;

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "common/deadline.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -41,6 +42,9 @@ TwoNfa FoldTwoNfa(const Nfa& input) {
   auto pending_state = [&](uint32_t s, Symbol b) { return s * width + 1 + b; };
 
   for (uint32_t s = 0; s < a.num_states(); ++s) {
+    // Stop early (truncated 2NFA) when the installed ExecContext trips; the
+    // Status-returning caller polls the same context and discards it.
+    if (ExecStopRequested()) break;
     // Leave the left marker (used by initial states; harmless elsewhere).
     out.AddTransition(none_state(s), out.LeftMarker(), none_state(s),
                       Dir::kRight);

@@ -6,6 +6,7 @@
 
 #include "automata/containment.h"
 #include "automata/ops.h"
+#include "common/deadline.h"
 #include "common/strings.h"
 #include "pathquery/path_query.h"
 
@@ -115,6 +116,7 @@ Result<ViewRewriting> MaximalRewriting(const Regex& query,
       };
       for (uint32_t v0 : vnfa.initial()) push(s, v0);
       while (!work.empty()) {
+        RQ_RETURN_IF_ERROR(CheckExecContext());
         auto [d, v] = work.front();
         work.pop_front();
         if (vnfa.IsAccepting(v)) reach[vi][s][d] = true;
@@ -154,6 +156,7 @@ Result<ViewRewriting> MaximalRewriting(const Regex& query,
   RQ_ASSIGN_OR_RETURN(uint32_t start, intern({dfa.initial()}));
   out.automaton.AddInitial(start);
   while (!work.empty()) {
+    RQ_RETURN_IF_ERROR(CheckExecContext());
     uint32_t id = work.front();
     work.pop_front();
     std::vector<uint32_t> subset = subsets[id];
@@ -188,7 +191,10 @@ Result<bool> RewritingIsExact(const ViewRewriting& rewriting,
   Nfa expansion = ExpandRewriting(rewriting.automaton, views, k);
   // Containment expansion ⊆ Q holds by construction (asserted in tests);
   // exactness is the converse.
-  return CheckLanguageContainment(query.ToNfa(k), expansion).contained;
+  LanguageContainmentResult lang =
+      CheckLanguageContainment(query.ToNfa(k), expansion);
+  RQ_RETURN_IF_ERROR(lang.status);
+  return lang.contained;
 }
 
 Result<Relation> AnswerUsingViews(const GraphDb& db,

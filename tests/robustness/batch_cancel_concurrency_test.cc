@@ -1,0 +1,172 @@
+// Batch cancellation under real concurrency (ctest label `robustness`,
+// tsan binary): an external CancelToken tripped from another thread while
+// workers are mid-batch, plus the first-error cancellation path with
+// parallel workers. ThreadSanitizer checks the token/queue synchronization;
+// the asserts check that every job lands with a coherent per-job status and
+// that the queue-depth gauge drains to zero.
+#include "containment/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/rng.h"
+#include "obs/subsystems.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+constexpr uint32_t kNumSymbols = 3;
+
+Nfa RandomNfa(Rng& rng) {
+  uint32_t num_states = 4 + static_cast<uint32_t>(rng.Below(6));
+  Nfa nfa(kNumSymbols);
+  for (uint32_t s = 0; s < num_states; ++s) nfa.AddState();
+  nfa.AddInitial(static_cast<uint32_t>(rng.Below(num_states)));
+  uint32_t num_transitions =
+      2 * num_states + static_cast<uint32_t>(rng.Below(num_states));
+  for (uint32_t t = 0; t < num_transitions; ++t) {
+    nfa.AddTransition(static_cast<uint32_t>(rng.Below(num_states)),
+                      static_cast<Symbol>(rng.Below(kNumSymbols)),
+                      static_cast<uint32_t>(rng.Below(num_states)));
+  }
+  for (uint32_t s = 0; s < num_states; ++s) {
+    if (rng.Below(3) == 0) nfa.SetAccepting(s);
+  }
+  return nfa;
+}
+
+struct NfaPool {
+  std::vector<Nfa> automata;
+  std::vector<NfaContainmentJob> jobs;
+};
+
+NfaPool MakePool(int num_jobs, uint64_t seed) {
+  NfaPool pool;
+  Rng rng(seed);
+  for (int i = 0; i < 2 * num_jobs; ++i) {
+    pool.automata.push_back(RandomNfa(rng));
+  }
+  for (int i = 0; i < num_jobs; ++i) {
+    pool.jobs.push_back({&pool.automata[2 * i], &pool.automata[2 * i + 1]});
+  }
+  return pool;
+}
+
+// Every job must end in exactly one of: a real verdict (ok), cancelled
+// before start / mid-run, or deadline exceeded. Anything else (or an
+// abort) is a bug.
+void ExpectCoherentStatuses(
+    const std::vector<LanguageContainmentResult>& results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Status& s = results[i].status;
+    EXPECT_TRUE(s.ok() || s.code() == StatusCode::kCancelled ||
+                s.code() == StatusCode::kDeadlineExceeded)
+        << "job " << i << ": " << s.ToString();
+  }
+}
+
+TEST(BatchCancelConcurrencyTest, ExternalCancelMidBatchDrainsQueue) {
+  NfaPool pool = MakePool(64, 2024);
+  CancelToken token;
+  ContainmentBatchOptions options;
+  options.jobs = 4;
+  options.cancel = &token;
+  options.algo = ContainmentAlgo::kAntichain;
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    token.Cancel();
+  });
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(pool.jobs, options);
+  canceller.join();
+
+  ASSERT_EQ(results.size(), pool.jobs.size());
+  ExpectCoherentStatuses(results);
+  // Every job was accounted for: the backlog gauge returns to empty even
+  // though most jobs never ran.
+  EXPECT_EQ(obs::BatchCounters::Get().queue_depth.value(), 0);
+}
+
+TEST(BatchCancelConcurrencyTest, CancelBeforeStartCancelsEveryJob) {
+  NfaPool pool = MakePool(32, 7);
+  CancelToken token;
+  token.Cancel();
+  ContainmentBatchOptions options;
+  options.jobs = 4;
+  options.cancel = &token;
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(pool.jobs, options);
+  ASSERT_EQ(results.size(), pool.jobs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kCancelled)
+        << "job " << i;
+  }
+  EXPECT_EQ(obs::BatchCounters::Get().queue_depth.value(), 0);
+}
+
+TEST(BatchCancelConcurrencyTest, FirstErrorCancelsQueuedJobsAcrossWorkers) {
+  // An expired parent deadline makes every started job fail, so the first
+  // finisher trips the internal first-error token; jobs picked up after
+  // that report kCancelled without running. Parallel workers exercise the
+  // token from multiple threads.
+  NfaPool pool = MakePool(48, 99);
+  ExecContext parent(Deadline::AfterMillis(-1));
+  ScopedExecContext scoped(&parent);
+  ContainmentBatchOptions options;
+  options.jobs = 4;
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(pool.jobs, options);
+  ASSERT_EQ(results.size(), pool.jobs.size());
+  size_t deadline_trips = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Status& s = results[i].status;
+    EXPECT_TRUE(s.code() == StatusCode::kDeadlineExceeded ||
+                s.code() == StatusCode::kCancelled)
+        << "job " << i << ": " << s.ToString();
+    if (s.code() == StatusCode::kDeadlineExceeded) ++deadline_trips;
+  }
+  // At least one job actually started and tripped its own deadline.
+  EXPECT_GE(deadline_trips, 1u);
+  EXPECT_EQ(obs::BatchCounters::Get().queue_depth.value(), 0);
+}
+
+TEST(BatchCancelConcurrencyTest, ConcurrentBatchesWithIndependentTokens) {
+  // Two batches in flight at once: one cancelled, one running to
+  // completion. The cancelled batch must not leak its cancellation into
+  // the healthy one (separate tokens, separate guards).
+  NfaPool pool = MakePool(24, 41);
+  CancelToken token;
+  token.Cancel();
+  std::vector<LanguageContainmentResult> cancelled_results;
+  std::thread cancelled_batch([&] {
+    ContainmentBatchOptions options;
+    options.jobs = 3;
+    options.cancel = &token;
+    cancelled_results = CheckContainmentBatch(pool.jobs, options);
+  });
+  ContainmentBatchOptions healthy;
+  healthy.jobs = 3;
+  std::vector<LanguageContainmentResult> healthy_results =
+      CheckContainmentBatch(pool.jobs, healthy);
+  cancelled_batch.join();
+
+  ASSERT_EQ(healthy_results.size(), pool.jobs.size());
+  for (size_t i = 0; i < healthy_results.size(); ++i) {
+    EXPECT_TRUE(healthy_results[i].status.ok()) << "job " << i;
+  }
+  ASSERT_EQ(cancelled_results.size(), pool.jobs.size());
+  for (size_t i = 0; i < cancelled_results.size(); ++i) {
+    EXPECT_EQ(cancelled_results[i].status.code(), StatusCode::kCancelled)
+        << "job " << i;
+  }
+  EXPECT_EQ(obs::BatchCounters::Get().queue_depth.value(), 0);
+}
+
+}  // namespace
+}  // namespace rq

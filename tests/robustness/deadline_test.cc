@@ -1,0 +1,372 @@
+// Robustness tests (ctest label `robustness`, sanitize binary): deadline
+// and cancellation semantics of common/deadline.h, their propagation
+// through the containment ladder and the evaluators, per-job batch
+// statuses, the expansion-truncation flag, the rewriting subset budget,
+// and the LRU oversized-insert bypass. Timeout tests use pre-expired
+// deadlines so they are deterministic — no racing against a real clock.
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/containment.h"
+#include "cache/lru.h"
+#include "containment/batch.h"
+#include "crpq/crpq.h"
+#include "datalog/eval.h"
+#include "obs/counters.h"
+#include "pathquery/containment.h"
+#include "regex/regex.h"
+#include "rq/containment.h"
+#include "rq/parser.h"
+#include "views/rewriting.h"
+
+namespace rq {
+namespace {
+
+Deadline ExpiredDeadline() { return Deadline::AfterMillis(-1); }
+
+RegexPtr Parse(const std::string& text, Alphabet* alphabet) {
+  auto parsed = ParseRegex(text, alphabet);
+  RQ_CHECK(parsed.ok());
+  return *parsed;
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingNanos(), Deadline::kInfiniteNs);
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  EXPECT_TRUE(ExpiredDeadline().Expired());
+  EXPECT_LT(ExpiredDeadline().RemainingNanos(), 0);
+  EXPECT_FALSE(Deadline::AfterMillis(60'000).Expired());
+}
+
+TEST(DeadlineTest, EarlierPicksFiniteOverInfinite) {
+  Deadline finite = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(
+      Deadline::Earlier(finite, Deadline::Infinite()).IsInfinite());
+  EXPECT_FALSE(
+      Deadline::Earlier(Deadline::Infinite(), finite).IsInfinite());
+  EXPECT_TRUE(Deadline::Earlier(Deadline::Infinite(), Deadline::Infinite())
+                  .IsInfinite());
+}
+
+TEST(ExecContextTest, NoInstalledContextIsOk) {
+  EXPECT_TRUE(CheckExecContext().ok());
+  EXPECT_FALSE(ExecStopRequested());
+}
+
+TEST(ExecContextTest, ExpiredDeadlineTripsAndLatches) {
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  Status first = CheckExecContext();
+  EXPECT_EQ(first.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ctx.stopped());
+  // Latched: every later poll returns the same verdict without a fresh
+  // clock read.
+  EXPECT_EQ(CheckExecContext().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ExecStopRequested());
+}
+
+TEST(ExecContextTest, CancelTokenTripsAsCancelled) {
+  CancelToken token;
+  ExecContext ctx(Deadline::Infinite(), &token);
+  ScopedExecContext scoped(&ctx);
+  EXPECT_TRUE(CheckExecContext().ok());
+  token.Cancel();
+  EXPECT_EQ(CheckExecContext().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(ctx.stopped());
+}
+
+TEST(ExecContextTest, ScopeRestoresPreviousContext) {
+  ExecContext outer(Deadline::Infinite());
+  ScopedExecContext outer_scope(&outer);
+  EXPECT_EQ(ExecContext::Current(), &outer);
+  {
+    ExecContext inner(ExpiredDeadline());
+    ScopedExecContext inner_scope(&inner);
+    EXPECT_EQ(ExecContext::Current(), &inner);
+  }
+  EXPECT_EQ(ExecContext::Current(), &outer);
+  EXPECT_TRUE(CheckExecContext().ok());
+}
+
+TEST(ExecContextTest, TripBumpsExpiredCounterOnce) {
+  obs::CounterDelta delta;
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  (void)CheckExecContext();
+  (void)CheckExecContext();
+  EXPECT_EQ(delta.Delta("deadline.expired"), 1u);
+  EXPECT_EQ(delta.Delta("deadline.cancelled"), 0u);
+}
+
+TEST(ExecContextTest, ChildOfMirrorsDeadlineAndToken) {
+  CancelToken token;
+  ExecContext parent(ExpiredDeadline(), &token);
+  ExecContext child = ExecContext::ChildOf(&parent);
+  EXPECT_EQ(child.cancel_token(), &token);
+  EXPECT_TRUE(child.deadline().Expired());
+  ExecContext orphan = ExecContext::ChildOf(nullptr);
+  EXPECT_TRUE(orphan.deadline().IsInfinite());
+  EXPECT_EQ(orphan.cancel_token(), nullptr);
+}
+
+TEST(DeadlinePropagationTest, LanguageContainmentReturnsDeadlineStatus) {
+  Alphabet alphabet;
+  RegexPtr r1 = Parse("(a | b)* a", &alphabet);
+  RegexPtr r2 = Parse("(a | b)*", &alphabet);
+  Nfa a = r1->ToNfa(r1->MinNumSymbols());
+  Nfa b = r2->ToNfa(r2->MinNumSymbols());
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  EXPECT_EQ(CheckLanguageContainment(a, b).status.code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CheckLanguageContainmentAntichain(a, b).status.code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CheckLanguageContainmentExplicit(a, b).status.code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlinePropagationTest, TwoWayFoldPipelineReturnsDeadlineStatus) {
+  Alphabet alphabet;
+  RegexPtr q1 = Parse("p", &alphabet);
+  RegexPtr q2 = Parse("p p- p", &alphabet);
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  PathContainmentResult result =
+      CheckPathQueryContainment(*q1, *q2, alphabet);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlinePropagationTest, RqContainmentReturnsDeadlineError) {
+  auto q1 = ParseRq("q(x,y) := tc[x,y](a(x,y) & b(x,y))");
+  auto q2 = ParseRq("q(x,y) := tc[x,y](a(x,y))");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  auto result = CheckRqContainment(*q1, *q2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlinePropagationTest, DatalogEvalReturnsDeadlineError) {
+  auto program = ParseDatalog(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- tc(X, Y), edge(Y, Z).
+    ?- tc.
+  )");
+  ASSERT_TRUE(program.ok());
+  Database db;
+  Relation* e = db.GetOrCreate("edge", 2).value();
+  e->Insert({1, 2});
+  e->Insert({2, 3});
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  for (DatalogEvalMode mode :
+       {DatalogEvalMode::kNaive, DatalogEvalMode::kSemiNaive}) {
+    auto result = EvalDatalogGoal(*program, db, mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(DeadlinePropagationTest, Uc2RpqContainmentReturnsDeadlineError) {
+  Alphabet alphabet;
+  auto q1 = ParseUc2Rpq("q(x, y) :- (a*)(x, z), (a*)(z, y)", &alphabet);
+  auto q2 = ParseUc2Rpq("q(x, y) :- (a*)(x, z), (a*)(z, y)", &alphabet);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  auto result = CheckUc2RpqContainment(*q1, *q2, alphabet);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlinePropagationTest, RewritingReturnsDeadlineError) {
+  Alphabet alphabet;
+  RegexPtr query = Parse("(a b)*", &alphabet);
+  std::vector<View> views;
+  views.push_back({"v", Parse("a b", &alphabet)});
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  auto result = MaximalRewriting(*query, views, alphabet);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// Satellite regression: the UC2RPQ expansion budget used to be computed and
+// then discarded; the result must surface it.
+TEST(CrpqTruncationTest, LowExpansionBudgetSetsTruncatedFlag) {
+  Alphabet alphabet;
+  auto q1 = ParseUc2Rpq("q(x, y) :- (a*)(x, z), (a*)(z, y)", &alphabet);
+  ASSERT_TRUE(q1.ok());
+  CrpqContainmentOptions options;
+  options.max_expansions = 3;
+  auto result = CheckUc2RpqContainment(*q1, *q1, alphabet, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  EXPECT_EQ(result->certainty, Certainty::kUnknownUpToBound);
+  EXPECT_LE(result->expansions_checked, options.max_expansions);
+}
+
+TEST(CrpqTruncationTest, FiniteLanguageIsNotTruncated) {
+  Alphabet alphabet;
+  auto q1 = ParseUc2Rpq("q(x, y) :- (a)(x, z), (b)(z, y)", &alphabet);
+  ASSERT_TRUE(q1.ok());
+  auto result = CheckUc2RpqContainment(*q1, *q1, alphabet);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->truncated);
+  EXPECT_EQ(result->certainty, Certainty::kProved);
+}
+
+// Satellite: the subset construction's state budget fails cleanly with
+// kResourceExhausted instead of looping or aborting.
+TEST(RewritingBudgetTest, SubsetBudgetReturnsResourceExhausted) {
+  Alphabet alphabet;
+  RegexPtr query = Parse("(a b)* | a (b a)*", &alphabet);
+  std::vector<View> views;
+  views.push_back({"va", Parse("a", &alphabet)});
+  views.push_back({"vb", Parse("b", &alphabet)});
+  auto result = MaximalRewriting(*query, views, alphabet, /*max_states=*/1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BatchStatusTest, NullJobsGetPerJobInvalidArgument) {
+  Alphabet alphabet;
+  RegexPtr r = Parse("a", &alphabet);
+  Nfa a = r->ToNfa(r->MinNumSymbols());
+  std::vector<NfaContainmentJob> jobs;
+  jobs.push_back({&a, &a});      // contained
+  jobs.push_back({nullptr, &a}); // invalid
+  jobs.push_back({&a, nullptr}); // invalid
+  jobs.push_back({&a, &a});      // contained — must still run
+  ContainmentBatchOptions options;
+  options.jobs = 2;
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(jobs, options);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[0].contained);
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[2].status.code(), StatusCode::kInvalidArgument);
+  // Validation failures must not trip the first-error cancellation: the
+  // healthy jobs still complete.
+  EXPECT_TRUE(results[3].status.ok());
+  EXPECT_TRUE(results[3].contained);
+}
+
+TEST(BatchStatusTest, PathBatchNullJobsGetPerJobInvalidArgument) {
+  Alphabet alphabet;
+  RegexPtr q = Parse("a b", &alphabet);
+  std::vector<PathContainmentJob> jobs;
+  jobs.push_back({q.get(), q.get()});
+  jobs.push_back({nullptr, q.get()});
+  std::vector<PathContainmentResult> results =
+      CheckPathContainmentBatch(jobs, alphabet, {});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[0].contained);
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchStatusTest, ExpiredParentDeadlineFailsFirstJobAndCancelsRest) {
+  Alphabet alphabet;
+  RegexPtr r = Parse("(a | b)* a", &alphabet);
+  Nfa a = r->ToNfa(r->MinNumSymbols());
+  std::vector<NfaContainmentJob> jobs(4, {&a, &a});
+  ExecContext parent(ExpiredDeadline());
+  ScopedExecContext scoped(&parent);
+  ContainmentBatchOptions options;
+  options.jobs = 1;  // serial: deterministic first-error ordering
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(jobs, options);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kCancelled)
+        << "job " << i;
+  }
+}
+
+TEST(BatchStatusTest, CancelOnErrorFalseKeepsRemainingJobsRunning) {
+  Alphabet alphabet;
+  RegexPtr r = Parse("a", &alphabet);
+  Nfa a = r->ToNfa(r->MinNumSymbols());
+  std::vector<NfaContainmentJob> jobs(3, {&a, &a});
+  ExecContext parent(ExpiredDeadline());
+  ScopedExecContext scoped(&parent);
+  ContainmentBatchOptions options;
+  options.jobs = 1;
+  options.cancel_on_error = false;
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(jobs, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    // Every job runs (no first-error cancellation) and each one trips its
+    // own expired deadline.
+    EXPECT_EQ(results[i].status.code(), StatusCode::kDeadlineExceeded)
+        << "job " << i;
+  }
+}
+
+TEST(BatchStatusTest, ExternalTokenCancelsQueuedJobs) {
+  Alphabet alphabet;
+  RegexPtr r = Parse("a", &alphabet);
+  Nfa a = r->ToNfa(r->MinNumSymbols());
+  std::vector<NfaContainmentJob> jobs(3, {&a, &a});
+  CancelToken token;
+  token.Cancel();  // already fired: every job reports kCancelled
+  ContainmentBatchOptions options;
+  options.jobs = 2;
+  options.cancel = &token;
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(jobs, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kCancelled)
+        << "job " << i;
+  }
+}
+
+// Satellite regression for src/cache/lru.h: an entry larger than the whole
+// budget used to evict every resident entry and then itself — the cache
+// ended up empty. Oversized values now bypass insertion.
+TEST(LruOversizedTest, OversizedPutBypassesInsteadOfFlushingCache) {
+  obs::CounterDelta delta;
+  cache::LruByteCache<int> cache("ovsz_test", /*byte_budget=*/512);
+  auto small = cache.Put("small", 7, /*value_bytes=*/16);
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  auto big = cache.Put("big", 42, /*value_bytes=*/1 << 20);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(*big, 42);  // caller still gets the freshly built value
+  EXPECT_EQ(cache.Get("big"), nullptr);  // but it was never cached
+
+  // The resident entry survived.
+  EXPECT_EQ(cache.entries(), 1u);
+  auto hit = cache.Get("small");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7);
+
+  EXPECT_EQ(delta.Delta("cache.ovsz_test_oversized"), 1u);
+  EXPECT_EQ(delta.Delta("cache.ovsz_test_evictions"), 0u);
+}
+
+TEST(LruOversizedTest, BudgetSizedEntryStillInserts) {
+  cache::LruByteCache<int> cache("ovsz_fit_test", /*byte_budget=*/4096);
+  auto stored = cache.Put("k", 1, /*value_bytes=*/256);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_NE(cache.Get("k"), nullptr);
+}
+
+}  // namespace
+}  // namespace rq
