@@ -7,7 +7,9 @@ as produced by obs/prometheus.h (RenderPrometheusText).
 Checks, per file:
   * every non-comment line parses as `name value` or `name{labels} value`
     with a legal metric name and a finite non-negative number
-    (+Inf is legal only as a `le` label value);
+    (+Inf is legal only as a `le` label value); label values may carry
+    the format's escapes (\\\\, \\", \\n) — any other backslash escape is
+    a violation;
   * every sample's family has a preceding `# TYPE` line;
   * `rq_` namespacing: every family name starts with "rq_";
   * histogram families (TYPE histogram) are coherent: `_bucket` cumulative
@@ -25,12 +27,20 @@ import re
 import sys
 
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
-# `name{le="123"} 45` or `name 45`
+# Label values are quoted strings with \\, \", and \n escapes (exposition
+# format 0.0.4) — a value may contain commas, braces, and escaped quotes,
+# so the label block is matched as a sequence of key="..." pairs rather
+# than a naive [^}]* slice.
+LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+# `name{le="123"} 45`, `name{query="a\"b"} 1`, or `name 45`
 SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'(?:\{(?P<labels>(?:' + LABEL_PAIR + r')(?:,' + LABEL_PAIR + r')*)?\})?'
     r' (?P<value>\S+)$')
-LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"')
+# The only legal escapes in a label value.
+LABEL_ESCAPE_RE = re.compile(r'\\(?P<c>.)')
 
 
 def family_of(name):
@@ -86,13 +96,14 @@ def check_file(path):
 
         le = None
         if labels:
-            for pair in labels.split(","):
-                lm = LABEL_RE.match(pair)
-                if not lm:
-                    err(lineno, f"bad label pair {pair!r}")
-                    break
+            for lm in LABEL_RE.finditer(labels):
+                val = lm.group("val")
+                for em in LABEL_ESCAPE_RE.finditer(val):
+                    if em.group("c") not in ('\\', '"', 'n'):
+                        err(lineno, f"illegal escape \\{em.group('c')!s} "
+                                    f"in label value {val!r}")
                 if lm.group("key") == "le":
-                    le = lm.group("val")
+                    le = val
 
         try:
             value = float(raw_value)

@@ -31,6 +31,13 @@
 //                   DeadlineExceeded instead of hanging the harness. The
 //                   exit code stays 0 — pair with run_all.sh --timeout for
 //                   a hard process kill.
+//   --memory-budget-mb N
+//                   install a byte budget (common/mem.h) over the whole
+//                   run; library loops bail out with ResourceExhausted
+//                   through the same polling sites as --timeout-ms, and
+//                   mem.budget_exceeded lands in the obs snapshot. The
+//                   run always executes under a MemContext, so the mem.*
+//                   gauges in the report carry per-subsystem peaks.
 //   --prometheus <path>
 //                   write the end-of-run registry state (every counter,
 //                   gauge, and histogram) in Prometheus text exposition
@@ -48,6 +55,7 @@
 
 #include "cache/automata_cache.h"
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "common/parallel.h"
 #include "obs/chrome_trace.h"
 #include "obs/counters.h"
@@ -131,6 +139,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool cache = false;
   int64_t timeout_ms = 0;
+  int64_t memory_budget_mb = 0;
 
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -164,6 +173,11 @@ int main(int argc, char** argv) {
       timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
       timeout_ms = std::strtoll(argv[i] + 13, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0 &&
+               i + 1 < argc) {
+      memory_budget_mb = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--memory-budget-mb=", 19) == 0) {
+      memory_budget_mb = std::strtoll(argv[i] + 19, nullptr, 10);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -194,6 +208,13 @@ int main(int argc, char** argv) {
                             ? rq::Deadline::AfterMillis(timeout_ms)
                             : rq::Deadline::Infinite());
     rq::ScopedExecContext scoped(timeout_ms > 0 ? &ctx : nullptr);
+    // Always run under a MemContext so the report's mem.* gauges carry
+    // per-subsystem peaks for the whole run (budget 0 = unlimited).
+    rq::MemContext mem_ctx(
+        memory_budget_mb > 0
+            ? static_cast<uint64_t>(memory_budget_mb) * 1024 * 1024
+            : 0);
+    rq::ScopedMemContext scoped_mem(&mem_ctx);
     benchmark::RunSpecifiedBenchmarks(&reporter);
   }
   benchmark::Shutdown();

@@ -3,7 +3,9 @@
 # per-binary "rq-bench/1" reports into one BENCH_results.json
 # (schema "rq-bench-suite/2": adds run wall-clock start/finish and host
 # provenance — nproc, kernel, compiler — to the /1 layout; compare.py
-# accepts both).
+# accepts both). Each binary entry gains a "peak_bytes" summary
+# ({tracked, rss}: the memory accountant's high-water mark and the OS
+# ru_maxrss view — docs/OBSERVABILITY.md "Memory accounting").
 #
 # Usage: bench/run_all.sh [--smoke] [--trace] [--cache] [--jobs N]
 #                         [--timeout SECS] [--baseline FILE]
@@ -150,6 +152,18 @@ for path in sys.argv[4:]:
     with open(path) as f:
         report = json.load(f)
     assert report.get("schema") == "rq-bench/1", path
+    # Per-binary memory summary (docs/OBSERVABILITY.md "Memory
+    # accounting"): the accountant's high-water mark across the whole run
+    # plus the OS view sampled at export time, lifted out of the gauge
+    # array so results are greppable without walking the obs snapshot.
+    gauges = {g["name"]: g
+              for g in report.get("obs", {}).get("gauges", [])}
+    tracked = gauges.get("mem.tracked_bytes", {})
+    rss = gauges.get("mem.peak_rss_bytes", {})
+    report["peak_bytes"] = {
+        "tracked": tracked.get("peak", 0),
+        "rss": rss.get("value", 0),
+    }
     suite["binaries"].append(report)
 
 # Sanity: the suite must exercise the core subsystems' counters.

@@ -12,8 +12,12 @@ BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 CHECKER = os.path.join(BENCH_DIR, "check_prometheus.py")
 
 VALID = """\
+# HELP rq_flight_recorded_total total queries recorded
 # TYPE rq_flight_recorded_total counter
 rq_flight_recorded_total 3
+# HELP rq_query_info query label installed by the CLI
+# TYPE rq_query_info gauge
+rq_query_info{query="2rpq (a\\\\-)* <= b\\"quoted\\""} 1
 # TYPE rq_fold_states counter
 rq_fold_states 42
 # TYPE rq_fold_peak_states gauge
@@ -81,6 +85,31 @@ class CheckPrometheusTest(unittest.TestCase):
         proc = self.run_checker("")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("no counter samples", proc.stderr)
+
+    def test_escaped_label_values_pass(self):
+        # Backslashes and escaped quotes (regex query text) must parse;
+        # commas and braces inside a quoted value are legal too.
+        text = VALID + (
+            '# TYPE rq_info gauge\n'
+            'rq_info{query="a\\\\nb, {c}\\"d\\""} 1\n')
+        proc = self.run_checker(text)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_unescaped_quote_in_label_fails(self):
+        text = VALID + (
+            '# TYPE rq_info gauge\n'
+            'rq_info{query="raw"quote"} 1\n')
+        proc = self.run_checker(text)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unparseable", proc.stderr)
+
+    def test_illegal_escape_in_label_fails(self):
+        text = VALID + (
+            '# TYPE rq_info gauge\n'
+            'rq_info{query="bad\\q"} 1\n')
+        proc = self.run_checker(text)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("illegal escape", proc.stderr)
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@
 //   rqcheck [--trace] [--profile] [--profile-json <path>]
 //           [--stats-json <path>] [--chrome-trace <path>]
 //           [--flight-dump <path>] [--prometheus <path>]
-//           [--cache] [--jobs N] [--timeout-ms N] <class> <query1> <query2>
+//           [--cache] [--jobs N] [--timeout-ms N] [--memory-budget-mb N]
+//           <class> <query1> <query2>
 //     class  : rpq | 2rpq | cq | ucq | uc2rpq | rq | rq-equiv | datalog
 //     queryN : query text, or @path to read the text from a file
 //     --trace             print the span tree of the check (plus non-zero
@@ -36,6 +37,14 @@
 //                         fails with DeadlineExceeded (exit 3) instead of
 //                         hanging, and bumps the deadline.expired counter
 //                         (docs/ROBUSTNESS.md)
+//     --memory-budget-mb N byte budget for the whole check (common/mem.h):
+//                         crossing it fails with ResourceExhausted
+//                         (exit 4, not a crash) through the same polling
+//                         sites as --timeout-ms, and bumps the
+//                         mem.budget_exceeded counter. The check always
+//                         runs under a MemContext, so --profile reports a
+//                         per-subsystem peak-byte breakdown either way
+//                         (docs/OBSERVABILITY.md "Memory accounting")
 //
 // Examples:
 //   rqcheck 2rpq 'p' 'p p- p'
@@ -44,7 +53,7 @@
 //   rqcheck datalog @prog1.dl @prog2.dl
 //
 // Exit code: 0 = contained (proved), 1 = refuted, 2 = unknown-up-to-bound,
-// 3 = usage/parse error.
+// 3 = usage/parse error, 4 = memory budget exceeded.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -56,6 +65,7 @@
 
 #include "cache/automata_cache.h"
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "containment/batch.h"
 #include "containment/containment.h"
 #include "rq/equivalence.h"
@@ -223,6 +233,7 @@ int main(int argc, char** argv) {
   std::string flight_dump;
   std::string prometheus;
   int64_t timeout_ms = 0;
+  int64_t memory_budget_mb = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -254,6 +265,10 @@ int main(int argc, char** argv) {
       timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       timeout_ms = std::strtoll(arg.c_str() + 13, nullptr, 10);
+    } else if (arg == "--memory-budget-mb" && i + 1 < argc) {
+      memory_budget_mb = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+      memory_budget_mb = std::strtoll(arg.c_str() + 19, nullptr, 10);
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
@@ -271,7 +286,7 @@ int main(int argc, char** argv) {
         "usage: rqcheck [--trace] [--profile] [--profile-json <path>] "
         "[--stats-json <path>] [--chrome-trace <path>] "
         "[--flight-dump <path>] [--prometheus <path>] [--cache] [--jobs N] "
-        "[--timeout-ms N] "
+        "[--timeout-ms N] [--memory-budget-mb N] "
         "<rpq|2rpq|cq|ucq|uc2rpq|rq|rq-equiv|datalog> <q1> <q2>");
   }
   // Full tracing when any flag needs span data; counters always run.
@@ -289,6 +304,16 @@ int main(int argc, char** argv) {
   const bool profiling = profile_text || !profile_json.empty();
   if (profiling) profile.Begin("rqcheck", cls, q1 + "  <=  " + q2);
 
+  // The check always runs under a MemContext (budget 0 = unlimited), so
+  // the per-subsystem peak-byte breakdown lands in --profile output and
+  // the flight recorder's mem_peak field even without a budget. The
+  // context stays installed through profile.End(), which samples it.
+  MemContext mem_ctx(memory_budget_mb > 0
+                         ? static_cast<uint64_t>(memory_budget_mb) * 1024 *
+                               1024
+                         : 0);
+  ScopedMemContext scoped_mem(&mem_ctx);
+
   int code;
   {
     // Scope the deadline to the check itself so the stats/trace dumps
@@ -299,6 +324,11 @@ int main(int argc, char** argv) {
     if (timeout_ms > 0) scoped.emplace(&ctx);
     code = RunCheck(cls, q1, q2);
   }
+  // A check that failed because the byte budget latched gets the distinct
+  // resource-exhausted exit code; errors for other reasons keep 3.
+  // exceeded() reads the shared pot, so trips latched on batch-worker
+  // mirrors count too.
+  if (code == 3 && mem_ctx.exceeded()) code = 4;
 
   if (profiling) {
     profile.End();

@@ -3,7 +3,8 @@
 //   rqeval [--trace] [--profile] [--profile-json <path>]
 //          [--stats-json <path>] [--chrome-trace <path>]
 //          [--flight-dump <path>] [--prometheus <path>]
-//          [--cache] [--jobs N] [--timeout-ms N] <graph-file> <class> <query>
+//          [--cache] [--jobs N] [--timeout-ms N] [--memory-budget-mb N]
+//          <graph-file> <class> <query>
 //     graph-file : edge list, one "src label dst" per line ('#' comments)
 //     class      : path | crpq | rq | datalog
 //     query      : query text, or @path to read from a file
@@ -34,6 +35,14 @@
 //     --timeout-ms N      wall-clock budget for the evaluation; expiry
 //                         fails with DeadlineExceeded (exit 2) instead of
 //                         hanging (docs/ROBUSTNESS.md)
+//     --memory-budget-mb N byte budget for the evaluation (common/mem.h):
+//                         crossing it fails with ResourceExhausted
+//                         (exit 4, not a crash) through the same polling
+//                         sites as --timeout-ms, and bumps the
+//                         mem.budget_exceeded counter. The evaluation
+//                         always runs under a MemContext, so --profile
+//                         reports a per-subsystem peak-byte breakdown
+//                         either way
 //
 // Examples:
 //   rqeval net.graph path 'knows+'
@@ -51,6 +60,7 @@
 
 #include "cache/automata_cache.h"
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "common/parallel.h"
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
@@ -154,6 +164,7 @@ int main(int argc, char** argv) {
   std::string flight_dump;
   std::string prometheus;
   int64_t timeout_ms = 0;
+  int64_t memory_budget_mb = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -185,6 +196,10 @@ int main(int argc, char** argv) {
       timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       timeout_ms = std::strtoll(arg.c_str() + 13, nullptr, 10);
+    } else if (arg == "--memory-budget-mb" && i + 1 < argc) {
+      memory_budget_mb = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+      memory_budget_mb = std::strtoll(arg.c_str() + 19, nullptr, 10);
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
@@ -202,7 +217,8 @@ int main(int argc, char** argv) {
         "usage: rqeval [--trace] [--profile] [--profile-json <path>] "
         "[--stats-json <path>] [--chrome-trace <path>] "
         "[--flight-dump <path>] [--prometheus <path>] [--cache] [--jobs N] "
-        "[--timeout-ms N] <graph-file> <path|crpq|rq|datalog> <query>");
+        "[--timeout-ms N] [--memory-budget-mb N] "
+        "<graph-file> <path|crpq|rq|datalog> <query>");
   }
   // Full tracing when any flag needs span data; counters always run.
   if (trace || !stats_json.empty() || !chrome_trace.empty()) {
@@ -217,6 +233,15 @@ int main(int argc, char** argv) {
   const bool profiling = profile_text || !profile_json.empty();
   if (profiling) profile.Begin("rqeval", positional[1], query);
 
+  // The evaluation always runs under a MemContext (budget 0 = unlimited)
+  // so --profile reports the per-subsystem peak-byte breakdown; the
+  // context stays installed through profile.End(), which samples it.
+  MemContext mem_ctx(memory_budget_mb > 0
+                         ? static_cast<uint64_t>(memory_budget_mb) * 1024 *
+                               1024
+                         : 0);
+  ScopedMemContext scoped_mem(&mem_ctx);
+
   int code;
   {
     // Scope the deadline to the evaluation so the stats/trace dumps below
@@ -227,6 +252,9 @@ int main(int argc, char** argv) {
     if (timeout_ms > 0) scoped.emplace(&ctx);
     code = RunEval(positional[0], positional[1], query);
   }
+  // Distinct exit code for a memory-budget failure (exceeded() reads the
+  // shared pot, so trips latched on worker mirrors count too).
+  if (code == 2 && mem_ctx.exceeded()) code = 4;
 
   if (profiling) {
     profile.End();

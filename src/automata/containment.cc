@@ -11,6 +11,7 @@
 #include "automata/ops.h"
 #include "cache/automata_cache.h"
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -74,6 +75,11 @@ LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
 
   LanguageContainmentResult result;
 
+  // The subset table and search frontier are the blowup of this procedure:
+  // worst case 2^|b| interned subsets. The CheckExecContext poll in the
+  // search loop enforces any installed memory budget.
+  MemScope mem_scope(MemSubsystem::kAutomata);
+
   // Intern b-subsets so search nodes are small.
   std::unordered_map<std::vector<uint32_t>, uint32_t, SubsetHash> subset_ids;
   std::vector<std::vector<uint32_t>> subsets;
@@ -84,6 +90,9 @@ LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
     uint32_t id = static_cast<uint32_t>(subsets.size());
     bool accepting = false;
     for (uint32_t s : subset) accepting = accepting || b.IsAccepting(s);
+    // Interned twice (map key + table row) plus the id/flag bookkeeping.
+    MemCharge(static_cast<int64_t>(
+        2 * subset.size() * sizeof(uint32_t) + 2 * sizeof(uint32_t)));
     subset_ids.emplace(subset, id);
     subsets.push_back(std::move(subset));
     subset_accepting.push_back(accepting);
@@ -145,6 +154,8 @@ LanguageContainmentResult CheckLanguageContainmentImpl(const Nfa& a_in,
         seen.emplace(next, static_cast<uint32_t>(nodes.size()));
         nodes.push_back({next, idx, symbol});
         work.push_back(static_cast<uint32_t>(nodes.size() - 1));
+        MemCharge(static_cast<int64_t>(sizeof(Node) + sizeof(PairKey) +
+                                       2 * sizeof(uint32_t)));
       }
     }
   }
@@ -161,6 +172,10 @@ LanguageContainmentResult CheckLanguageContainmentAntichainImpl(
   const Nfa& b = *b_ptr;
 
   LanguageContainmentResult result;
+
+  // Same blowup surface as the OTF checker, pruned by ⊆-subsumption; the
+  // antichains and queued nodes carry uninterned subset copies.
+  MemScope mem_scope(MemSubsystem::kAutomata);
 
   struct Node {
     uint32_t a_state;
@@ -189,6 +204,10 @@ LanguageContainmentResult CheckLanguageContainmentAntichainImpl(
                                  return subset_of(subset, existing);
                                }),
                 chain.end());
+    // Antichain copy + node copy (the pruned supersets above are not
+    // released individually; the function-level scope squares the books).
+    MemCharge(static_cast<int64_t>(2 * subset.size() * sizeof(uint32_t) +
+                                   sizeof(Node) + sizeof(uint32_t)));
     chain.push_back(subset);
     nodes.push_back({a_state, std::move(subset), parent, via});
     work.push_back(static_cast<uint32_t>(nodes.size() - 1));

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/deadline.h"
+#include "common/mem.h"
 
 namespace rq {
 
@@ -28,6 +29,10 @@ Dfa Determinize(const Nfa& input) {
   const Nfa nfa = input.HasEpsilons() ? input.WithoutEpsilons() : input;
   const uint32_t k = nfa.num_symbols();
 
+  // The subset construction is the exponential step: charge each interned
+  // subset (kept twice: hash key + subsets row) and each transition row.
+  MemScope mem_scope(MemSubsystem::kAutomata);
+
   std::unordered_map<std::vector<uint32_t>, uint32_t, VectorHash> ids;
   std::vector<std::vector<uint32_t>> subsets;
   std::deque<uint32_t> work;
@@ -36,6 +41,8 @@ Dfa Determinize(const Nfa& input) {
     auto it = ids.find(subset);
     if (it != ids.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(subsets.size());
+    MemCharge(static_cast<int64_t>(
+        2 * (subset.size() * sizeof(uint32_t) + sizeof(subset))));
     ids.emplace(subset, id);
     subsets.push_back(std::move(subset));
     work.push_back(id);
@@ -56,6 +63,7 @@ Dfa Determinize(const Nfa& input) {
     work.pop_front();
     if (rows.size() <= id) rows.resize(id + 1);
     rows[id].resize(k);
+    MemCharge(static_cast<int64_t>(k * sizeof(uint32_t)));
     // Copy: `subsets` may reallocate while interning successors.
     std::vector<uint32_t> subset = subsets[id];
     for (Symbol s = 0; s < k; ++s) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/mem.h"
 #include "obs/subsystems.h"
 
 namespace rq {
@@ -81,6 +82,11 @@ class LruByteCache {
     obs::CacheCounters::Get().inserts.Increment();
     obs::CacheCounters::Get().bytes_in_use.Add(
         static_cast<int64_t>(entry_bytes));
+    // Entries outlive queries: a durable mem.cache_bytes charge (the same
+    // canonical-encoding size estimate the budget uses), released on
+    // eviction/Clear. Never counts against the inserting query's budget.
+    MemChargeDurable(MemSubsystem::kCache,
+                     static_cast<int64_t>(entry_bytes));
     while (bytes_ > byte_budget_ && !lru_.empty()) {
       EvictBackLocked();
     }
@@ -92,6 +98,7 @@ class LruByteCache {
     index_.clear();
     lru_.clear();
     obs::CacheCounters::Get().bytes_in_use.Sub(static_cast<int64_t>(bytes_));
+    MemReleaseDurable(MemSubsystem::kCache, static_cast<int64_t>(bytes_));
     bytes_ = 0;
   }
 
@@ -128,6 +135,8 @@ class LruByteCache {
     bytes_ -= victim.bytes;
     obs::CacheCounters::Get().bytes_in_use.Sub(
         static_cast<int64_t>(victim.bytes));
+    MemReleaseDurable(MemSubsystem::kCache,
+                      static_cast<int64_t>(victim.bytes));
     index_.erase(std::string_view(victim.key));
     lru_.pop_back();
     evictions_.Increment();

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/mem.h"
 #include "obs/subsystems.h"
 
 namespace rq {
@@ -80,6 +81,10 @@ ScopedExecContext::~ScopedExecContext() {
 }
 
 Status CheckExecContext() {
+  // Memory budgets (common/mem.h) piggyback on the deadline polling sites:
+  // one extra thread-local load when no MemContext is installed.
+  Status mem = CheckMemBudget();
+  if (!mem.ok()) return mem;
   ExecContext* ctx = g_current_exec_context;
   if (ctx == nullptr) return Status::Ok();
   return ctx->Check();

@@ -145,6 +145,8 @@ class ScopedExecContext {
 };
 
 // Polls the calling thread's installed context; Ok when none is installed.
+// Also polls the thread's MemContext (common/mem.h), so every deadline
+// polling site enforces memory budgets with no further changes.
 Status CheckExecContext();
 
 // Convenience for kernels without a Status channel: true once the current

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "obs/profile.h"
@@ -87,13 +88,21 @@ unsigned EffectiveJobs(const ContainmentBatchOptions& options) {
 // Jobs not yet started when any of those sources fires report kCancelled
 // without running; jobs already running unwind at their next poll only if
 // their own context watches the fired token.
+// Memory budgets follow the same shape: the caller's installed MemContext
+// is captured here, and each job runs under a fresh per-job context
+// (options.memory_budget_bytes, 0 = unlimited) chained to it — job bytes
+// roll up into the caller's accounting, and a trip of either budget fails
+// the job with kResourceExhausted at its next poll.
 struct BatchExecGuard {
   const ContainmentBatchOptions& options;
   ExecContext* parent;
+  MemContext* mem_parent;
   CancelToken first_error;
 
   explicit BatchExecGuard(const ContainmentBatchOptions& opts)
-      : options(opts), parent(ExecContext::Current()) {}
+      : options(opts),
+        parent(ExecContext::Current()),
+        mem_parent(MemContext::Current()) {}
 
   CancelToken* JobCancelToken() {
     if (options.cancel != nullptr) return options.cancel;
@@ -108,6 +117,17 @@ struct BatchExecGuard {
            (options.cancel != nullptr && options.cancel->Cancelled()) ||
            (parent != nullptr && parent->cancel_token() != nullptr &&
             parent->cancel_token()->Cancelled());
+  }
+
+  // Fresh per-job memory context: carries the per-job budget and chains to
+  // the caller's context (if any). Returns a budget-free root when neither
+  // exists — NeedsMemContext() gates installing it at all.
+  bool NeedsMemContext() const {
+    return options.memory_budget_bytes != 0 || mem_parent != nullptr;
+  }
+
+  MemContext JobMemContext() const {
+    return MemContext(options.memory_budget_bytes, mem_parent);
   }
 
   Deadline JobDeadline() const {
@@ -159,8 +179,11 @@ std::vector<LanguageContainmentResult> CheckContainmentBatch(
       return;
     }
     ExecContext ctx(guard.JobDeadline(), guard.JobCancelToken());
+    MemContext mem_ctx = guard.JobMemContext();
     {
       ScopedExecContext scoped(&ctx);
+      ScopedMemContext scoped_mem(guard.NeedsMemContext() ? &mem_ctx
+                                                          : nullptr);
       switch (options.algo) {
         case ContainmentAlgo::kOnTheFly:
           results[i] = CheckLanguageContainment(*jobs[i].a, *jobs[i].b);
@@ -205,8 +228,11 @@ std::vector<PathContainmentResult> CheckPathContainmentBatch(
       return;
     }
     ExecContext ctx(guard.JobDeadline(), guard.JobCancelToken());
+    MemContext mem_ctx = guard.JobMemContext();
     {
       ScopedExecContext scoped(&ctx);
+      ScopedMemContext scoped_mem(guard.NeedsMemContext() ? &mem_ctx
+                                                          : nullptr);
       results[i] =
           CheckPathQueryContainment(*jobs[i].q1, *jobs[i].q2, alphabet);
     }

@@ -45,6 +45,12 @@ struct ContainmentBatchOptions {
   // Up-front validation failures (null pointers) never trigger this; the
   // rest of the batch still runs.
   bool cancel_on_error = true;
+  // Per-job memory budget in bytes (0 = none). Each job runs under a fresh
+  // MemContext (common/mem.h) chained to the caller's installed context, so
+  // job bytes also count against any caller-wide budget. A job crossing
+  // either budget fails with kResourceExhausted in its result Status at its
+  // next poll, through the same sites that enforce job_timeout_ms.
+  uint64_t memory_budget_bytes = 0;
 };
 
 // Process-wide default worker count used when options.jobs == 0. Starts at

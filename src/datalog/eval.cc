@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
@@ -10,6 +11,13 @@
 namespace rq {
 
 namespace {
+
+// A stored tuple lives twice (insertion-order vector + membership set);
+// the set node costs roughly two pointers plus the hash.
+int64_t TupleBytes(size_t arity) {
+  return static_cast<int64_t>(
+      2 * (sizeof(Tuple) + arity * sizeof(Value)) + 32);
+}
 
 // Applies one rule, reading body atom i from `sources[i]` and inserting new
 // head tuples into `out` (only tuples absent from `existing`). Returns the
@@ -36,7 +44,10 @@ size_t ApplyRule(const DatalogRule& rule,
                      Tuple t;
                      t.reserve(rule.head.vars.size());
                      for (VarId v : rule.head.vars) t.push_back(binding[v]);
-                     if (!existing.Contains(t) && out->Insert(t)) ++added;
+                     if (!existing.Contains(t) && out->Insert(t)) {
+                       ++added;
+                       MemCharge(TupleBytes(t.size()));
+                     }
                      return true;
                    });
   if (stats != nullptr) ++stats->rule_applications;
@@ -50,6 +61,10 @@ Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
                                         DatalogEvalMode mode,
                                         DatalogEvalStats* stats) {
   RQ_TRACE_SPAN_VAR(span, "datalog.eval");
+  // Fact stores and per-round delta relations are the fixpoint's memory;
+  // ApplyRule charges every derived tuple and the InsertAll flushes below
+  // charge the copies kept in the head relations.
+  MemScope mem_scope(MemSubsystem::kDatalog);
   RQ_RETURN_IF_ERROR(program.Validate());
   DatalogEvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -61,6 +76,8 @@ Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
     const Relation* rel = edb.Find(name);
     RQ_ASSIGN_OR_RETURN(Relation * copy, db.GetOrCreate(name, rel->arity()));
     copy->InsertAll(*rel);
+    MemCharge(TupleBytes(rel->arity()) *
+              static_cast<int64_t>(rel->size()));
   }
   for (PredId p : program.IdbPredicates()) {
     if (edb.Find(program.PredicateName(p)) != nullptr) {
@@ -123,7 +140,8 @@ Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
         stats->tuples_derived +=
             ApplyRule(*rule, sources, *head_rel, &fresh, stats, &stop);
         RQ_RETURN_IF_ERROR(stop);
-        head_rel->InsertAll(fresh);
+        MemCharge(TupleBytes(head_rel->arity()) *
+                  static_cast<int64_t>(head_rel->InsertAll(fresh)));
       }
       ++stats->rounds;
       continue;
@@ -155,7 +173,9 @@ Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
         stats->tuples_derived += added;
         if (added == 0) break;
         for (size_t i = 0; i < scc_preds.size(); ++i) {
-          rel_of(scc_preds[i])->InsertAll(fresh[i]);
+          Relation* rel = rel_of(scc_preds[i]);
+          MemCharge(TupleBytes(rel->arity()) *
+                    static_cast<int64_t>(rel->InsertAll(fresh[i])));
         }
       }
       continue;
@@ -182,7 +202,9 @@ Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
     }
     stats->tuples_derived += seed_added;
     for (size_t i = 0; i < scc_preds.size(); ++i) {
-      rel_of(scc_preds[i])->InsertAll(delta[i]);
+      Relation* rel = rel_of(scc_preds[i]);
+      MemCharge(TupleBytes(rel->arity()) *
+                static_cast<int64_t>(rel->InsertAll(delta[i])));
     }
     // An empty seed delta already confirms the fixpoint: every delta-bound
     // rule application below would join against an empty relation. Skipping
@@ -221,7 +243,9 @@ Result<Database> EvalDatalogProgramImpl(const DatalogProgram& program,
       stats->tuples_derived += added;
       if (added == 0) break;
       for (size_t i = 0; i < scc_preds.size(); ++i) {
-        rel_of(scc_preds[i])->InsertAll(next_delta[i]);
+        Relation* rel = rel_of(scc_preds[i]);
+        MemCharge(TupleBytes(rel->arity()) *
+                  static_cast<int64_t>(rel->InsertAll(next_delta[i])));
       }
       delta = std::move(next_delta);
     }

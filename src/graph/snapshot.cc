@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/mem.h"
 #include "obs/subsystems.h"
 
 namespace rq {
@@ -52,7 +53,17 @@ GraphSnapshot::GraphSnapshot(const GraphDb& db)
   targets_.resize(write);
   targets_.shrink_to_fit();
 
+  // Snapshots outlive any single query (shared handles), so their CSR
+  // arrays are a durable mem.graph_bytes charge, released on destruction.
+  mem_bytes_ = offsets_.capacity() * sizeof(uint32_t) +
+               targets_.capacity() * sizeof(NodeId) + sizeof(*this);
+  MemChargeDurable(MemSubsystem::kGraph, static_cast<int64_t>(mem_bytes_));
+
   obs::GraphEvalCounters::Get().snapshots.Increment();
+}
+
+GraphSnapshot::~GraphSnapshot() {
+  MemReleaseDurable(MemSubsystem::kGraph, static_cast<int64_t>(mem_bytes_));
 }
 
 std::vector<std::pair<NodeId, NodeId>> GraphSnapshot::SymbolPairs(

@@ -39,6 +39,15 @@ class GraphSnapshot {
   // Must not run concurrently with mutation of `db` (GraphDb writes are
   // externally synchronized); may run concurrently with other readers.
   explicit GraphSnapshot(const GraphDb& db);
+  ~GraphSnapshot();
+
+  // The CSR arrays carry a durable mem.graph_bytes charge for the
+  // snapshot's lifetime (common/mem.h); copying would double-release it.
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+  // Bytes held by the CSR arrays (the durable charge above).
+  size_t ApproxBytes() const { return mem_bytes_; }
 
   size_t num_nodes() const { return num_nodes_; }
   // Symbols indexed at snapshot time (2 * labels interned back then).
@@ -75,6 +84,7 @@ class GraphSnapshot {
   // node] .. offsets_[symbol * num_nodes + node + 1]).
   std::vector<uint32_t> offsets_;
   std::vector<NodeId> targets_;
+  size_t mem_bytes_ = 0;
 };
 
 // The shared handle GraphDb::Snapshot() returns: copy it freely across

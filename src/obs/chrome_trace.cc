@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <set>
+#include <string>
 #include <string_view>
 
+#include "obs/mem_stats.h"
 #include "obs/trace.h"
 
 namespace rq {
@@ -60,6 +62,31 @@ JsonValue ChromeTraceJson() {
       }
       event.Set("args", std::move(args));
     }
+    events.Append(std::move(event));
+  }
+
+  // Memory counter ("C") events: one stacked-area lane of live bytes per
+  // subsystem, sampled by the charging hook (obs/mem_stats.h). Timeline
+  // timestamps are absolute; span timestamps are session-relative, so
+  // rebase on the session start and drop pre-session samples.
+  uint64_t session_start = TraceSessionStartNs();
+  for (const MemTimelineSample& sample : CollectMemTimeline()) {
+    if (sample.ts_ns < session_start) continue;
+    JsonValue event = JsonValue::Object();
+    event.Set("name", JsonValue::String("mem.tracked_bytes"));
+    event.Set("cat", JsonValue::String("mem"));
+    event.Set("ph", JsonValue::String("C"));
+    event.Set("ts", JsonValue::Number(
+                        static_cast<double>(sample.ts_ns - session_start) /
+                        1e3));
+    event.Set("pid", JsonValue::Number(uint64_t{1}));
+    JsonValue args = JsonValue::Object();
+    for (int i = 0; i < kMemSubsystemCount; ++i) {
+      args.Set(MemSubsystemName(static_cast<MemSubsystem>(i)),
+               JsonValue::Number(static_cast<double>(
+                   sample.bytes[static_cast<size_t>(i)])));
+    }
+    event.Set("args", std::move(args));
     events.Append(std::move(event));
   }
 

@@ -5,12 +5,16 @@
 #include "obs/counters.h"
 #include "obs/gauge.h"
 #include "obs/histogram.h"
+#include "obs/mem_stats.h"
 #include "obs/trace.h"
 
 namespace rq {
 namespace obs {
 
 JsonValue SnapshotJson() {
+  // Refresh the OS view (mem.peak_rss_bytes) so every snapshot carries a
+  // current RSS sample next to the self-reported mem.* accounting.
+  SampleRssGauge();
   JsonValue root = JsonValue::Object();
   root.Set("schema", JsonValue::String("rq-obs/2"));
 

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/mem.h"
 #include "obs/counters.h"
 
 #if !defined(_WIN32)
@@ -154,7 +155,8 @@ FlightRecorder& FlightRecorder::Global() {
 }
 
 void FlightRecorder::Record(QueryKind kind, int32_t verdict,
-                            uint64_t duration_ns, uint64_t work) {
+                            uint64_t duration_ns, uint64_t work,
+                            uint64_t mem_peak) {
   uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[seq & (kCapacity - 1)];
   uint64_t now = SteadyNowNs();
@@ -181,6 +183,7 @@ void FlightRecorder::Record(QueryKind kind, int32_t verdict,
     slot.start_ns.store(start_ns, std::memory_order_relaxed);
     slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
     slot.work.store(work, std::memory_order_relaxed);
+    slot.mem_peak.store(mem_peak, std::memory_order_relaxed);
     slot.tag.store((seq + 1) * 2, std::memory_order_release);
   }
 
@@ -193,6 +196,7 @@ void FlightRecorder::Record(QueryKind kind, int32_t verdict,
     entry.verdict = verdict;
     entry.duration_ns = duration_ns;
     entry.work = work;
+    entry.mem_peak = mem_peak;
     entry.label = label_;
     slow_.push_back(std::move(entry));
     while (slow_.size() > kMaxSlowQueries) slow_.pop_front();
@@ -212,6 +216,7 @@ std::vector<FlightEntry> FlightRecorder::Snapshot() const {
     entry.start_ns = slot.start_ns.load(std::memory_order_relaxed);
     entry.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
     entry.work = slot.work.load(std::memory_order_relaxed);
+    entry.mem_peak = slot.mem_peak.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     uint64_t t2 = slot.tag.load(std::memory_order_relaxed);
     if (t1 != t2) continue;  // overwritten mid-copy: skip, never tear
@@ -264,6 +269,7 @@ void FlightRecorder::DumpToFd(int fd) const {
     uint64_t start_ns = slot.start_ns.load(std::memory_order_relaxed);
     uint64_t duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
     uint64_t work = slot.work.load(std::memory_order_relaxed);
+    uint64_t mem_peak = slot.mem_peak.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.tag.load(std::memory_order_relaxed) != t1) continue;
     LineBuf buf(line, sizeof(line));
@@ -279,6 +285,8 @@ void FlightRecorder::DumpToFd(int fd) const {
     buf.AppendU64(duration_ns / 1000);
     buf.Append(" work=");
     buf.AppendU64(work);
+    buf.Append(" mem_peak=");
+    buf.AppendU64(mem_peak);
     buf.Append("\n");
     WriteAll(fd, line, buf.len());
   }
@@ -292,6 +300,7 @@ void FlightRecorder::Reset() {
     slot.start_ns.store(0, std::memory_order_relaxed);
     slot.duration_ns.store(0, std::memory_order_relaxed);
     slot.work.store(0, std::memory_order_relaxed);
+    slot.mem_peak.store(0, std::memory_order_relaxed);
   }
   epoch_ns_ = SteadyNowNs();
   std::lock_guard<std::mutex> lock(slow_mu_);
@@ -318,13 +327,23 @@ void FlightTimer::Finish(int32_t verdict, uint64_t work) {
   if (finished_) return;
   finished_ = true;
   if (!outermost_) return;
+  // The memory high-water mark of the query this timer wraps, when the
+  // entry point runs under a MemContext (CLI / batch engine installs one).
+  const MemContext* mem = MemContext::Current();
   FlightRecorder::Global().Record(kind_, verdict, SteadyNowNs() - start_ns_,
-                                  work);
+                                  work,
+                                  mem != nullptr ? mem->peak_total_bytes()
+                                                 : 0);
 }
 
 void FlightRecorder::SetQueryLabel(std::string label) {
   std::lock_guard<std::mutex> lock(slow_mu_);
   label_ = std::move(label);
+}
+
+std::string FlightRecorder::QueryLabel() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return label_;
 }
 
 void SetFlightQueryLabel(std::string label) {
@@ -347,10 +366,11 @@ Status WriteFlightDump(const std::string& path) {
     std::fprintf(f,
                  "seq=%" PRIu64
                  " kind=%s verdict=%s start_us=%" PRIu64
-                 " duration_us=%" PRIu64 " work=%" PRIu64 "\n",
+                 " duration_us=%" PRIu64 " work=%" PRIu64
+                 " mem_peak=%" PRIu64 "\n",
                  entry.seq, QueryKindName(entry.kind),
                  FlightVerdictName(entry.verdict), entry.start_ns / 1000,
-                 entry.duration_ns / 1000, entry.work);
+                 entry.duration_ns / 1000, entry.work, entry.mem_peak);
   }
   std::vector<SlowQueryEntry> slow = recorder.SlowQueries();
   std::fprintf(f, "== slow queries (threshold %" PRIu64 " ms): %zu\n",
@@ -358,10 +378,11 @@ Status WriteFlightDump(const std::string& path) {
   for (const SlowQueryEntry& entry : slow) {
     std::fprintf(f,
                  "seq=%" PRIu64 " kind=%s verdict=%s duration_us=%" PRIu64
-                 " work=%" PRIu64 "%s%s\n",
+                 " work=%" PRIu64 " mem_peak=%" PRIu64 "%s%s\n",
                  entry.seq, QueryKindName(entry.kind),
                  FlightVerdictName(entry.verdict), entry.duration_ns / 1000,
-                 entry.work, entry.label.empty() ? "" : " label=",
+                 entry.work, entry.mem_peak,
+                 entry.label.empty() ? "" : " label=",
                  entry.label.c_str());
   }
   if (f != stderr) std::fclose(f);

@@ -95,6 +95,8 @@ struct FlightEntry {
   uint64_t start_ns = 0;     // steady-clock, relative to recorder creation
   uint64_t duration_ns = 0;
   uint64_t work = 0;         // per-kind primary work metric (see above)
+  uint64_t mem_peak = 0;     // peak tracked bytes (MemContext high-water;
+                             // 0 when no context was installed)
 };
 
 // One slow-query log row (richer than a ring slot: carries the label the
@@ -105,6 +107,7 @@ struct SlowQueryEntry {
   int32_t verdict = kFlightVerdictOk;
   uint64_t duration_ns = 0;
   uint64_t work = 0;
+  uint64_t mem_peak = 0;
   std::string label;
 };
 
@@ -116,8 +119,10 @@ class FlightRecorder {
   static FlightRecorder& Global();
 
   // Records one completed query. Lock-free; callable from any thread.
+  // `mem_peak` is the query's MemContext high-water mark in bytes (0 when
+  // none was installed around the operation).
   void Record(QueryKind kind, int32_t verdict, uint64_t duration_ns,
-              uint64_t work);
+              uint64_t work, uint64_t mem_peak = 0);
 
   // Consistent copies of the ring (oldest-first, torn slots skipped) and
   // the slow-query log (oldest-first).
@@ -135,6 +140,9 @@ class FlightRecorder {
   // Context label copied into subsequent slow-query entries (the CLI's
   // query text); empty clears it. See SetFlightQueryLabel.
   void SetQueryLabel(std::string label);
+  // The currently installed label ("" when none). The Prometheus exporter
+  // surfaces it as rq_query_info{query="..."}.
+  std::string QueryLabel() const;
 
   // Async-signal-safe text dump of the ring to a file descriptor: no
   // locks, no allocation, integer formatting into a stack buffer. The
@@ -157,6 +165,7 @@ class FlightRecorder {
     std::atomic<uint64_t> start_ns{0};
     std::atomic<uint64_t> duration_ns{0};
     std::atomic<uint64_t> work{0};
+    std::atomic<uint64_t> mem_peak{0};
   };
 
   std::atomic<uint64_t> next_seq_{0};
@@ -170,9 +179,10 @@ class FlightRecorder {
 };
 
 // RAII timing helper for the top-level entry points: starts the clock at
-// construction; Finish(verdict, work) records the summary. A timer
-// destroyed without Finish records kFlightVerdictAbandoned (an error path
-// unwound through the entry point).
+// construction; Finish(verdict, work) records the summary, sampling the
+// calling thread's installed MemContext (if any) for the entry's mem_peak
+// field. A timer destroyed without Finish records kFlightVerdictAbandoned
+// (an error path unwound through the entry point).
 //
 // Nested timers on the SAME thread are suppressed: only the outermost
 // records, so a CheckRqContainment that dispatches to the 2RPQ fold or

@@ -7,6 +7,7 @@
 
 #include "obs/counters.h"
 #include "obs/gauge.h"
+#include "obs/mem_stats.h"
 #include "obs/trace.h"
 
 namespace rq {
@@ -73,6 +74,22 @@ void QueryProfile::Begin(std::string tool, std::string query_class,
 void QueryProfile::End() {
   if (!active_) return;
   wall_ns_ = SteadyNowNs() - begin_ns_;
+
+  // Per-query memory attribution from the installed context (peaks, not
+  // live levels: transient scopes have already released by now). Sampled
+  // before the gauge snapshot below so mem.peak_rss_bytes is fresh in the
+  // window.
+  if (const MemContext* mem = MemContext::Current(); mem != nullptr) {
+    memory_.present = true;
+    memory_.peak_total_bytes = mem->peak_total_bytes();
+    memory_.budget_bytes = mem->budget_bytes();
+    memory_.exceeded = mem->exceeded();
+    for (int i = 0; i < kMemSubsystemCount; ++i) {
+      memory_.peak_subsystem_bytes[i] =
+          mem->peak_subsystem_bytes(static_cast<MemSubsystem>(i));
+    }
+  }
+  SampleRssGauge();
 
   for (const CounterSample& sample : Registry::Global().Snapshot()) {
     auto it = counter_baseline_.find(sample.name);
@@ -214,6 +231,21 @@ JsonValue QueryProfile::ToJson() const {
   }
   root.Set("workers", std::move(workers));
 
+  if (memory_.present) {
+    JsonValue memory = JsonValue::Object();
+    memory.Set("peak_total_bytes", JsonValue::Number(memory_.peak_total_bytes));
+    memory.Set("budget_bytes", JsonValue::Number(memory_.budget_bytes));
+    memory.Set("exceeded", JsonValue::Bool(memory_.exceeded));
+    JsonValue per_subsystem = JsonValue::Object();
+    for (int i = 0; i < kMemSubsystemCount; ++i) {
+      if (memory_.peak_subsystem_bytes[i] == 0) continue;
+      per_subsystem.Set(MemSubsystemName(static_cast<MemSubsystem>(i)),
+                        JsonValue::Number(memory_.peak_subsystem_bytes[i]));
+    }
+    memory.Set("peak_subsystem_bytes", std::move(per_subsystem));
+    root.Set("memory", std::move(memory));
+  }
+
   JsonValue stats = JsonValue::Object();
   for (const auto& [key, value] : stats_) {
     stats.Set(key, JsonValue::Number(value));
@@ -284,6 +316,21 @@ std::string QueryProfile::ToText() const {
         out += "  (new peak " + std::to_string(delta.end_peak) + ")";
       }
       out += "\n";
+    }
+  }
+  if (memory_.present) {
+    out += "memory (peak bytes, this query):\n";
+    out += "  total  " + std::to_string(memory_.peak_total_bytes);
+    if (memory_.budget_bytes != 0) {
+      out += "  (budget " + std::to_string(memory_.budget_bytes) +
+             (memory_.exceeded ? ", EXCEEDED)" : ")");
+    }
+    out += "\n";
+    for (int i = 0; i < kMemSubsystemCount; ++i) {
+      if (memory_.peak_subsystem_bytes[i] == 0) continue;
+      out += std::string("  ") +
+             MemSubsystemName(static_cast<MemSubsystem>(i)) + "  " +
+             std::to_string(memory_.peak_subsystem_bytes[i]) + "\n";
     }
   }
   {

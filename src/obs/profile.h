@@ -30,12 +30,14 @@
 #ifndef RQ_OBS_PROFILE_H_
 #define RQ_OBS_PROFILE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mem.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
 
@@ -88,6 +90,18 @@ struct ProfileWorker {
   uint64_t busy_ns = 0;
 };
 
+// Per-query memory attribution, read from the MemContext installed on the
+// profiling thread when the window closes (common/mem.h). `present` is
+// false when no context was installed — the memory section is then omitted
+// from the report.
+struct ProfileMemory {
+  bool present = false;
+  uint64_t peak_total_bytes = 0;
+  uint64_t budget_bytes = 0;  // 0 = unlimited
+  bool exceeded = false;
+  std::array<uint64_t, kMemSubsystemCount> peak_subsystem_bytes{};
+};
+
 class QueryProfile {
  public:
   QueryProfile() = default;
@@ -123,6 +137,7 @@ class QueryProfile {
   const std::vector<ProfileGaugeDelta>& gauges() const { return gauges_; }
   const std::vector<ProfileSpanDelta>& spans() const { return spans_; }
   const std::vector<ProfileWorker>& workers() const { return workers_; }
+  const ProfileMemory& memory() const { return memory_; }
 
   // Renders the report. Schema "rq-profile/1":
   //   { "schema": "rq-profile/1",
@@ -134,9 +149,13 @@ class QueryProfile {
   //                      "peak": N, "peak_raised": B}, ... ],
   //     "span_stats": [ {"name": S, "count": N, "total_ns": N}, ... ],
   //     "workers":    [ {"worker": N, "jobs": N, "busy_ns": N}, ... ],
+  //     "memory":     { "peak_total_bytes": N, "budget_bytes": N,
+  //                     "exceeded": B,
+  //                     "peak_subsystem_bytes": { name: N, ... } },
   //     "stats":      { key: N, ... },
   //     "notes":      { key: S, ... } }
-  // Arrays list only entries whose window is non-empty.
+  // Arrays list only entries whose window is non-empty; "memory" appears
+  // only when a MemContext was installed around the profiled operation.
   JsonValue ToJson() const;
   std::string ToText() const;  // EXPLAIN ANALYZE-style, for --profile
 
@@ -175,6 +194,7 @@ class QueryProfile {
   std::vector<ProfileHistogramDelta> histograms_;
   std::vector<ProfileGaugeDelta> gauges_;
   std::vector<ProfileSpanDelta> spans_;
+  ProfileMemory memory_;
 
   // Annotations (guarded by mu_: workers flush concurrently).
   mutable std::mutex mu_;

@@ -8,6 +8,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/gauge.h"
 #include "obs/histogram.h"
+#include "obs/mem_stats.h"
 
 namespace rq {
 namespace obs {
@@ -36,6 +37,17 @@ void AppendType(std::string* out, const std::string& name,
   *out += '\n';
 }
 
+// HELP precedes TYPE per convention; `help` is escaped here so callers
+// pass raw strings (dotted registry names, descriptions).
+void AppendHelp(std::string* out, const std::string& name,
+                std::string_view help) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += PrometheusEscapeHelp(help);
+  *out += '\n';
+}
+
 }  // namespace
 
 std::string PrometheusMetricName(std::string_view name) {
@@ -49,29 +61,88 @@ std::string PrometheusMetricName(std::string_view name) {
   return out;
 }
 
+std::string PrometheusEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderPrometheusText() {
+  // Refresh the OS view so every scrape carries a current RSS sample next
+  // to the self-reported mem.* accounting (obs/mem_stats.h).
+  SampleRssGauge();
   std::string out;
 
   // The flight recorder's ticket total is not a registry counter (it lives
   // in the recorder); surface it here so scrapes see ring pressure next to
   // the obs.flight_dropped counter.
+  AppendHelp(&out, "rq_flight_recorded_total",
+             "total queries recorded by the flight recorder ring");
   AppendType(&out, "rq_flight_recorded_total", "counter");
   AppendLine(&out, "rq_flight_recorded_total", "", "",
              FlightRecorder::Global().TotalRecorded());
 
+  // Query identity: the CLI's raw query text as a label on a constant-1
+  // info gauge. The label value is arbitrary user input — escaping is what
+  // keeps one backslash in a regex from corrupting the whole exposition.
+  if (std::string label = FlightRecorder::Global().QueryLabel();
+      !label.empty()) {
+    AppendHelp(&out, "rq_query_info",
+               "query label installed by the CLI (raw query text)");
+    AppendType(&out, "rq_query_info", "gauge");
+    AppendLine(&out, "rq_query_info", "",
+               "{query=\"" + PrometheusEscapeLabelValue(label) + "\"}", 1);
+  }
+
   for (const CounterSample& sample : Registry::Global().Snapshot()) {
     std::string name = PrometheusMetricName(sample.name);
+    AppendHelp(&out, name, sample.name);
     AppendType(&out, name, "counter");
     AppendLine(&out, name, "", "", sample.value);
   }
 
   for (const GaugeSample& sample : GaugeRegistry::Global().Snapshot()) {
     std::string name = PrometheusMetricName(sample.name);
+    AppendHelp(&out, name, sample.name);
     AppendType(&out, name, "gauge");
     // Gauge levels are int64 but never negative in the rq vocabulary
     // (sizes, depths, byte totals); clamp defensively.
     AppendLine(&out, name, "", "",
                sample.value > 0 ? static_cast<uint64_t>(sample.value) : 0);
+    AppendHelp(&out, name + "_peak", sample.name + " (high-water mark)");
     AppendType(&out, name + "_peak", "gauge");
     AppendLine(&out, name + "_peak", "", "",
                sample.peak > 0 ? static_cast<uint64_t>(sample.peak) : 0);
@@ -80,6 +151,7 @@ std::string RenderPrometheusText() {
   for (const HistogramBucketsSample& sample :
        HistogramRegistry::Global().SnapshotBuckets()) {
     std::string name = PrometheusMetricName(sample.name) + "_dist";
+    AppendHelp(&out, name, sample.name);
     AppendType(&out, name, "histogram");
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {

@@ -21,6 +21,15 @@
 //    mandatory `le="+Inf"` (equal to `_count`), keeping the output sparse
 //    while preserving exact cumulative semantics for integer samples.
 //
+// Every family carries a `# HELP` line holding the original dotted
+// registry name (escaped per the format: `\\` and `\n`), so a scrape can
+// be mapped back to the docs/OBSERVABILITY.md vocabulary without
+// un-sanitizing. When the CLI installed a flight-recorder query label
+// (SetFlightQueryLabel), the exposition also carries
+// `rq_query_info{query="<label>"} 1` with the label value escaped
+// (`\\`, `\"`, `\n`) — query text is arbitrary and may contain
+// backslashes or quotes.
+//
 // Also exported: `rq_flight_recorded_total` / the `obs.flight_dropped`
 // counter (flight recorder pressure) arrive through the counter registry
 // like everything else.
@@ -41,6 +50,15 @@ namespace obs {
 
 // `rq_` + name with every character outside [a-zA-Z0-9_:] replaced by '_'.
 std::string PrometheusMetricName(std::string_view name);
+
+// Escaping per the text exposition format. Label values escape backslash,
+// double-quote, and newline (`\\`, `\"`, `\n`); HELP text escapes
+// backslash and newline only. Needed because the exposition carries
+// arbitrary strings: the original dotted metric name in `# HELP` lines and
+// the CLI's raw query text in the `rq_query_info` label — both may contain
+// backslashes (regex escapes) or quotes.
+std::string PrometheusEscapeLabelValue(std::string_view value);
+std::string PrometheusEscapeHelp(std::string_view text);
 
 // The full exposition document (counters, gauges, histograms).
 std::string RenderPrometheusText();

@@ -99,6 +99,10 @@ TraceMode CurrentTraceMode() {
   return g_mode.load(std::memory_order_relaxed);
 }
 
+uint64_t TraceSessionStartNs() {
+  return State().session_start_ns.load(std::memory_order_relaxed);
+}
+
 void SetTraceMode(TraceMode mode) {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);

@@ -82,6 +82,11 @@ void SetTraceMode(TraceMode mode);
 // changing the mode.
 void ClearTrace();
 
+// Absolute steady-clock nanoseconds when the current trace session
+// started; SpanRecord::start_ns values are relative to this point (so are
+// the Chrome-trace memory counter events built from obs/mem_stats.h).
+uint64_t TraceSessionStartNs();
+
 // Copies of the collected data. Records are in start order; stats are
 // name-sorted.
 std::vector<SpanRecord> CollectSpanRecords();

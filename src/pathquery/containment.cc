@@ -13,6 +13,7 @@
 #include "cache/automata_cache.h"
 #include "cache/key.h"
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "graph/generators.h"
 #include "obs/flight_recorder.h"
 #include "obs/profile.h"
@@ -40,6 +41,10 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
   const uint32_t k = SymbolUniverse(q1, q2, alphabet);
   PathContainmentResult result;
   result.used_fold_pipeline = true;
+  // The interned Shepherdson tables below are where the 2RPQ pipeline's
+  // doubly exponential space actually lives; attribute it to the fold
+  // pipeline so profiles and byte budgets see it.
+  MemScope mem_scope(MemSubsystem::kFold);
 
   // Step 1: NFAs for both queries (linear), quotiented by simulation —
   // the fold 2NFA's state count is n·(|Σ±|+1) in a2's n, so shrinking a2
@@ -68,6 +73,9 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
     auto it = table_ids.find(table);
     if (it != table_ids.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(tables.size());
+    // Two copies per interned table: the map key and the tables slot.
+    MemCharge(static_cast<int64_t>(2 * ApproxTableBytes(table) +
+                                   sizeof(TwoNfaTable) + sizeof(uint32_t)));
     table_ids.emplace(table, id);
     table_accepts.push_back(sim.Accepts(table));
     tables.push_back(std::move(table));
@@ -87,6 +95,8 @@ PathContainmentResult CheckTwoWayContainmentImpl(const Regex& q1,
                   Symbol via) {
     uint64_t key = (static_cast<uint64_t>(a_state) << 32) | table_id;
     if (seen.contains(key)) return;
+    MemCharge(static_cast<int64_t>(sizeof(Node) + sizeof(uint64_t) +
+                                   2 * sizeof(uint32_t)));
     seen.emplace(key, static_cast<uint32_t>(nodes.size()));
     nodes.push_back({a_state, table_id, parent, via});
     work.push_back(static_cast<uint32_t>(nodes.size() - 1));

@@ -5,6 +5,7 @@
 
 #include "common/bitset.h"
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "common/parallel.h"
 #include "obs/flight_recorder.h"
 #include "obs/subsystems.h"
@@ -40,12 +41,19 @@ std::vector<NodeId> ProductBfs(const GraphSnapshot& snapshot, const Nfa& nfa,
     NodeId node;
     uint32_t state;
   };
+  // The visited bitset is the product-space allocation (|V| * |Q| bits);
+  // frontier growth is charged per level below, as a delta against the
+  // previous level, so the live gauge tracks the current frontier only.
+  MemScope mem_scope(MemSubsystem::kGraph);
   Bitset visited(num_nodes * num_states);
   Bitset answer(num_nodes);
+  MemCharge(static_cast<int64_t>(
+      (num_nodes * num_states + num_nodes) / 8 + 2 * sizeof(Bitset)));
   std::vector<ProductState> frontier;
   std::vector<ProductState> next;
   uint64_t states_visited = 0;
   size_t peak_frontier = 0;
+  int64_t frontier_charged = 0;
 
   auto push = [&](NodeId node, uint32_t state) {
     size_t key = static_cast<size_t>(node) * num_states + state;
@@ -63,6 +71,10 @@ std::vector<NodeId> ProductBfs(const GraphSnapshot& snapshot, const Nfa& nfa,
   while (!frontier.empty() && !stopped) {
     counters.frontier_per_level.Record(frontier.size());
     peak_frontier = std::max(peak_frontier, frontier.size());
+    int64_t level_bytes =
+        static_cast<int64_t>(frontier.size() * sizeof(ProductState));
+    MemCharge(level_bytes - frontier_charged);
+    frontier_charged = level_bytes;
     for (const ProductState& ps : frontier) {
       if (ExecStopRequested()) {
         stopped = true;
@@ -120,14 +132,20 @@ std::vector<std::vector<NodeId>> EvalPathQueryFromSources(
   // mirror it per worker slot so every BFS observes the same deadline and
   // cancel token (ChildOf(nullptr) is a free no-op context).
   ExecContext* parent = ExecContext::Current();
+  MemContext* mem_parent = MemContext::Current();
   unsigned slots = jobs > 1 ? jobs : 1;
   std::vector<ExecContext> worker_ctx;
+  std::vector<MemContext> worker_mem;
   worker_ctx.reserve(slots);
+  worker_mem.reserve(slots);
   for (unsigned w = 0; w < slots; ++w) {
     worker_ctx.push_back(ExecContext::ChildOf(parent));
+    worker_mem.push_back(MemContext::ChildOf(mem_parent));
   }
   ParallelForWorker(sources.size(), jobs, [&](unsigned w, size_t i) {
     ScopedExecContext scoped(&worker_ctx[w]);
+    ScopedMemContext scoped_mem(mem_parent != nullptr ? &worker_mem[w]
+                                                      : nullptr);
     answers[i] = ProductBfs(snapshot, nfa, sources[i]);
   });
   uint64_t total_answers = 0;

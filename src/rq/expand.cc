@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -17,6 +18,19 @@ struct Alternative {
   std::vector<CqAtom> atoms;
   std::vector<std::pair<VarId, VarId>> equalities;
 };
+
+// Approximate footprint of one materialized alternative, charged against
+// MemSubsystem::kRq as the enumeration grows (the CRPQ-containment
+// EXPSPACE pressure point). An estimate: discarded intermediates are not
+// released individually — the ExpandRq-level MemScope squares the books.
+int64_t AlternativeBytes(const Alternative& alt) {
+  size_t bytes = sizeof(Alternative) +
+                 alt.equalities.size() * sizeof(std::pair<VarId, VarId>);
+  for (const CqAtom& atom : alt.atoms) {
+    bytes += sizeof(CqAtom) + atom.vars.size() * sizeof(VarId);
+  }
+  return static_cast<int64_t>(bytes);
+}
 
 struct Expander {
   const RqExpandLimits* limits;
@@ -50,6 +64,7 @@ struct Expander {
         merged.equalities.insert(merged.equalities.end(),
                                  y.equalities.begin(), y.equalities.end());
         if (merged.atoms.size() <= limits->max_atoms_per_expansion) {
+          MemCharge(AlternativeBytes(merged));
           out.push_back(std::move(merged));
         } else {
           truncated = true;
@@ -72,6 +87,7 @@ struct Expander {
         atom.predicate = e.predicate();
         for (VarId v : e.atom_vars()) atom.vars.push_back(Lookup(env, v));
         alt.atoms.push_back(std::move(atom));
+        MemCharge(AlternativeBytes(alt));
         return {std::move(alt)};
       }
       case RqExpr::Kind::kAnd: {
@@ -191,6 +207,7 @@ class UnionFind {
 Result<RqExpansions> ExpandRq(const RqQuery& query,
                               const RqExpandLimits& limits) {
   RQ_TRACE_SPAN_VAR(span, "rq.expand");
+  MemScope mem_scope(MemSubsystem::kRq);
   RQ_RETURN_IF_ERROR(query.Validate());
   Expander expander;
   expander.limits = &limits;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -42,7 +43,15 @@ bool CellOk(const CellArrows& ca, uint32_t pred, uint32_t mid,
 
 namespace {
 
+// Per interned (pred, mid) pair: the hash-map entry plus the Nfa state's
+// vector headers. Transitions are charged separately as they are added.
+constexpr int64_t kComplementStateBytes = 64;
+
 Result<Nfa> VardiComplementNfaImpl(const TwoNfa& m, size_t max_states) {
+  // The 4^n subset interning is the EXPSPACE pressure point
+  // (docs/ROBUSTNESS.md): charge per fresh state and per transition so a
+  // memory budget trips mid-enumeration via the CheckExecContext polls.
+  MemScope mem_scope(MemSubsystem::kComplement);
   const uint32_t n = m.num_states();
   if (n > 20) {
     return InvalidArgumentError(
@@ -100,6 +109,7 @@ Result<Nfa> VardiComplementNfaImpl(const TwoNfa& m, size_t max_states) {
     out.SetAccepting(id, is_accepting_pair(pred, mid));
     ids.emplace(key, id);
     work.emplace_back(pred, mid);
+    MemCharge(kComplementStateBytes);
     return id;
   };
 
@@ -135,6 +145,7 @@ Result<Nfa> VardiComplementNfaImpl(const TwoNfa& m, size_t max_states) {
         RQ_RETURN_IF_ERROR(CheckExecContext());
         RQ_ASSIGN_OR_RETURN(uint32_t id, intern(mid, req | extra));
         out.AddTransition(from, a, id);
+        MemCharge(sizeof(NfaTransition));
         if (extra == 0) break;
       }
     }

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/deadline.h"
+#include "common/mem.h"
 #include "obs/subsystems.h"
 #include "obs/trace.h"
 
@@ -29,6 +30,7 @@ bool Folds(const std::vector<Symbol>& v, const std::vector<Symbol>& u) {
 
 TwoNfa FoldTwoNfa(const Nfa& input) {
   RQ_TRACE_SPAN_VAR(span, "fold.construct");
+  MemScope mem_scope(MemSubsystem::kFold);
   const Nfa a = input.HasEpsilons() ? input.WithoutEpsilons() : input;
   const uint32_t k = a.num_symbols();
   TwoNfa out(k);
@@ -38,6 +40,13 @@ TwoNfa FoldTwoNfa(const Nfa& input) {
   for (uint32_t s = 0; s < a.num_states(); ++s) {
     for (uint32_t p = 0; p < width; ++p) out.AddState();
   }
+  // Charges are batched per kChargeStride states: one atomic update per
+  // stride instead of per state, with budget slack bounded by one stride
+  // (the same bargain the deadline stride makes with the clock).
+  constexpr uint32_t kChargeStride = 64;
+  int64_t pending_bytes = static_cast<int64_t>(
+      static_cast<uint64_t>(a.num_states()) * width *
+      sizeof(std::vector<TwoNfaTransition>));
   auto none_state = [&](uint32_t s) { return s * width; };
   auto pending_state = [&](uint32_t s, Symbol b) { return s * width + 1 + b; };
 
@@ -71,7 +80,17 @@ TwoNfa FoldTwoNfa(const Nfa& input) {
       Symbol cell = InverseSymbol(b);  // b must equal (u_i)⁻, so u_i = b⁻
       out.AddTransition(pending_state(s, b), cell, none_state(s), Dir::kStay);
     }
+    // Transitions added for this source NFA state: the fold table rows are
+    // where the k-fold width actually lands in memory.
+    uint64_t deg = a.TransitionsFrom(s).size();
+    pending_bytes += static_cast<int64_t>((1 + k + deg * (k + 2)) *
+                                          sizeof(TwoNfaTransition));
+    if ((s + 1) % kChargeStride == 0) {
+      MemCharge(pending_bytes);
+      pending_bytes = 0;
+    }
   }
+  MemCharge(pending_bytes);
   for (uint32_t s : a.initial()) out.AddInitial(none_state(s));
   for (uint32_t s = 0; s < a.num_states(); ++s) {
     if (a.IsAccepting(s)) out.SetAccepting(none_state(s));

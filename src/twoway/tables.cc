@@ -3,7 +3,18 @@
 #include <deque>
 #include <unordered_map>
 
+#include "common/deadline.h"
+#include "common/mem.h"
+
 namespace rq {
+
+size_t ApproxTableBytes(const TwoNfaTable& table) {
+  // Each bitset owns ceil(n/64) heap words; the back elements' headers
+  // live in the vector's heap buffer (counted via capacity).
+  size_t words = (table.init.size() + 63) / 64;
+  return words * sizeof(uint64_t) * (table.back.size() + 1) +
+         table.back.capacity() * sizeof(Bitset);
+}
 
 size_t TwoNfaTable::Hash() const {
   size_t h = init.Hash();
@@ -120,6 +131,10 @@ bool TwoNfaSimulator::AcceptsWord(const std::vector<Symbol>& word) const {
 }
 
 Result<Dfa> MaterializeTableDfa(const TwoNfa& m, size_t max_states) {
+  // The table space is the 2^(n²+n) blowup (tables.h); every interned
+  // table is charged so byte budgets can stop the enumeration where
+  // max_states alone would let it balloon first.
+  MemScope mem_scope(MemSubsystem::kFold);
   TwoNfaSimulator sim(m);
   std::unordered_map<TwoNfaTable, uint32_t, TwoNfaTableHash> ids;
   std::vector<TwoNfaTable> tables;
@@ -129,6 +144,9 @@ Result<Dfa> MaterializeTableDfa(const TwoNfa& m, size_t max_states) {
     auto it = ids.find(table);
     if (it != ids.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(tables.size());
+    // Two copies per interned table: the map key and the tables slot.
+    MemCharge(static_cast<int64_t>(2 * ApproxTableBytes(table) +
+                                   sizeof(TwoNfaTable) + sizeof(uint32_t)));
     ids.emplace(table, id);
     tables.push_back(std::move(table));
     work.push_back(id);
@@ -138,6 +156,7 @@ Result<Dfa> MaterializeTableDfa(const TwoNfa& m, size_t max_states) {
   intern(sim.InitialTable());
   std::vector<std::vector<uint32_t>> rows;
   while (!work.empty()) {
+    RQ_RETURN_IF_ERROR(CheckExecContext());
     uint32_t id = work.front();
     work.pop_front();
     if (tables.size() > max_states) {
@@ -146,6 +165,7 @@ Result<Dfa> MaterializeTableDfa(const TwoNfa& m, size_t max_states) {
     }
     if (rows.size() <= id) rows.resize(id + 1);
     rows[id].resize(sim.num_symbols());
+    MemCharge(static_cast<int64_t>(sim.num_symbols() * sizeof(uint32_t)));
     for (Symbol a = 0; a < sim.num_symbols(); ++a) {
       TwoNfaTable next = sim.Step(tables[id], a);
       rows[id][a] = intern(std::move(next));

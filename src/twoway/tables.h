@@ -37,6 +37,13 @@ struct TwoNfaTableHash {
   size_t operator()(const TwoNfaTable& t) const { return t.Hash(); }
 };
 
+// Heap bytes held by one table: (num_states + 1) bitsets of
+// ceil(num_states/64) words each, plus the back-vector spine. Used to
+// charge table interning against the thread's MemContext — the table
+// space is the 2^(n²+n) blowup of the 2RPQ pipeline, so this is where
+// byte budgets must bite.
+size_t ApproxTableBytes(const TwoNfaTable& table);
+
 // Computes table transitions for a fixed 2NFA. Holds a copy of the 2NFA's
 // transition relation indexed by tape symbol for fast closures.
 class TwoNfaSimulator {

@@ -224,6 +224,55 @@ TEST(PrometheusTest, WriteFileRejectsUnwritablePath) {
   EXPECT_FALSE(WritePrometheusTextFile("/nonexistent-dir/metrics.prom").ok());
 }
 
+// Exposition-format escaping (0.0.4): label values escape backslash,
+// double quote, and newline; HELP text escapes backslash and newline but
+// NOT quotes.
+TEST(PrometheusTest, LabelValueEscaping) {
+  EXPECT_EQ(PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabelValue("two\nlines"), "two\\nlines");
+  // A regex query the CLI would install: backslash-heavy, quoted.
+  EXPECT_EQ(PrometheusEscapeLabelValue("(a\\-)* <= \"b\""),
+            "(a\\\\-)* <= \\\"b\\\"");
+}
+
+TEST(PrometheusTest, HelpTextEscaping) {
+  EXPECT_EQ(PrometheusEscapeHelp("plain help"), "plain help");
+  EXPECT_EQ(PrometheusEscapeHelp("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscapeHelp("two\nlines"), "two\\nlines");
+  EXPECT_EQ(PrometheusEscapeHelp("keep \"quotes\""), "keep \"quotes\"");
+}
+
+// The CLI's query text reaches the export as rq_query_info{query="..."};
+// arbitrary regex/RQ syntax (backslashes, quotes, newlines) must render as
+// one parseable sample line.
+TEST(PrometheusTest, QueryInfoMetricCarriesEscapedLabel) {
+  SetFlightQueryLabel("2rpq (a\\-)* <= \"b\"\nmultiline");
+  std::string text = RenderPrometheusText();
+  SetFlightQueryLabel("");
+  EXPECT_NE(text.find("# TYPE rq_query_info gauge\n"), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "rq_query_info{query=\"2rpq (a\\\\-)* <= \\\"b\\\"\\nmultiline\"} 1"),
+      std::string::npos);
+  // The raw newline must NOT appear inside the rendered document.
+  EXPECT_EQ(text.find("\"b\"\nmultiline"), std::string::npos);
+}
+
+TEST(PrometheusTest, NoQueryLabelMeansNoInfoMetric) {
+  SetFlightQueryLabel("");
+  std::string text = RenderPrometheusText();
+  EXPECT_EQ(text.find("rq_query_info"), std::string::npos);
+}
+
+TEST(PrometheusTest, HelpLinesCarryDottedSourceNames) {
+  GetCounter("promtest.helped")->Add(1);
+  std::string text = RenderPrometheusText();
+  EXPECT_NE(text.find("# HELP rq_promtest_helped promtest.helped\n"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace rq

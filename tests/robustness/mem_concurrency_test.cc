@@ -1,0 +1,199 @@
+// Memory accounting under real concurrency (ctest label `memv1`, tsan
+// binary): MemContext::ChildOf mirrors charging one shared pot from many
+// threads, budget trips racing across mirrors, and the two fan-out sites
+// that build per-worker mirrors (the batch containment pool and parallel
+// multi-source graph evaluation). ThreadSanitizer checks the atomics; the
+// asserts check that concurrent charges aggregate exactly and that budget
+// trips are sticky and coherent on every thread.
+#include "common/mem.h"
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "containment/batch.h"
+#include "graph/generators.h"
+#include "obs/counters.h"
+#include "pathquery/path_query.h"
+#include "regex/regex.h"
+
+namespace rq {
+namespace {
+
+constexpr uint32_t kNumSymbols = 3;
+
+Nfa RandomNfa(Rng& rng) {
+  uint32_t num_states = 4 + static_cast<uint32_t>(rng.Below(6));
+  Nfa nfa(kNumSymbols);
+  for (uint32_t s = 0; s < num_states; ++s) nfa.AddState();
+  nfa.AddInitial(static_cast<uint32_t>(rng.Below(num_states)));
+  uint32_t num_transitions =
+      2 * num_states + static_cast<uint32_t>(rng.Below(num_states));
+  for (uint32_t t = 0; t < num_transitions; ++t) {
+    nfa.AddTransition(static_cast<uint32_t>(rng.Below(num_states)),
+                      static_cast<Symbol>(rng.Below(kNumSymbols)),
+                      static_cast<uint32_t>(rng.Below(num_states)));
+  }
+  for (uint32_t s = 0; s < num_states; ++s) {
+    if (rng.Below(3) == 0) nfa.SetAccepting(s);
+  }
+  return nfa;
+}
+
+struct NfaPool {
+  std::vector<Nfa> automata;
+  std::vector<NfaContainmentJob> jobs;
+};
+
+NfaPool MakePool(int num_jobs, uint64_t seed) {
+  NfaPool pool;
+  Rng rng(seed);
+  for (int i = 0; i < 2 * num_jobs; ++i) {
+    pool.automata.push_back(RandomNfa(rng));
+  }
+  for (int i = 0; i < num_jobs; ++i) {
+    pool.jobs.push_back({&pool.automata[2 * i], &pool.automata[2 * i + 1]});
+  }
+  return pool;
+}
+
+TEST(MemConcurrencyTest, MirrorsAggregateExactlyIntoOnePot) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kBytesPerThread = 1000;
+  MemContext root;
+  // Every thread holds its charge at the latch, so the pot's peak must
+  // reach exactly kThreads * kBytesPerThread — no more (total never
+  // overshoots), no less (all charges are simultaneously live).
+  std::latch all_charged(kThreads);
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root, &all_charged] {
+      MemContext mirror = MemContext::ChildOf(&root);
+      ScopedMemContext scoped(&mirror);
+      MemScope scope(MemSubsystem::kAutomata);
+      MemCharge(kBytesPerThread);
+      all_charged.arrive_and_wait();
+    });
+  }
+  threads.clear();  // join; every scope released its charge
+  EXPECT_EQ(root.total_bytes(), 0u);
+  EXPECT_EQ(root.peak_total_bytes(),
+            static_cast<uint64_t>(kThreads) * kBytesPerThread);
+  EXPECT_EQ(root.peak_subsystem_bytes(MemSubsystem::kAutomata),
+            static_cast<uint64_t>(kThreads) * kBytesPerThread);
+}
+
+TEST(MemConcurrencyTest, MirrorOutlivesItsRoot) {
+  // The pot is shared_ptr-owned: a mirror keeps it alive after the root
+  // context object is gone, so pool workers can outlast the frame that
+  // spawned them.
+  MemContext mirror;
+  {
+    MemContext root;
+    mirror = MemContext::ChildOf(&root);
+  }
+  ScopedMemContext scoped(&mirror);
+  MemCharge(5);
+  MemCharge(-5);
+  EXPECT_EQ(mirror.total_bytes(), 0u);
+  EXPECT_GE(mirror.peak_total_bytes(), 5u);
+}
+
+TEST(MemConcurrencyTest, BudgetTripIsStickyAcrossRacingMirrors) {
+  constexpr int kThreads = 8;
+  obs::CounterDelta delta;
+  MemContext root(/*budget_bytes=*/1);
+  std::latch all_charged(kThreads);
+  std::vector<StatusCode> codes(kThreads, StatusCode::kOk);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&root, &all_charged, &codes, t] {
+        MemContext mirror = MemContext::ChildOf(&root);
+        ScopedMemContext scoped(&mirror);
+        MemScope scope(MemSubsystem::kFold);
+        MemCharge(100);
+        all_charged.arrive_and_wait();
+        codes[static_cast<size_t>(t)] = mirror.Check().code();
+      });
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(codes[static_cast<size_t>(t)], StatusCode::kResourceExhausted)
+        << "thread " << t;
+  }
+  EXPECT_TRUE(root.exceeded());
+  // Each mirror latched once (one mem.budget_exceeded bump per context,
+  // not per poll).
+  EXPECT_EQ(delta.Delta("mem.budget_exceeded"),
+            static_cast<uint64_t>(kThreads));
+}
+
+TEST(MemConcurrencyTest, BatchPoolWorkersChargeCallerPot) {
+  NfaPool pool = MakePool(24, 1234);
+  MemContext root;
+  ScopedMemContext scoped(&root);
+  ContainmentBatchOptions options;
+  options.jobs = 4;
+  options.algo = ContainmentAlgo::kExplicit;  // determinizes, so it charges
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(pool.jobs, options);
+  ASSERT_EQ(results.size(), pool.jobs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].status.ok()) << "job " << i;
+  }
+  // Worker mirrors chained to the caller's context: their subset-row
+  // charges aggregated into this pot from pool threads.
+  EXPECT_GT(root.peak_total_bytes(), 0u);
+  EXPECT_GT(root.peak_subsystem_bytes(MemSubsystem::kAutomata), 0u);
+  EXPECT_EQ(root.total_bytes(), 0u);  // all scopes released at job exit
+}
+
+TEST(MemConcurrencyTest, PerJobBudgetFailsEveryJobIndependently) {
+  NfaPool pool = MakePool(24, 77);
+  ContainmentBatchOptions options;
+  options.jobs = 4;
+  options.algo = ContainmentAlgo::kExplicit;
+  options.memory_budget_bytes = 1;
+  // Without this, the first trip cancels the rest of the queue and the
+  // per-job verdicts become a race between kResourceExhausted and
+  // kCancelled.
+  options.cancel_on_error = false;
+  std::vector<LanguageContainmentResult> results =
+      CheckContainmentBatch(pool.jobs, options);
+  ASSERT_EQ(results.size(), pool.jobs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kResourceExhausted)
+        << "job " << i << ": " << results[i].status.ToString();
+  }
+}
+
+TEST(MemConcurrencyTest, ParallelMultiSourceEvalChargesCallerPot) {
+  GraphDb db = RandomGraph(60, 400, {"a", "b", "c"}, /*seed=*/17);
+  auto q = ParsePathQuery("a (b | c-)* a-", &db.alphabet());
+  ASSERT_TRUE(q.ok());
+  const Nfa nfa =
+      q->regex->ToNfa(static_cast<uint32_t>(db.alphabet().num_symbols()))
+          .WithoutEpsilons();
+  const GraphSnapshotPtr snapshot = db.Snapshot();
+  std::vector<NodeId> sources;
+  for (NodeId n = 0; n < snapshot->num_nodes(); ++n) sources.push_back(n);
+
+  const auto serial = EvalPathQueryFromSources(*snapshot, nfa, sources,
+                                               PathEvalOptions{.jobs = 1});
+  MemContext root;
+  ScopedMemContext scoped(&root);
+  const auto parallel = EvalPathQueryFromSources(*snapshot, nfa, sources,
+                                                 PathEvalOptions{.jobs = 8});
+  EXPECT_EQ(parallel, serial);
+  // The per-worker mirrors charged BFS bitsets/frontiers into this pot.
+  EXPECT_GT(root.peak_subsystem_bytes(MemSubsystem::kGraph), 0u);
+  EXPECT_EQ(root.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rq

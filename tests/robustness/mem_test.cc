@@ -1,0 +1,345 @@
+// Memory accounting tests (ctest label `memv1`, sanitize binary): the
+// MemScope/MemContext attribution semantics of common/mem.h, budget
+// enforcement through the shared CheckExecContext() polling sites, the
+// never-cache-truncated rule, the per-query profile memory section, the
+// Prometheus rq_mem_* families, and the accounting-vs-RSS sanity bound.
+// Budget tests use 1-byte budgets so the first charge crosses them —
+// deterministic, no dependence on real construction sizes.
+#include "common/mem.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/automata_cache.h"
+#include "common/deadline.h"
+#include "datalog/eval.h"
+#include "obs/counters.h"
+#include "obs/mem_stats.h"
+#include "obs/profile.h"
+#include "obs/prometheus.h"
+#include "pathquery/containment.h"
+#include "regex/regex.h"
+#include "rq/expand.h"
+#include "rq/parser.h"
+
+namespace rq {
+namespace {
+
+RegexPtr Parse(const std::string& text, Alphabet* alphabet) {
+  auto parsed = ParseRegex(text, alphabet);
+  RQ_CHECK(parsed.ok());
+  return *parsed;
+}
+
+int64_t LiveBytes(MemSubsystem subsystem) {
+  return obs::MemStats::Get()
+      .subsystem_bytes[static_cast<size_t>(subsystem)]
+      ->value();
+}
+
+TEST(MemSubsystemTest, NamesMatchGaugeVocabulary) {
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kAutomata), "automata");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kFold), "fold");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kComplement), "complement");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kRq), "rq");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kDatalog), "datalog");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kGraph), "graph");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kCache), "cache");
+  EXPECT_STREQ(MemSubsystemName(MemSubsystem::kOther), "other");
+}
+
+TEST(MemScopeTest, ChargeAttributesToInnermostAndReleasesOnExit) {
+  int64_t fold_before = LiveBytes(MemSubsystem::kFold);
+  int64_t rq_before = LiveBytes(MemSubsystem::kRq);
+  {
+    MemScope outer(MemSubsystem::kFold);
+    MemCharge(1000);
+    EXPECT_EQ(LiveBytes(MemSubsystem::kFold), fold_before + 1000);
+    {
+      MemScope inner(MemSubsystem::kRq);
+      MemCharge(500);
+      EXPECT_EQ(LiveBytes(MemSubsystem::kRq), rq_before + 500);
+      EXPECT_EQ(inner.net_bytes(), 500);
+    }
+    // Inner scope released its net; outer's charge is still live.
+    EXPECT_EQ(LiveBytes(MemSubsystem::kRq), rq_before);
+    EXPECT_EQ(LiveBytes(MemSubsystem::kFold), fold_before + 1000);
+    EXPECT_EQ(outer.net_bytes(), 1000);
+  }
+  EXPECT_EQ(LiveBytes(MemSubsystem::kFold), fold_before);
+}
+
+TEST(MemScopeTest, NegativeChargeReducesNet) {
+  int64_t before = LiveBytes(MemSubsystem::kDatalog);
+  {
+    MemScope scope(MemSubsystem::kDatalog);
+    MemCharge(800);
+    MemCharge(-300);
+    EXPECT_EQ(scope.net_bytes(), 500);
+    EXPECT_EQ(LiveBytes(MemSubsystem::kDatalog), before + 500);
+  }
+  EXPECT_EQ(LiveBytes(MemSubsystem::kDatalog), before);
+}
+
+TEST(MemScopeTest, ChargeWithoutScopeLandsInOther) {
+  int64_t before = LiveBytes(MemSubsystem::kOther);
+  MemCharge(64);
+  EXPECT_EQ(LiveBytes(MemSubsystem::kOther), before + 64);
+  MemCharge(-64);
+  EXPECT_EQ(LiveBytes(MemSubsystem::kOther), before);
+}
+
+TEST(MemContextTest, ChargesTrackSubsystemsAndPeaks) {
+  MemContext ctx;
+  ScopedMemContext scoped(&ctx);
+  {
+    MemScope scope(MemSubsystem::kComplement);
+    MemCharge(2048);
+    EXPECT_EQ(ctx.subsystem_bytes(MemSubsystem::kComplement), 2048u);
+    EXPECT_EQ(ctx.total_bytes(), 2048u);
+  }
+  // Scope release returns live bytes to zero; peaks persist.
+  EXPECT_EQ(ctx.subsystem_bytes(MemSubsystem::kComplement), 0u);
+  EXPECT_EQ(ctx.total_bytes(), 0u);
+  EXPECT_EQ(ctx.peak_subsystem_bytes(MemSubsystem::kComplement), 2048u);
+  EXPECT_EQ(ctx.peak_total_bytes(), 2048u);
+}
+
+TEST(MemContextTest, NoInstalledContextIsOk) {
+  EXPECT_TRUE(CheckMemBudget().ok());
+}
+
+TEST(MemContextTest, BudgetTripLatchesAndBumpsCounterOnce) {
+  obs::CounterDelta delta;
+  MemContext ctx(/*budget_bytes=*/1);
+  ScopedMemContext scoped(&ctx);
+  EXPECT_TRUE(ctx.Check().ok());  // under budget until a charge crosses it
+  MemCharge(4096);
+  MemCharge(-4096);
+  EXPECT_TRUE(ctx.exceeded());  // sticky: crossing latches even after release
+  Status first = CheckMemBudget();
+  EXPECT_EQ(first.code(), StatusCode::kResourceExhausted);
+  Status second = CheckMemBudget();
+  EXPECT_EQ(second.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_EQ(delta.Delta("mem.budget_exceeded"), 1u);
+}
+
+TEST(MemContextTest, ChildOfSharesPotAndBudget) {
+  MemContext parent(/*budget_bytes=*/1);
+  MemContext child = MemContext::ChildOf(&parent);
+  {
+    ScopedMemContext scoped(&child);
+    MemCharge(100);
+  }
+  EXPECT_EQ(parent.peak_total_bytes(), 100u);
+  EXPECT_TRUE(parent.exceeded());
+  // The mirror observes the shared trip with a fresh latch of its own.
+  EXPECT_EQ(child.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parent.Check().code(), StatusCode::kResourceExhausted);
+  MemContext orphan = MemContext::ChildOf(nullptr);
+  EXPECT_FALSE(orphan.has_budget());
+  EXPECT_EQ(orphan.total_bytes(), 0u);
+}
+
+TEST(MemContextTest, ParentChainReceivesChargesAndEnforcesBudget) {
+  MemContext batch_wide(/*budget_bytes=*/1);
+  MemContext job(/*budget_bytes=*/0, &batch_wide);
+  ScopedMemContext scoped(&job);
+  MemCharge(64);
+  // The job has no budget of its own, but the chained batch-wide budget
+  // still stops it.
+  EXPECT_EQ(batch_wide.total_bytes(), 64u);
+  EXPECT_TRUE(job.exceeded());
+  EXPECT_EQ(job.Check().code(), StatusCode::kResourceExhausted);
+  MemCharge(-64);
+}
+
+TEST(MemContextTest, DurableChargesSkipContextAndBudget) {
+  MemContext ctx(/*budget_bytes=*/1);
+  ScopedMemContext scoped(&ctx);
+  int64_t before = LiveBytes(MemSubsystem::kCache);
+  MemChargeDurable(MemSubsystem::kCache, 1 << 20);
+  // Global gauge moved; the installed context saw nothing.
+  EXPECT_EQ(LiveBytes(MemSubsystem::kCache), before + (1 << 20));
+  EXPECT_EQ(ctx.total_bytes(), 0u);
+  EXPECT_FALSE(ctx.exceeded());
+  EXPECT_TRUE(ctx.Check().ok());
+  MemReleaseDurable(MemSubsystem::kCache, 1 << 20);
+  EXPECT_EQ(LiveBytes(MemSubsystem::kCache), before);
+}
+
+TEST(MemContextTest, ScopeRestoresPreviousContext) {
+  MemContext outer;
+  ScopedMemContext outer_scope(&outer);
+  EXPECT_EQ(MemContext::Current(), &outer);
+  {
+    MemContext inner;
+    ScopedMemContext inner_scope(&inner);
+    EXPECT_EQ(MemContext::Current(), &inner);
+  }
+  EXPECT_EQ(MemContext::Current(), &outer);
+}
+
+// --- Propagation through the decision procedures -------------------------
+
+TEST(MemBudgetPropagationTest, TwoWayFoldPipelineReturnsResourceExhausted) {
+  Alphabet alphabet;
+  RegexPtr q1 = Parse("p", &alphabet);
+  RegexPtr q2 = Parse("p p- p", &alphabet);
+  MemContext ctx(/*budget_bytes=*/1);
+  ScopedMemContext scoped(&ctx);
+  PathContainmentResult result =
+      CheckPathQueryContainment(*q1, *q2, alphabet);
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.exceeded());
+}
+
+TEST(MemBudgetPropagationTest, DatalogEvalReturnsResourceExhausted) {
+  auto program = ParseDatalog(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- tc(X, Y), edge(Y, Z).
+    ?- tc.
+  )");
+  ASSERT_TRUE(program.ok());
+  Database db;
+  Relation* e = db.GetOrCreate("edge", 2).value();
+  e->Insert({1, 2});
+  e->Insert({2, 3});
+  MemContext ctx(/*budget_bytes=*/1);
+  ScopedMemContext scoped(&ctx);
+  auto result = EvalDatalogGoal(*program, db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MemBudgetPropagationTest, RqExpansionReturnsResourceExhausted) {
+  auto query = ParseRq("q(x,y) := tc[x,y](a(x,y) & b(x,y))");
+  ASSERT_TRUE(query.ok());
+  MemContext ctx(/*budget_bytes=*/1);
+  ScopedMemContext scoped(&ctx);
+  RqExpandLimits limits;
+  auto result = ExpandRq(*query, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MemBudgetPropagationTest, UnlimitedContextStillAttributes) {
+  Alphabet alphabet;
+  RegexPtr q1 = Parse("p", &alphabet);
+  RegexPtr q2 = Parse("p p- p", &alphabet);
+  MemContext ctx;  // no budget: pure attribution
+  ScopedMemContext scoped(&ctx);
+  PathContainmentResult result =
+      CheckPathQueryContainment(*q1, *q2, alphabet);
+  EXPECT_TRUE(result.status.ok());
+  // The fold pipeline charges fold-tagged bytes against the context.
+  EXPECT_GT(ctx.peak_total_bytes(), 0u);
+  EXPECT_GT(ctx.peak_subsystem_bytes(MemSubsystem::kFold), 0u);
+}
+
+TEST(MemBudgetPropagationTest, TruncatedByMemoryIsNeverCached) {
+  cache::AutomataCache& ac = cache::AutomataCache::Global();
+  ac.SetEnabled(true);
+  ac.Clear();
+  Alphabet alphabet;
+  RegexPtr q1 = Parse("p", &alphabet);
+  RegexPtr q2 = Parse("p (p- p)*", &alphabet);
+  {
+    MemContext ctx(/*budget_bytes=*/1);
+    ScopedMemContext scoped(&ctx);
+    PathContainmentResult truncated =
+        CheckPathQueryContainment(*q1, *q2, alphabet);
+    ASSERT_EQ(truncated.status.code(), StatusCode::kResourceExhausted);
+  }
+  // The poisoned run must not have memoized a verdict: the clean re-run
+  // gets a real one.
+  obs::CounterDelta delta;
+  PathContainmentResult clean =
+      CheckPathQueryContainment(*q1, *q2, alphabet);
+  EXPECT_TRUE(clean.status.ok());
+  EXPECT_TRUE(clean.contained);
+  EXPECT_EQ(delta.Delta("cache.verdict_hits"), 0u);
+  ac.SetEnabled(false);
+  ac.Clear();
+}
+
+// --- Observability surfaces ----------------------------------------------
+
+TEST(MemObsTest, ProfileReportsMemorySection) {
+  obs::QueryProfile profile;
+  profile.Begin("test", "mem", "profile-memory");
+  MemContext ctx(/*budget_bytes=*/0);
+  ScopedMemContext scoped(&ctx);
+  {
+    MemScope scope(MemSubsystem::kAutomata);
+    MemCharge(4096);
+  }
+  profile.End();
+  const obs::ProfileMemory& memory = profile.memory();
+  ASSERT_TRUE(memory.present);
+  EXPECT_GE(memory.peak_total_bytes, 4096u);
+  EXPECT_GE(memory.peak_subsystem_bytes[static_cast<size_t>(
+                MemSubsystem::kAutomata)],
+            4096u);
+  EXPECT_FALSE(memory.exceeded);
+  std::string json = profile.ToJson().Dump(0);
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"automata\""), std::string::npos);
+  std::string text = profile.ToText();
+  EXPECT_NE(text.find("memory (peak bytes, this query):"),
+            std::string::npos);
+}
+
+TEST(MemObsTest, ProfileOmitsMemorySectionWithoutContext) {
+  obs::QueryProfile profile;
+  profile.Begin("test", "mem", "no-context");
+  profile.End();
+  EXPECT_FALSE(profile.memory().present);
+  EXPECT_EQ(profile.ToJson().Dump(0).find("\"memory\""),
+            std::string::npos);
+}
+
+TEST(MemObsTest, PrometheusCarriesMemFamilies) {
+  {
+    MemScope scope(MemSubsystem::kFold);
+    MemCharge(1234);
+  }
+  std::string text = obs::RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE rq_mem_fold_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("rq_mem_fold_bytes_peak"), std::string::npos);
+  EXPECT_NE(text.find("rq_mem_tracked_bytes"), std::string::npos);
+  EXPECT_NE(text.find("rq_mem_peak_rss_bytes"), std::string::npos);
+  EXPECT_NE(text.find("# HELP rq_mem_fold_bytes mem.fold_bytes"),
+            std::string::npos);
+}
+
+TEST(MemObsTest, AccountingNeverExceedsRss) {
+  // Hold a live charge while sampling so the bound is non-trivial, then
+  // assert the self-reported total is within the OS's peak-RSS view —
+  // the accountant tracks a subset of real allocations, so tracked <= RSS.
+  MemScope scope(MemSubsystem::kGraph);
+  MemCharge(1 << 20);
+  uint64_t rss = obs::SampleRssGauge();
+  if (rss == 0) GTEST_SKIP() << "getrusage unsupported here";
+  int64_t tracked = obs::MemStats::Get().tracked_bytes.value();
+  EXPECT_GT(tracked, 0);
+  EXPECT_LE(static_cast<uint64_t>(tracked), rss);
+  EXPECT_EQ(obs::MemStats::Get().peak_rss_bytes.value(),
+            static_cast<int64_t>(rss));
+}
+
+TEST(MemObsTest, AllocHistogramRecordsPositiveChargesOnly) {
+  uint64_t before = obs::MemStats::Get().alloc_bytes.count();
+  {
+    MemScope scope(MemSubsystem::kRq);
+    MemCharge(512);
+  }
+  // One positive charge recorded; the scope's release did not.
+  EXPECT_EQ(obs::MemStats::Get().alloc_bytes.count(), before + 1);
+}
+
+}  // namespace
+}  // namespace rq
