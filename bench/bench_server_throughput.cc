@@ -1,0 +1,221 @@
+// Closed-loop throughput/latency benchmark for the query service
+// (docs/SERVING.md): an in-process QueryServer on a loopback port, driven
+// by N concurrent BlockingClients that each issue a fixed mixed batch of
+// requests per round and wait for every answer before the next round.
+//
+// Reported per benchmark (user counters in the rq-bench/1 JSON):
+//   requests_per_s  closed-loop throughput across all clients
+//   p50_us, p99_us  per-request wall latency percentiles
+//   shed_rate       fraction of requests answered `overloaded` — zero for
+//                   the throughput configs, positive by construction for
+//                   the saturated ServerShedding config
+//
+// One /metrics HTTP scrape per round rides along, so the listener's HTTP
+// path is part of the measured mix and the scrape counter lands in the
+// suite's obs snapshot.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_db.h"
+#include "obs/json.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using rq::GraphDb;
+using rq::server::BlockingClient;
+using rq::server::HttpGet;
+using rq::server::QueryServer;
+using rq::server::ServerOptions;
+
+constexpr char kHost[] = "127.0.0.1";
+constexpr int kRequestsPerClientPerRound = 8;
+
+rq::obs::JsonValue MakeRequest(int64_t id, int variant) {
+  using rq::obs::JsonValue;
+  JsonValue request = JsonValue::Object();
+  request.Set("id", JsonValue::Number(id));
+  switch (variant % 4) {
+    case 0:
+      request.Set("type", JsonValue::String("containment"));
+      request.Set("class", JsonValue::String("rpq"));
+      request.Set("q1", JsonValue::String("a a* b"));
+      request.Set("q2", JsonValue::String("a* b"));
+      break;
+    case 1:
+      request.Set("type", JsonValue::String("eval"));
+      request.Set("class", JsonValue::String("path"));
+      request.Set("query", JsonValue::String("knows+"));
+      break;
+    case 2:
+      request.Set("type", JsonValue::String("equivalence"));
+      request.Set("class", JsonValue::String("rpq"));
+      request.Set("q1", JsonValue::String("a|b"));
+      request.Set("q2", JsonValue::String("b|a"));
+      break;
+    default:
+      request.Set("type", JsonValue::String("health"));
+      break;
+  }
+  return request;
+}
+
+// One client's share of a round; latencies land in `latencies_ns` at a
+// disjoint offset, shed responses bump `shed`.
+void RunClient(uint16_t port, int client_index, bool use_sleep,
+               std::vector<uint64_t>* latencies_ns, std::atomic<int>* shed,
+               std::atomic<int>* failures) {
+  auto client = BlockingClient::Connect(kHost, port);
+  if (!client.ok()) {
+    failures->fetch_add(kRequestsPerClientPerRound);
+    return;
+  }
+  for (int i = 0; i < kRequestsPerClientPerRound; ++i) {
+    int64_t id = client_index * 1000 + i;
+    rq::obs::JsonValue request;
+    if (use_sleep) {
+      request = rq::obs::JsonValue::Object();
+      request.Set("type", rq::obs::JsonValue::String("sleep"));
+      request.Set("id", rq::obs::JsonValue::Number(id));
+      request.Set("sleep_ms", rq::obs::JsonValue::Number(int64_t{1}));
+    } else {
+      request = MakeRequest(id, i);
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto response = client->Call(request);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!response.ok()) {
+      failures->fetch_add(1);
+      continue;
+    }
+    (*latencies_ns)[static_cast<size_t>(client_index) *
+                        kRequestsPerClientPerRound +
+                    static_cast<size_t>(i)] =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+    const rq::obs::JsonValue* ok = response->Find("ok");
+    if (ok != nullptr && !ok->bool_value()) {
+      const rq::obs::JsonValue* error = response->Find("error");
+      if (error != nullptr && error->string_value() == "overloaded") {
+        shed->fetch_add(1);
+      } else {
+        failures->fetch_add(1);
+      }
+    }
+  }
+}
+
+double PercentileUs(std::vector<uint64_t> sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  std::sort(sorted_ns.begin(), sorted_ns.end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(
+                                             sorted_ns.size() - 1));
+  return static_cast<double>(sorted_ns[index]) / 1000.0;
+}
+
+void RunRounds(benchmark::State& state, const ServerOptions& base_options,
+               int clients, bool use_sleep) {
+  auto graph = GraphDb::FromText(
+      "a knows b\nb knows c\nc knows d\nd knows a\n");
+  if (!graph.ok()) {
+    state.SkipWithError("graph parse failed");
+    return;
+  }
+  ServerOptions options = base_options;
+  options.graph = &*graph;
+  QueryServer server(options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  std::vector<uint64_t> all_latencies_ns;
+  int64_t total_requests = 0;
+  int total_shed = 0;
+  int total_failures = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> latencies_ns(
+        static_cast<size_t>(clients) * kRequestsPerClientPerRound, 0);
+    std::atomic<int> shed{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(RunClient, server.port(), c, use_sleep,
+                           &latencies_ns, &shed, &failures);
+    }
+    // The /metrics HTTP path shares the listener; scrape it once per
+    // round so serving and scraping are measured together.
+    auto scrape = HttpGet(kHost, server.port(), "/metrics");
+    for (std::thread& t : threads) t.join();
+    state.PauseTiming();
+    if (!scrape.ok()) ++total_failures;
+    for (uint64_t ns : latencies_ns) {
+      if (ns > 0) all_latencies_ns.push_back(ns);
+    }
+    total_requests += clients * kRequestsPerClientPerRound;
+    total_shed += shed.load();
+    total_failures += failures.load();
+    state.ResumeTiming();
+  }
+  server.DrainAndWait();
+
+  if (total_failures > 0) {
+    state.SkipWithError("requests failed outright");
+    return;
+  }
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = PercentileUs(all_latencies_ns, 0.50);
+  state.counters["p99_us"] = PercentileUs(all_latencies_ns, 0.99);
+  state.counters["shed_rate"] =
+      total_requests > 0
+          ? static_cast<double>(total_shed) /
+                static_cast<double>(total_requests)
+          : 0.0;
+}
+
+// Headroom configs: enough workers and queue that nothing is shed; the
+// numbers are pure service throughput/latency.
+void BM_ServerThroughput(benchmark::State& state) {
+  ServerOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 4096;
+  RunRounds(state, options, static_cast<int>(state.range(0)),
+            /*use_sleep=*/false);
+}
+BENCHMARK(BM_ServerThroughput)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->ArgName("clients")
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Saturated config: one worker, a queue of two, and deliberately slow
+// (1 ms sleep) requests from 16 clients — admission control must shed,
+// and the interesting numbers are the shed rate and the latency of the
+// requests that do get through.
+void BM_ServerShedding(benchmark::State& state) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 2;
+  options.enable_sleep = true;
+  RunRounds(state, options, /*clients=*/16, /*use_sleep=*/true);
+}
+BENCHMARK(BM_ServerShedding)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace

@@ -249,6 +249,31 @@ if common:
         "comparison": "multi-source eval jobs=1 vs jobs=8 (real time)",
     }
 
+# Third headline: query-service throughput/latency/shed-rate from
+# bench_server_throughput's closed-loop configs (docs/SERVING.md). Keyed
+# by benchmark name so both the client sweep and the saturated shedding
+# config land in the suite summary.
+server_configs = {}
+for report in suite["binaries"]:
+    if report.get("binary") != "bench_server_throughput":
+        continue
+    for b in report.get("benchmarks", []):
+        counters = b.get("counters", {})
+        if "error" in b or "requests_per_s" not in counters:
+            continue
+        server_configs[b["name"]] = {
+            "requests_per_s": counters["requests_per_s"],
+            "p50_us": counters.get("p50_us"),
+            "p99_us": counters.get("p99_us"),
+            "shed_rate": counters.get("shed_rate"),
+        }
+if server_configs:
+    suite["server_throughput"] = {
+        "configs": server_configs,
+        "comparison": "closed-loop rqserved clients sweep + saturated "
+                      "shedding config (docs/SERVING.md)",
+    }
+
 with open(out_path, "w") as f:
     json.dump(suite, f, indent=2)
     f.write("\n")

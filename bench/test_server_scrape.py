@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Live-server Prometheus scrape check (the ISSUE-9 acceptance run).
+
+    bench/test_server_scrape.py <rqserved-binary>
+
+Launches the real rqserved daemon on an ephemeral port, drives a few
+framed requests through it so the server.* families are non-zero, scrapes
+GET /metrics over HTTP, validates the scraped exposition with
+bench/check_prometheus.py, then SIGTERMs the daemon and requires a clean
+drain (exit 0). Exit status: 0 = pass, 1 = any failure.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+import check_prometheus
+
+
+def call(sock, request):
+    """One framed JSON request/response exchange."""
+    payload = json.dumps(request).encode()
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    header = sock.recv(4, socket.MSG_WAITALL)
+    assert len(header) == 4, "short frame header"
+    (length,) = struct.unpack(">I", header)
+    body = sock.recv(length, socket.MSG_WAITALL)
+    assert len(body) == length, "short frame body"
+    return json.loads(body)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    rqserved = argv[1]
+    if not os.access(rqserved, os.X_OK):
+        print(f"not executable: {rqserved}", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        port_file = os.path.join(tmp, "port")
+        server = subprocess.Popen(
+            [rqserved, "--port", "0", "--port-file", port_file,
+             "--workers", "2"])
+        try:
+            for _ in range(200):
+                if os.path.exists(port_file):
+                    break
+                if server.poll() is not None:
+                    print("rqserved exited during startup", file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
+            else:
+                print("rqserved never wrote its port file", file=sys.stderr)
+                return 1
+            with open(port_file) as f:
+                port = int(f.read().strip())
+
+            # Non-trivial traffic so the scrape carries live counters.
+            with socket.create_connection(("127.0.0.1", port), 5) as sock:
+                for i in range(3):
+                    response = call(sock, {
+                        "type": "containment", "id": i, "class": "rpq",
+                        "q1": "a a* b", "q2": "a* b"})
+                    assert response["ok"], response
+                health = call(sock, {"type": "health", "id": 99})
+                assert health["state"] == "serving", health
+
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5).read()
+            scrape_path = os.path.join(tmp, "scrape.prom")
+            with open(scrape_path, "wb") as f:
+                f.write(body)
+            errors = check_prometheus.check_file(scrape_path)
+            text = body.decode()
+            for family in ("rq_server_requests", "rq_server_connections",
+                           "rq_server_request_latency_ns_dist_bucket"):
+                if family not in text:
+                    errors.append(f"scrape missing {family}")
+            if errors:
+                for e in errors:
+                    print(e, file=sys.stderr)
+                return 1
+
+            server.send_signal(signal.SIGTERM)
+            rc = server.wait(timeout=30)
+            if rc != 0:
+                print(f"rqserved drain exited {rc}", file=sys.stderr)
+                return 1
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+    print("test_server_scrape: live /metrics scrape OK, clean drain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -73,7 +73,14 @@ class LruByteCache {
     }
     auto it = index_.find(std::string_view(key));
     if (it != index_.end()) {
+      // Duplicate key: another thread computed (and inserted) the same
+      // value first. The resident entry is handed back, which is a cache
+      // hit from the caller's perspective — count it as one so the
+      // per-kind hit/miss/insert counters keep summing to the number of
+      // cache operations.
       lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.Increment();
+      obs::CacheCounters::Get().hits.Increment();
       return it->second->value;
     }
     lru_.push_front(Entry{std::move(key), stored, entry_bytes});

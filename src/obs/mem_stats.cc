@@ -32,8 +32,9 @@ uint64_t SampleRssGauge() {
 #if !defined(_WIN32)
   struct rusage usage;
   if (getrusage(RUSAGE_SELF, &usage) == 0) {
-    // Linux reports ru_maxrss in kilobytes.
-    uint64_t bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+    // ru_maxrss is kilobytes on Linux but bytes on macOS/BSD; the
+    // platform-gated unit lives in mem_stats.h (RuMaxRssToBytes).
+    uint64_t bytes = RuMaxRssToBytes(static_cast<uint64_t>(usage.ru_maxrss));
     MemStats::Get().peak_rss_bytes.Set(static_cast<int64_t>(bytes));
     return bytes;
   }

@@ -38,9 +38,33 @@ struct MemStats {
   MemStats();
 };
 
-// Reads the process peak RSS from the OS (ru_maxrss, bytes; 0 where
-// unsupported) and Set()s mem.peak_rss_bytes. Called by the JSON /
-// Prometheus / profile exporters so the gauge is fresh in every dump.
+// Unit getrusage reports ru_maxrss in. POSIX leaves it unspecified: Linux
+// uses kilobytes, macOS and the BSDs report bytes. Scaling unconditionally
+// by 1024 inflated mem.peak_rss_bytes 1024x off-Linux — enough to make the
+// tracked <= rss sanity bound vacuously true and the gauge useless.
+enum class RuMaxRssUnit { kKilobytes, kBytes };
+
+// The unit this build's platform reports.
+#if defined(__APPLE__) || defined(__FreeBSD__) || defined(__NetBSD__) || \
+    defined(__OpenBSD__) || defined(__DragonFly__)
+inline constexpr RuMaxRssUnit kPlatformRuMaxRssUnit = RuMaxRssUnit::kBytes;
+#else
+inline constexpr RuMaxRssUnit kPlatformRuMaxRssUnit =
+    RuMaxRssUnit::kKilobytes;
+#endif
+
+// Converts a raw ru_maxrss reading to bytes under the given unit. Split
+// out (with the unit explicit) so the scaling is testable on every
+// platform, not just the one the test happens to run on.
+inline uint64_t RuMaxRssToBytes(
+    uint64_t raw, RuMaxRssUnit unit = kPlatformRuMaxRssUnit) {
+  return unit == RuMaxRssUnit::kKilobytes ? raw * 1024 : raw;
+}
+
+// Reads the process peak RSS from the OS (ru_maxrss scaled to bytes per
+// kPlatformRuMaxRssUnit; 0 where unsupported) and Set()s
+// mem.peak_rss_bytes. Called by the JSON / Prometheus / profile exporters
+// so the gauge is fresh in every dump.
 uint64_t SampleRssGauge();
 
 // One point on the memory timeline: the live per-subsystem levels at

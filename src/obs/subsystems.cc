@@ -51,6 +51,11 @@ BatchCounters& BatchCounters::Get() {
   return *instance;
 }
 
+ServerCounters& ServerCounters::Get() {
+  static ServerCounters* instance = new ServerCounters();
+  return *instance;
+}
+
 ObsCounters& ObsCounters::Get() {
   static ObsCounters* instance = new ObsCounters();
   return *instance;

@@ -147,6 +147,32 @@ struct BatchCounters {
   static BatchCounters& Get();
 };
 
+// Long-lived query service (src/server/, docs/SERVING.md). Requests counts
+// every framed request read off a connection; shed counts admission-control
+// rejections (bounded queue full or in-flight bytes over the threshold) —
+// a rising shed rate is the serving layer's backpressure signal. Latency
+// is measured from frame decode to response write; queue_wait from enqueue
+// to worker pickup (its p99 growing toward the latency p99 means the
+// worker pool, not the checkers, is the bottleneck).
+struct ServerCounters {
+  Counter& connections = *GetCounter("server.connections");
+  Counter& requests = *GetCounter("server.requests");
+  Counter& responses = *GetCounter("server.responses");
+  Counter& shed = *GetCounter("server.shed");
+  Counter& errors = *GetCounter("server.errors");
+  Counter& drained = *GetCounter("server.drained");
+  Counter& metrics_scrapes = *GetCounter("server.metrics_scrapes");
+  Histogram& request_latency_ns = *GetHistogram("server.request_latency_ns");
+  Histogram& queue_wait_ns = *GetHistogram("server.queue_wait_ns");
+  // Live connections / queued-but-not-picked-up requests (peaks = worst
+  // concurrency and deepest backlog the process ever saw).
+  Gauge& active_connections = *GetGauge("server.active_connections");
+  Gauge& queue_depth = *GetGauge("server.queue_depth");
+  Gauge& inflight_requests = *GetGauge("server.inflight_requests");
+
+  static ServerCounters& Get();
+};
+
 // The observability layer's own health counters: spans past the tracer's
 // record cap (obs/trace.h) and completed-query summaries evicted from (or
 // lost to) the flight-recorder ring (obs/flight_recorder.h).

@@ -1,0 +1,119 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace rq {
+namespace server {
+
+namespace {
+
+Result<int> ConnectFd(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + ::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad host address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = InternalError("connect " + host + ":" +
+                                  std::to_string(port) + ": " +
+                                  ::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<BlockingClient> BlockingClient::Connect(const std::string& host,
+                                               uint16_t port) {
+  RQ_ASSIGN_OR_RETURN(int fd, ConnectFd(host, port));
+  BlockingClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status BlockingClient::Send(const obs::JsonValue& request) {
+  if (fd_ < 0) return InternalError("client is not connected");
+  return WriteFrame(fd_, request.Dump());
+}
+
+Result<obs::JsonValue> BlockingClient::Receive() {
+  if (fd_ < 0) return InternalError("client is not connected");
+  std::string payload;
+  bool clean_eof = false;
+  RQ_RETURN_IF_ERROR(ReadFrame(fd_, &payload, &clean_eof));
+  if (clean_eof) {
+    return InternalError("server closed the connection");
+  }
+  return obs::JsonValue::Parse(payload);
+}
+
+Result<obs::JsonValue> BlockingClient::Call(const obs::JsonValue& request) {
+  RQ_RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path) {
+  RQ_ASSIGN_OR_RETURN(int fd, ConnectFd(host, port));
+  std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  Status write_status = WriteRaw(fd, request);
+  if (!write_status.ok()) {
+    ::close(fd);
+    return write_status;
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    response.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  size_t body_start = response.find("\r\n\r\n");
+  if (body_start == std::string::npos) {
+    return InternalError("malformed HTTP response");
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    return InternalError("HTTP error: " +
+                         response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(body_start + 4);
+}
+
+}  // namespace server
+}  // namespace rq

@@ -1,0 +1,62 @@
+// Minimal blocking client for the query service's framed protocol, used by
+// the server tests, the closed-loop throughput bench, and anyone driving
+// rqserved programmatically. One socket per client; Call() is
+// send-one-receive-one (the server may reorder responses across pipelined
+// requests, so callers that pipeline should match on `id` themselves via
+// Send/Receive).
+#ifndef RQ_SERVER_CLIENT_H_
+#define RQ_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace rq {
+namespace server {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+
+  BlockingClient(BlockingClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  BlockingClient& operator=(BlockingClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  static Result<BlockingClient> Connect(const std::string& host,
+                                        uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // One framed request out; one framed response (parsed) back.
+  Status Send(const obs::JsonValue& request);
+  Result<obs::JsonValue> Receive();
+  Result<obs::JsonValue> Call(const obs::JsonValue& request);
+
+ private:
+  int fd_ = -1;
+};
+
+// One-shot HTTP GET against the server's listener (the /metrics scrape
+// path); returns the response body on a 200.
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path);
+
+}  // namespace server
+}  // namespace rq
+
+#endif  // RQ_SERVER_CLIENT_H_

@@ -1,0 +1,363 @@
+#include "server/handlers.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "containment/batch.h"
+#include "containment/containment.h"
+#include "crpq/crpq.h"
+#include "datalog/eval.h"
+#include "obs/export.h"
+#include "pathquery/containment.h"
+#include "pathquery/path_query.h"
+#include "relational/cq.h"
+#include "rq/equivalence.h"
+#include "rq/eval.h"
+#include "rq/parser.h"
+
+namespace rq {
+namespace server {
+
+namespace {
+
+obs::JsonValue StatusError(const obs::JsonValue& id, const Status& status) {
+  return ErrorResponse(id, ErrorCodeForStatus(status), status.message());
+}
+
+// Renders one path-containment verdict (shared by the containment handler
+// and each direction of an rpq/2rpq equivalence check).
+obs::JsonValue RenderPathVerdict(const PathContainmentResult& result,
+                                 const Alphabet& alphabet) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("contained", obs::JsonValue::Bool(result.contained));
+  out.Set("pipeline", obs::JsonValue::String(
+                          result.used_fold_pipeline ? "2rpq-fold" : "lemma1"));
+  if (!result.contained) {
+    out.Set("counterexample_word",
+            obs::JsonValue::String(
+                WordToString(alphabet, result.counterexample)));
+  }
+  return out;
+}
+
+// Sorted tuples rendered as arrays of node names, capped at max_tuples.
+void RenderRelation(const GraphDb& graph, const Relation& relation,
+                    int64_t max_tuples, obs::JsonValue* response) {
+  if (max_tuples <= 0) max_tuples = kDefaultMaxTuples;
+  obs::JsonValue tuples = obs::JsonValue::Array();
+  int64_t emitted = 0;
+  for (const Tuple& tuple : relation.SortedTuples()) {
+    if (emitted >= max_tuples) break;
+    obs::JsonValue row = obs::JsonValue::Array();
+    for (Value value : tuple) {
+      row.Append(obs::JsonValue::String(
+          graph.NodeName(static_cast<NodeId>(value))));
+    }
+    tuples.Append(std::move(row));
+    ++emitted;
+  }
+  response->Set("tuples", std::move(tuples));
+  response->Set("count",
+                obs::JsonValue::Number(static_cast<uint64_t>(relation.size())));
+  response->Set("truncated", obs::JsonValue::Bool(
+                                 static_cast<int64_t>(relation.size()) >
+                                 max_tuples));
+}
+
+obs::JsonValue HandleContainment(const Request& request,
+                                 const HandlerContext& ctx) {
+  (void)ctx;
+  const std::string& cls = request.cls;
+  if (cls == "rpq" || cls == "2rpq") {
+    Alphabet alphabet;
+    auto r1 = ParseRegex(request.q1, &alphabet);
+    if (!r1.ok()) return StatusError(request.id, r1.status());
+    auto r2 = ParseRegex(request.q2, &alphabet);
+    if (!r2.ok()) return StatusError(request.id, r2.status());
+    // Route through the batch engine (one-job batch): the worker-pool
+    // BatchExecGuard chains the job's deadline/budget to the per-request
+    // contexts the server installed, and the shared automata cache
+    // deduplicates sub-constructions across concurrent requests.
+    std::vector<PathContainmentJob> jobs = {{r1->get(), r2->get()}};
+    std::vector<PathContainmentResult> results =
+        CheckPathContainmentBatch(jobs, alphabet);
+    const PathContainmentResult& result = results[0];
+    if (!result.status.ok()) return StatusError(request.id, result.status);
+    obs::JsonValue response = OkResponse(request.id);
+    response.Set("verdict", obs::JsonValue::String(
+                                result.contained ? "proved" : "refuted"));
+    obs::JsonValue verdict = RenderPathVerdict(result, alphabet);
+    for (auto& [key, value] : verdict.members()) {
+      response.Set(key, std::move(value));
+    }
+    return response;
+  }
+  if (cls == "cq" || cls == "ucq") {
+    auto q1 = ParseUcq(request.q1);
+    if (!q1.ok()) return StatusError(request.id, q1.status());
+    auto q2 = ParseUcq(request.q2);
+    if (!q2.ok()) return StatusError(request.id, q2.status());
+    auto contained = UcqContained(*q1, *q2);
+    if (!contained.ok()) return StatusError(request.id, contained.status());
+    obs::JsonValue response = OkResponse(request.id);
+    response.Set("verdict", obs::JsonValue::String(*contained ? "proved"
+                                                              : "refuted"));
+    response.Set("method",
+                 obs::JsonValue::String(
+                     q1->disjuncts.size() == 1 && q2->disjuncts.size() == 1
+                         ? "chandra-merlin"
+                         : "sagiv-yannakakis"));
+    return response;
+  }
+  if (cls == "uc2rpq") {
+    Alphabet alphabet;
+    auto q1 = ParseUc2Rpq(request.q1, &alphabet);
+    if (!q1.ok()) return StatusError(request.id, q1.status());
+    auto q2 = ParseUc2Rpq(request.q2, &alphabet);
+    if (!q2.ok()) return StatusError(request.id, q2.status());
+    auto result = CheckUc2RpqContainment(*q1, *q2, alphabet);
+    if (!result.ok()) return StatusError(request.id, result.status());
+    obs::JsonValue response = OkResponse(request.id);
+    response.Set("verdict",
+                 obs::JsonValue::String(CertaintyName(result->certainty)));
+    response.Set("method", obs::JsonValue::String(result->method));
+    response.Set("truncated", obs::JsonValue::Bool(result->truncated));
+    if (result->counterexample.has_value()) {
+      response.Set("counterexample_graph",
+                   obs::JsonValue::String(result->counterexample->ToText()));
+    }
+    return response;
+  }
+  if (cls == "rq") {
+    auto q1 = ParseRq(request.q1);
+    if (!q1.ok()) return StatusError(request.id, q1.status());
+    auto q2 = ParseRq(request.q2);
+    if (!q2.ok()) return StatusError(request.id, q2.status());
+    auto result = CheckRqContainment(*q1, *q2);
+    if (!result.ok()) return StatusError(request.id, result.status());
+    obs::JsonValue response = OkResponse(request.id);
+    response.Set("verdict",
+                 obs::JsonValue::String(CertaintyName(result->certainty)));
+    response.Set("method", obs::JsonValue::String(result->method));
+    if (result->counterexample.has_value()) {
+      response.Set("counterexample_database",
+                   obs::JsonValue::String(result->counterexample->ToString()));
+    }
+    return response;
+  }
+  if (cls == "datalog") {
+    auto q1 = ParseDatalog(request.q1);
+    if (!q1.ok()) return StatusError(request.id, q1.status());
+    auto q2 = ParseDatalog(request.q2);
+    if (!q2.ok()) return StatusError(request.id, q2.status());
+    auto result = CheckDatalogContainment(*q1, *q2);
+    if (!result.ok()) return StatusError(request.id, result.status());
+    obs::JsonValue response = OkResponse(request.id);
+    response.Set("verdict",
+                 obs::JsonValue::String(CertaintyName(result->certainty)));
+    response.Set("method", obs::JsonValue::String(result->method));
+    if (result->counterexample.has_value()) {
+      response.Set("counterexample_database",
+                   obs::JsonValue::String(result->counterexample->ToString()));
+    }
+    return response;
+  }
+  return ErrorResponse(request.id, "invalid_request",
+                       "unknown containment class '" + cls +
+                           "' (rpq|2rpq|cq|ucq|uc2rpq|rq|datalog)");
+}
+
+obs::JsonValue HandleEquivalence(const Request& request,
+                                 const HandlerContext& ctx) {
+  (void)ctx;
+  const std::string& cls = request.cls;
+  if (cls == "rpq" || cls == "2rpq") {
+    Alphabet alphabet;
+    auto r1 = ParseRegex(request.q1, &alphabet);
+    if (!r1.ok()) return StatusError(request.id, r1.status());
+    auto r2 = ParseRegex(request.q2, &alphabet);
+    if (!r2.ok()) return StatusError(request.id, r2.status());
+    // Both directions as one two-job batch: the pool runs them
+    // concurrently when worker slots are free.
+    std::vector<PathContainmentJob> jobs = {{r1->get(), r2->get()},
+                                            {r2->get(), r1->get()}};
+    std::vector<PathContainmentResult> results =
+        CheckPathContainmentBatch(jobs, alphabet);
+    for (const PathContainmentResult& result : results) {
+      if (!result.status.ok()) return StatusError(request.id, result.status);
+    }
+    obs::JsonValue response = OkResponse(request.id);
+    bool equivalent = results[0].contained && results[1].contained;
+    response.Set("verdict", obs::JsonValue::String(
+                                equivalent ? "equivalent" : "not-equivalent"));
+    response.Set("forward", RenderPathVerdict(results[0], alphabet));
+    response.Set("backward", RenderPathVerdict(results[1], alphabet));
+    return response;
+  }
+  if (cls == "rq") {
+    auto q1 = ParseRq(request.q1);
+    if (!q1.ok()) return StatusError(request.id, q1.status());
+    auto q2 = ParseRq(request.q2);
+    if (!q2.ok()) return StatusError(request.id, q2.status());
+    auto result = CheckRqEquivalence(*q1, *q2);
+    if (!result.ok()) return StatusError(request.id, result.status());
+    obs::JsonValue response = OkResponse(request.id);
+    response.Set("verdict", obs::JsonValue::String(
+                                EquivalenceVerdictName(result->verdict)));
+    auto direction = [](const auto& half) {
+      obs::JsonValue out = obs::JsonValue::Object();
+      out.Set("verdict", obs::JsonValue::String(CertaintyName(half.certainty)));
+      out.Set("method", obs::JsonValue::String(half.method));
+      if (half.counterexample.has_value()) {
+        out.Set("counterexample_database",
+                obs::JsonValue::String(half.counterexample->ToString()));
+      }
+      return out;
+    };
+    response.Set("forward", direction(result->forward));
+    response.Set("backward", direction(result->backward));
+    return response;
+  }
+  return ErrorResponse(request.id,
+                       cls.empty() ? "invalid_request" : "unimplemented",
+                       "equivalence supports classes rpq|2rpq|rq, got '" +
+                           cls + "'");
+}
+
+obs::JsonValue HandleEval(const Request& request, const HandlerContext& ctx) {
+  // Inline graphs are parsed per request; otherwise the preloaded one is
+  // shared read-only across workers (alphabet copied before parsing so
+  // query-symbol interning never mutates shared state).
+  std::optional<GraphDb> local_graph;
+  const GraphDb* graph = ctx.graph;
+  if (!request.graph.empty()) {
+    auto parsed = GraphDb::FromText(request.graph);
+    if (!parsed.ok()) return StatusError(request.id, parsed.status());
+    local_graph = std::move(parsed).value();
+    graph = &*local_graph;
+  }
+  if (graph == nullptr) {
+    return ErrorResponse(request.id, "invalid_request",
+                         "no graph: pass a 'graph' field or start the "
+                         "server with --graph");
+  }
+
+  const std::string& cls = request.cls;
+  if (cls == "path") {
+    Alphabet alphabet = graph->alphabet();
+    auto q = ParsePathQuery(request.query, &alphabet);
+    if (!q.ok()) return StatusError(request.id, q.status());
+    std::shared_ptr<const GraphSnapshot> snapshot =
+        (!local_graph.has_value() && ctx.snapshot != nullptr)
+            ? ctx.snapshot
+            : graph->Snapshot();
+    Relation out(2);
+    for (const auto& [x, y] : EvalPathQuery(*snapshot, *q->regex)) {
+      out.Insert({x, y});
+    }
+    // Path evaluation reports deadline/budget truncation through the
+    // installed context, not a Status return — surface it rather than
+    // answering with a silently partial set.
+    if (Status s = CheckExecContext(); !s.ok()) {
+      return StatusError(request.id, s);
+    }
+    obs::JsonValue response = OkResponse(request.id);
+    RenderRelation(*graph, out, request.max_tuples, &response);
+    return response;
+  }
+  if (cls == "crpq") {
+    Alphabet alphabet = graph->alphabet();
+    auto q = ParseUc2Rpq(request.query, &alphabet);
+    if (!q.ok()) return StatusError(request.id, q.status());
+    auto out = EvalUc2Rpq(*graph, *q);
+    if (!out.ok()) return StatusError(request.id, out.status());
+    obs::JsonValue response = OkResponse(request.id);
+    RenderRelation(*graph, *out, request.max_tuples, &response);
+    return response;
+  }
+  if (cls == "rq" || cls == "datalog") {
+    std::optional<Database> local_db;
+    const Database* database = ctx.database;
+    if (local_graph.has_value() || database == nullptr) {
+      local_db = GraphToDatabase(*graph);
+      database = &*local_db;
+    }
+    Result<Relation> out = [&]() -> Result<Relation> {
+      if (cls == "rq") {
+        auto q = ParseRq(request.query);
+        if (!q.ok()) return q.status();
+        return EvalRqQuery(*database, *q);
+      }
+      auto q = ParseDatalog(request.query);
+      if (!q.ok()) return q.status();
+      return EvalDatalogGoal(*q, *database);
+    }();
+    if (!out.ok()) return StatusError(request.id, out.status());
+    obs::JsonValue response = OkResponse(request.id);
+    RenderRelation(*graph, *out, request.max_tuples, &response);
+    return response;
+  }
+  return ErrorResponse(request.id, "invalid_request",
+                       "unknown eval class '" + cls +
+                           "' (path|crpq|rq|datalog)");
+}
+
+obs::JsonValue HandleSleep(const Request& request, const HandlerContext& ctx) {
+  if (!ctx.enable_sleep) {
+    return ErrorResponse(request.id, "invalid_request",
+                         "sleep requests are disabled (rqserved "
+                         "--enable-sleep)");
+  }
+  // Hold the worker for sleep_ms in short slices, polling the installed
+  // contexts so per-request deadlines and budgets still fire.
+  int64_t remaining_ms = request.sleep_ms;
+  while (remaining_ms > 0) {
+    if (Status s = CheckExecContext(); !s.ok()) {
+      return StatusError(request.id, s);
+    }
+    int64_t slice_ms = std::min<int64_t>(remaining_ms, 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice_ms));
+    remaining_ms -= slice_ms;
+  }
+  obs::JsonValue response = OkResponse(request.id);
+  response.Set("slept_ms", obs::JsonValue::Number(request.sleep_ms));
+  return response;
+}
+
+}  // namespace
+
+obs::JsonValue ExecuteRequest(const Request& request,
+                              const HandlerContext& ctx) {
+  switch (request.type) {
+    case RequestType::kContainment:
+      return HandleContainment(request, ctx);
+    case RequestType::kEquivalence:
+      return HandleEquivalence(request, ctx);
+    case RequestType::kEval:
+      return HandleEval(request, ctx);
+    case RequestType::kStats: {
+      obs::JsonValue response = OkResponse(request.id);
+      response.Set("stats", obs::SnapshotJson());
+      return response;
+    }
+    case RequestType::kSleep:
+      return HandleSleep(request, ctx);
+    case RequestType::kHealth:
+      break;  // answered inline by the server's reader thread
+  }
+  return ErrorResponse(request.id, "internal",
+                       std::string("request type '") +
+                           RequestTypeName(request.type) +
+                           "' reached the worker pool");
+}
+
+}  // namespace server
+}  // namespace rq

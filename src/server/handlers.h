@@ -1,0 +1,52 @@
+// Request execution for the query service: maps one decoded protocol
+// Request onto the library's checkers and evaluators and renders the
+// response document. Handlers run on server worker threads with the
+// per-request ExecContext / MemContext already installed (server.cc), so
+// deadline and budget trips surface here as non-OK Statuses and become
+// `deadline_exceeded` / `resource_exhausted` wire errors.
+#ifndef RQ_SERVER_HANDLERS_H_
+#define RQ_SERVER_HANDLERS_H_
+
+#include <memory>
+#include <optional>
+
+#include "graph/graph_db.h"
+#include "graph/snapshot.h"
+#include "obs/json.h"
+#include "relational/relation.h"
+#include "server/protocol.h"
+
+namespace rq {
+namespace server {
+
+// Shared read-only state handlers evaluate against. The preloaded graph
+// (rqserved --graph) is never mutated after startup: per-request query
+// parsing interns symbols into a COPY of its alphabet, evaluation runs
+// over the immutable snapshot, so any number of workers may execute
+// concurrently against it.
+struct HandlerContext {
+  const GraphDb* graph = nullptr;                 // may be null (no --graph)
+  std::shared_ptr<const GraphSnapshot> snapshot;  // frozen at load time
+  const Database* database = nullptr;             // GraphToDatabase(*graph)
+  // Gate for the `sleep` request type (a test/bench endpoint that holds a
+  // worker for sleep_ms while polling the installed contexts). Off in
+  // production so clients cannot park workers at will.
+  bool enable_sleep = false;
+};
+
+// Default / hard cap applied to eval answer sets when the request does not
+// set max_tuples (the full answer can be |V|^2 tuples; a serving process
+// must bound its response frames).
+inline constexpr int64_t kDefaultMaxTuples = 10000;
+
+// Executes containment / equivalence / eval / stats / sleep requests and
+// returns the complete response document (never throws; failures come back
+// as {"ok": false} responses). kHealth is answered by the server itself —
+// passing it here is an internal error response.
+obs::JsonValue ExecuteRequest(const Request& request,
+                              const HandlerContext& ctx);
+
+}  // namespace server
+}  // namespace rq
+
+#endif  // RQ_SERVER_HANDLERS_H_

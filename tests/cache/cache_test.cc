@@ -119,6 +119,20 @@ TEST(LruByteCacheTest, DuplicatePutKeepsFirstValue) {
   EXPECT_EQ(lru.entries(), 1u);
 }
 
+TEST(LruByteCacheTest, DuplicatePutCountsAsHit) {
+  // A duplicate-key Put hands back the resident value — a hit. It must
+  // bump the hit counters (per-kind and aggregate) and NOT count as an
+  // insert, so hits + misses + inserts keeps tracking cache operations.
+  cache::LruByteCache<int> lru("test_dup", 1 << 20);
+  obs::CounterDelta delta;
+  lru.Put("k", 1, 8);                     // insert
+  lru.Put("k", 2, 8);                     // duplicate: hit, not insert
+  EXPECT_EQ(delta.Delta("cache.test_dup_hits"), 1u);
+  EXPECT_EQ(delta.Delta("cache.test_dup_misses"), 0u);
+  EXPECT_EQ(delta.Delta("cache.hits"), 1u);
+  EXPECT_EQ(delta.Delta("cache.inserts"), 1u);
+}
+
 TEST(AutomataCacheTest, CachedConstructionsMatchDirectOnes) {
   ScopedCacheEnabled enabled;
   RegexPtr regex = Regex::Concat(

@@ -14,6 +14,7 @@
 
 #include "automata/containment.h"
 #include "cache/lru.h"
+#include "common/mem.h"
 #include "containment/batch.h"
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
@@ -338,6 +339,71 @@ TEST(BatchStatusTest, ExternalTokenCancelsQueuedJobs) {
 // Satellite regression for src/cache/lru.h: an entry larger than the whole
 // budget used to evict every resident entry and then itself — the cache
 // ended up empty. Oversized values now bypass insertion.
+// Exit-code precedence when BOTH resource bounds trip (docs/ROBUSTNESS.md
+// "Which error wins"): each context latches its own verdict independently
+// and sticks to it, but the shared polling site CheckExecContext() consults
+// the memory budget BEFORE the deadline, so once the byte budget is
+// exceeded every subsequent poll reports kResourceExhausted — even if the
+// deadline latched kDeadlineExceeded first. rqcheck mirrors this: a check
+// whose MemContext pot was exceeded exits 4 even when the deadline also
+// expired.
+TEST(ResourcePrecedenceTest, MemoryVerdictOutranksLatchedDeadline) {
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  // The deadline latches first: no memory context installed yet.
+  EXPECT_EQ(CheckExecContext().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ctx.stopped());
+
+  MemContext mem(1);  // 1-byte budget: the first charge crosses it
+  ScopedMemContext scoped_mem(&mem);
+  {
+    MemScope scope(MemSubsystem::kOther);
+    MemCharge(2);
+    // Both bounds are now tripped. The memory verdict wins at the shared
+    // polling site, and keeps winning (both latches are sticky)...
+    EXPECT_EQ(CheckExecContext().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(CheckExecContext().code(), StatusCode::kResourceExhausted);
+  }
+  // ...while the ExecContext's own latch still remembers the deadline —
+  // precedence is a property of the polling site, not a rewrite of either
+  // context's latched status.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(mem.exceeded());
+}
+
+TEST(ResourcePrecedenceTest, MemoryVerdictWinsWhenBothTripBeforeFirstPoll) {
+  // Fresh contexts, both already over their bounds before anything polls:
+  // the first poll reports the memory verdict, so a query that trips both
+  // surfaces kResourceExhausted (rqcheck exit 4), not kDeadlineExceeded.
+  MemContext mem(1);
+  ScopedMemContext scoped_mem(&mem);
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  MemScope scope(MemSubsystem::kOther);
+  MemCharge(2);
+  EXPECT_EQ(CheckExecContext().code(), StatusCode::kResourceExhausted);
+  // The deadline never got to latch through the shared site.
+  EXPECT_FALSE(ctx.stopped());
+}
+
+TEST(ResourcePrecedenceTest, CheckerSurfacesMemoryErrorWhenBothTrip) {
+  // End to end through a real decision procedure: with an expired deadline
+  // AND an exhausted byte budget installed, the containment checker's
+  // Status carries the memory verdict.
+  Alphabet alphabet;
+  RegexPtr q1 = Parse("a a* b", &alphabet);
+  RegexPtr q2 = Parse("a* b", &alphabet);
+  MemContext mem(1);
+  ScopedMemContext scoped_mem(&mem);
+  MemScope scope(MemSubsystem::kOther);
+  MemCharge(2);
+  ExecContext ctx(ExpiredDeadline());
+  ScopedExecContext scoped(&ctx);
+  PathContainmentResult result =
+      CheckPathQueryContainment(*q1, *q2, alphabet);
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+}
+
 TEST(LruOversizedTest, OversizedPutBypassesInsteadOfFlushingCache) {
   obs::CounterDelta delta;
   cache::LruByteCache<int> cache("ovsz_test", /*byte_budget=*/512);

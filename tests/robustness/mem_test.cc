@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
+
 #include <string>
 
 #include "cache/automata_cache.h"
@@ -329,6 +333,28 @@ TEST(MemObsTest, AccountingNeverExceedsRss) {
   EXPECT_LE(static_cast<uint64_t>(tracked), rss);
   EXPECT_EQ(obs::MemStats::Get().peak_rss_bytes.value(),
             static_cast<int64_t>(rss));
+}
+
+TEST(MemObsTest, RuMaxRssScalingIsPlatformGated) {
+  // Regression for the unconditional `* 1024`: ru_maxrss is kilobytes on
+  // Linux but ALREADY bytes on macOS/BSD, so scaling must depend on the
+  // unit. The pre-fix code inflated the bytes-unit reading 1024x, which
+  // made AccountingNeverExceedsRss vacuous off-Linux.
+  EXPECT_EQ(obs::RuMaxRssToBytes(5, obs::RuMaxRssUnit::kKilobytes), 5120u);
+  EXPECT_EQ(obs::RuMaxRssToBytes(5, obs::RuMaxRssUnit::kBytes), 5u);
+#if defined(__linux__)
+  EXPECT_EQ(obs::kPlatformRuMaxRssUnit, obs::RuMaxRssUnit::kKilobytes);
+#elif defined(__APPLE__)
+  EXPECT_EQ(obs::kPlatformRuMaxRssUnit, obs::RuMaxRssUnit::kBytes);
+#endif
+  // The sampled gauge must agree with the helper applied to the raw
+  // platform reading — i.e. SampleRssGauge applies exactly one scaling.
+  uint64_t sampled = obs::SampleRssGauge();
+  if (sampled == 0) GTEST_SKIP() << "getrusage unsupported here";
+  struct rusage usage;
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &usage), 0);
+  EXPECT_GE(obs::RuMaxRssToBytes(static_cast<uint64_t>(usage.ru_maxrss)),
+            sampled);
 }
 
 TEST(MemObsTest, AllocHistogramRecordsPositiveChargesOnly) {
