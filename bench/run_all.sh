@@ -274,6 +274,32 @@ if server_configs:
                       "shedding config (docs/SERVING.md)",
     }
 
+# Fourth headline: live-mutation throughput from bench_graph_mutation's
+# mixed read/write closed-loop configs (docs/SERVING.md "Updates"). Keyed
+# by benchmark name so the writer sweep and the budget-capped fallback
+# config both land in the suite summary.
+mutation_configs = {}
+for report in suite["binaries"]:
+    if report.get("binary") != "bench_graph_mutation":
+        continue
+    for b in report.get("benchmarks", []):
+        counters = b.get("counters", {})
+        if "error" in b or "mutations_per_s" not in counters:
+            continue
+        mutation_configs[b["name"]] = {
+            "mutations_per_s": counters["mutations_per_s"],
+            "edges_per_s": counters.get("edges_per_s"),
+            "reads_per_s": counters.get("reads_per_s"),
+            "write_p99_us": counters.get("write_p99_us"),
+        }
+if mutation_configs:
+    suite["mutation_throughput"] = {
+        "configs": mutation_configs,
+        "comparison": "closed-loop mixed update/eval writer sweep + "
+                      "budget-capped fallback config (docs/SERVING.md "
+                      "\"Updates\")",
+    }
+
 with open(out_path, "w") as f:
     json.dump(suite, f, indent=2)
     f.write("\n")

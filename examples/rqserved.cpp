@@ -7,6 +7,7 @@
 //            [--max-inflight-mb N]
 //            [--default-timeout-ms N] [--max-timeout-ms N]
 //            [--default-memory-budget-mb N] [--max-memory-budget-mb N]
+//            [--read-only] [--incr-delta-budget N] [--eval-cache-mb N]
 //            [--no-cache] [--enable-sleep] [--flight-dump <path>]
 //     --bind ADDR         listen address (default 127.0.0.1)
 //     --port N            listen port (default 0 = ephemeral; the chosen
@@ -29,6 +30,15 @@
 //                         per-request wall-clock budget default and cap
 //     --default-memory-budget-mb / --max-memory-budget-mb
 //                         per-request byte budget default and cap
+//     --read-only         refuse `update` requests (invalid_request); the
+//                         graph stays frozen at the --graph load
+//     --incr-delta-budget N
+//                         per-insert bound on the incremental closure
+//                         delta product before the label falls back to
+//                         full re-evaluation (default 1048576; 0 =
+//                         unbounded; docs/SERVING.md "Updates")
+//     --eval-cache-mb N   byte budget of the epoch-keyed eval answer
+//                         cache (default 8; 0 disables it)
 //     --no-cache          disable the content-addressed automata cache
 //                         (on by default: a long-lived server is exactly
 //                         the workload the cache exists for)
@@ -113,6 +123,8 @@ int main(int argc, char** argv) {
   int64_t max_queue_depth = -1;
   int64_t max_connections = -1;
   int64_t max_inflight_mb = 0;
+  int64_t incr_delta_budget = -1;
+  int64_t eval_cache_mb = -1;
   bool use_cache = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -139,10 +151,16 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, argc, argv, &i, "--default-memory-budget-mb",
                      &options.default_memory_budget_mb) ||
         ParseIntFlag(arg, argc, argv, &i, "--max-memory-budget-mb",
-                     &options.max_memory_budget_mb)) {
+                     &options.max_memory_budget_mb) ||
+        ParseIntFlag(arg, argc, argv, &i, "--incr-delta-budget",
+                     &incr_delta_budget) ||
+        ParseIntFlag(arg, argc, argv, &i, "--eval-cache-mb",
+                     &eval_cache_mb)) {
       continue;
     }
-    if (arg == "--no-cache") {
+    if (arg == "--read-only") {
+      options.enable_updates = false;
+    } else if (arg == "--no-cache") {
       use_cache = false;
     } else if (arg == "--enable-sleep") {
       options.enable_sleep = true;
@@ -163,6 +181,13 @@ int main(int argc, char** argv) {
   if (max_inflight_mb > 0) {
     options.max_inflight_bytes =
         static_cast<uint64_t>(max_inflight_mb) * 1024 * 1024;
+  }
+  if (incr_delta_budget >= 0) {
+    options.incr_delta_budget = static_cast<size_t>(incr_delta_budget);
+  }
+  if (eval_cache_mb >= 0) {
+    options.eval_cache_bytes =
+        static_cast<size_t>(eval_cache_mb) * 1024 * 1024;
   }
   if (jobs > 0) SetDefaultContainmentJobs(static_cast<unsigned>(jobs));
   cache::AutomataCache::Global().SetEnabled(use_cache);

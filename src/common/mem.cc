@@ -53,6 +53,8 @@ const char* MemSubsystemName(MemSubsystem subsystem) {
       return "graph";
     case MemSubsystem::kCache:
       return "cache";
+    case MemSubsystem::kIncr:
+      return "incr";
     case MemSubsystem::kOther:
       return "other";
   }

@@ -56,9 +56,10 @@ enum class MemSubsystem : uint8_t {
   kDatalog,       // Datalog fact stores and delta relations
   kGraph,         // CSR snapshots and product-BFS bitsets/frontiers
   kCache,         // automata cache entries (durable)
+  kIncr,          // incrementally maintained closures (relational/incremental.h)
   kOther,         // charges outside any MemScope
 };
-inline constexpr int kMemSubsystemCount = 8;
+inline constexpr int kMemSubsystemCount = 9;
 
 // "automata", "fold", ... (the <name> in mem.<name>_bytes).
 const char* MemSubsystemName(MemSubsystem subsystem);

@@ -19,6 +19,17 @@
 //     Snapshot(). The snapshot is a frozen CSR copy — it stays valid and
 //     safely shareable across threads for its whole lifetime, no matter
 //     what is done to the GraphDb afterwards.
+//   * Aliasing contract (load-bearing for the live-mutation serving path,
+//     docs/SERVING.md "Updates"): a GraphSnapshot shares NO storage with
+//     the GraphDb it was built from — construction copies every edge into
+//     the snapshot's own offset/target arrays. AddEdge / AddNode /
+//     AddNamedNode after Snapshot() therefore never invalidate, resize
+//     under, or otherwise touch memory a live snapshot reads; a writer may
+//     keep mutating and re-snapshotting (serialized among writers) while
+//     readers iterate older snapshots concurrently. What remains UNSAFE is
+//     only the build itself: Snapshot() reads the edge vector, so it must
+//     not run concurrently with a write to the same GraphDb.
+//     tests/graph/snapshot_concurrency_test.cc pins this down under tsan.
 #ifndef RQ_GRAPH_GRAPH_DB_H_
 #define RQ_GRAPH_GRAPH_DB_H_
 

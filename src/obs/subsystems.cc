@@ -46,6 +46,11 @@ GraphEvalCounters& GraphEvalCounters::Get() {
   return *instance;
 }
 
+IncrCounters& IncrCounters::Get() {
+  static IncrCounters* instance = new IncrCounters();
+  return *instance;
+}
+
 BatchCounters& BatchCounters::Get() {
   static BatchCounters* instance = new BatchCounters();
   return *instance;

@@ -127,13 +127,36 @@ struct GraphEvalCounters {
   Counter& snapshots = *GetCounter("graph.snapshots");
   Counter& evals = *GetCounter("graph.evals");
   Counter& product_states = *GetCounter("graph.product_states");
+  // Live mutation path (server/graph_store.h): applied update ops, and the
+  // wall-clock cost of republishing a graph version (frozen copy + CSR
+  // snapshot + relational image) per update batch.
+  Counter& mutations = *GetCounter("graph.mutations");
+  Histogram& rebuild_ns = *GetHistogram("graph.rebuild_ns");
   // Per-level frontier sizes and per-eval product states visited.
   Histogram& frontier_per_level = *GetHistogram("graph.frontier");
   Histogram& product_states_per_eval = *GetHistogram("graph.product_states");
   // Widest product frontier any single BFS level ever reached.
   Gauge& peak_frontier = *GetGauge("graph.peak_frontier");
+  // Current graph version of the serving store; monotonic (a gauge, not a
+  // counter, because it is a level read off the store, not an event count).
+  Gauge& epoch = *GetGauge("graph.epoch");
 
   static GraphEvalCounters& Get();
+};
+
+// Incremental closure maintenance (relational/incremental.h, the systems
+// twin of the paper's recursion-as-transitive-closure restriction §3.4).
+// pairs_added counts closure pairs derived from deltas (the work the
+// fixpoint never re-ran); fallbacks counts label closures demoted to full
+// re-evaluation because a delta product blew the budget or a deadline/
+// memory trip left the closure partial.
+struct IncrCounters {
+  Counter& pairs_added = *GetCounter("incr.pairs_added");
+  Counter& fallbacks = *GetCounter("incr.fallbacks");
+  Counter& seeds = *GetCounter("incr.seeds");
+  Counter& closure_evals = *GetCounter("incr.closure_evals");
+
+  static IncrCounters& Get();
 };
 
 // Batch containment engine (src/containment/batch.h).

@@ -1,0 +1,202 @@
+#include "server/graph_store.h"
+
+#include <chrono>
+#include <utility>
+
+#include "cache/key.h"
+#include "common/deadline.h"
+#include "obs/subsystems.h"
+#include "rq/eval.h"
+
+namespace rq {
+namespace server {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+GraphStore::GraphStore(GraphStoreOptions options)
+    : options_(options), closures_(options.incr_delta_budget) {
+  // Epoch 0: no graph yet. Evals against this view report "no graph"
+  // until a Load() or the first update batch publishes epoch 1.
+  view_ = std::make_shared<const GraphView>();
+  if (options_.eval_cache_bytes > 0) {
+    eval_cache_.emplace("eval", options_.eval_cache_bytes);
+  }
+}
+
+void GraphStore::Load(const GraphDb& graph) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  master_ = graph;
+  ++epoch_;
+  PublishLocked();
+}
+
+GraphView GraphStore::Acquire() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return *view_;
+}
+
+uint64_t GraphStore::epoch() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_->epoch;
+}
+
+void GraphStore::PublishLocked() {
+  uint64_t start_ns = NowNanos();
+  auto view = std::make_shared<GraphView>();
+  view->epoch = epoch_;
+  // The published graph is a frozen COPY of the master: later Apply()
+  // batches mutate the master freely while admitted requests keep reading
+  // this version (the aliasing contract in graph/graph_db.h makes the
+  // snapshot safe even against the master itself, but the relational image
+  // and NodeName rendering need a stable GraphDb too).
+  auto frozen = std::make_shared<const GraphDb>(master_);
+  view->graph = frozen;
+  view->snapshot = frozen->Snapshot();
+  view->database = std::make_shared<const Database>(GraphToDatabase(*frozen));
+  {
+    auto closures = std::make_shared<ClosureMap>();
+    for (const auto& [label, image] : closure_images_) {
+      closures->emplace(label, image);
+    }
+    view->closures = std::move(closures);
+  }
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view_ = std::move(view);
+  }
+  auto& counters = obs::GraphEvalCounters::Get();
+  counters.epoch.Set(static_cast<int64_t>(epoch_));
+  counters.rebuild_ns.Record(NowNanos() - start_ns);
+}
+
+Result<GraphStore::UpdateResult> GraphStore::Apply(
+    const std::vector<UpdateOp>& ops) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  UpdateResult result;
+  if (ops.empty()) {
+    result.epoch = epoch_;
+    return result;
+  }
+  auto& counters = obs::GraphEvalCounters::Get();
+  size_t nodes_before = master_.num_nodes();
+  Status failure = Status::Ok();
+  size_t applied = 0;
+  std::vector<uint32_t> touched_labels;
+  for (const UpdateOp& op : ops) {
+    if (Status s = CheckExecContext(); !s.ok()) {
+      failure = s;
+      break;
+    }
+    switch (op.kind) {
+      case UpdateOp::Kind::kAddNode:
+        if (op.name.empty()) {
+          master_.AddNode();
+        } else {
+          master_.AddNamedNode(op.name);
+        }
+        break;
+      case UpdateOp::Kind::kAddEdge: {
+        NodeId src = master_.AddNamedNode(op.src);
+        NodeId dst = master_.AddNamedNode(op.dst);
+        uint32_t label = master_.alphabet().InternLabel(op.label);
+        master_.AddEdge(src, label, dst);
+        ++result.edges_added;
+        touched_labels.push_back(label);
+        // Maintain the label's closure from the delta. Over-budget demotes
+        // the label inside PerLabelClosure (counted in incr.fallbacks) and
+        // is not a batch failure; a resource trip aborts the batch — the
+        // prefix applied so far still publishes below, so the master and
+        // the served view never diverge silently.
+        Result<size_t> pairs = closures_.AddEdge(label, src, dst);
+        if (!pairs.ok()) {
+          failure = pairs.status();
+        } else {
+          result.closure_pairs += *pairs;
+        }
+        break;
+      }
+    }
+    if (!failure.ok()) break;
+    ++applied;
+  }
+  // Refresh the immutable closure images for every label the batch
+  // touched: a demoted label's image is dropped, a maintained one is
+  // re-copied (one deep copy per touched label per BATCH, not per edge).
+  for (uint32_t label : touched_labels) {
+    const Relation* maintained = closures_.closure(label);
+    if (maintained == nullptr) {
+      closure_images_.erase(label);
+    } else {
+      closure_images_[label] = std::make_shared<const Relation>(*maintained);
+    }
+  }
+  if (applied > 0 || failure.ok()) {
+    ++epoch_;
+    counters.mutations.Add(applied);
+    PublishLocked();
+  }
+  result.epoch = epoch_;
+  result.nodes_added = master_.num_nodes() - nodes_before;
+  if (!failure.ok()) return failure;
+  return result;
+}
+
+void GraphStore::SeedClosure(const GraphView& view, uint32_t label,
+                             Relation base, Relation closure) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // A seed computed from an older epoch may be missing edges that landed
+  // since; accepting it would serve stale answers forever. Drop it — the
+  // next closure-shaped eval against the current epoch will re-seed.
+  if (view.epoch != epoch_ || epoch_ == 0) return;
+  closures_.Seed(label, std::move(base), std::move(closure));
+  closure_images_[label] =
+      std::make_shared<const Relation>(*closures_.closure(label));
+  // Republish the closure map at the SAME epoch: the graph is unchanged,
+  // so requests already pinned to this epoch may keep their view, and new
+  // admissions pick up the maintained closure without a version bump.
+  auto current = [&] {
+    std::lock_guard<std::mutex> view_lock(view_mu_);
+    return view_;
+  }();
+  auto updated = std::make_shared<GraphView>(*current);
+  auto closures = std::make_shared<ClosureMap>(closure_images_);
+  updated->closures = std::move(closures);
+  std::lock_guard<std::mutex> view_lock(view_mu_);
+  view_ = std::move(updated);
+}
+
+std::shared_ptr<const Relation> GraphStore::LookupEval(std::string_view key) {
+  if (!eval_cache_.has_value()) return nullptr;
+  return eval_cache_->Get(key);
+}
+
+std::shared_ptr<const Relation> GraphStore::StoreEval(std::string key,
+                                                      Relation answer) {
+  size_t bytes = answer.size() * kApproxClosurePairBytes;
+  if (!eval_cache_.has_value()) {
+    return std::make_shared<const Relation>(std::move(answer));
+  }
+  return eval_cache_->Put(std::move(key), std::move(answer), bytes);
+}
+
+std::string GraphStore::EvalCacheKey(uint64_t epoch, std::string_view cls,
+                                     std::string_view query) {
+  std::string key;
+  cache::AppendU64(epoch, &key);
+  key.append(cls);
+  key.push_back('\0');
+  key.append(query);
+  return key;
+}
+
+}  // namespace server
+}  // namespace rq

@@ -1,0 +1,158 @@
+// Versioned graph store for the live-mutation serving path
+// (docs/SERVING.md "Updates").
+//
+// The store owns the master GraphDb behind a writer mutex and publishes
+// immutable GraphViews: a frozen copy of the graph, its CSR snapshot
+// (graph/snapshot.h), its relational image (rq/eval.h GraphToDatabase),
+// and the per-label transitive-closure images maintained incrementally
+// (relational/incremental.h) — all behind one monotonically increasing
+// epoch. Consistency model:
+//
+//   * Readers never block on writers: Acquire() is a shared_ptr copy under
+//     a dedicated view mutex held for nanoseconds; the expensive republish
+//     happens off to the side under the writer mutex, then swaps in.
+//   * A request pins its view at admission time and evaluates against it
+//     for its whole lifetime — mutations that land mid-request are
+//     invisible to it (the epoch in the response says which version
+//     answered).
+//   * Writers republish once per update BATCH, not per edge: the rebuild
+//     (graph copy + counting-sort snapshot + relational image) is
+//     amortized over the batch and its wall-clock is recorded in
+//     graph.rebuild_ns.
+//   * Every cached artifact derived from graph contents is keyed by the
+//     epoch (EvalCacheKey), so a mutation makes stale entries unreachable
+//     instead of requiring invalidation; automata-only entries
+//     (docs/CACHING.md) stay epoch-free because no graph byte enters
+//     their keys.
+#ifndef RQ_SERVER_GRAPH_STORE_H_
+#define RQ_SERVER_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru.h"
+#include "common/status.h"
+#include "graph/graph_db.h"
+#include "graph/snapshot.h"
+#include "relational/incremental.h"
+#include "relational/relation.h"
+#include "server/protocol.h"
+
+namespace rq {
+namespace server {
+
+// One immutable published graph version. Copy freely across threads; every
+// component is shared and never mutated after publication.
+struct GraphView {
+  uint64_t epoch = 0;
+  std::shared_ptr<const GraphDb> graph;        // null until a graph exists
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  std::shared_ptr<const Database> database;
+  // label id -> maintained transitive closure of that label's edge
+  // relation; absent labels are not (currently) maintained.
+  std::shared_ptr<
+      const std::unordered_map<uint32_t, std::shared_ptr<const Relation>>>
+      closures;
+
+  bool has_graph() const { return graph != nullptr; }
+  // The maintained closure for `label`, or null (fall back to product-BFS).
+  const Relation* Closure(uint32_t label) const {
+    if (closures == nullptr) return nullptr;
+    auto it = closures->find(label);
+    return it == closures->end() ? nullptr : it->second.get();
+  }
+};
+
+struct GraphStoreOptions {
+  // Per-insert bound on the incremental delta product (sources × targets);
+  // a blown bound demotes that label's closure to from-scratch evaluation
+  // (incr.fallbacks). 0 = unbounded.
+  size_t incr_delta_budget = 1u << 20;
+  // Byte budget of the epoch-keyed eval answer cache; 0 disables it.
+  size_t eval_cache_bytes = 8u << 20;
+};
+
+class GraphStore {
+ public:
+  explicit GraphStore(GraphStoreOptions options = {});
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  // Seeds the master graph from a copy of `graph` and publishes epoch 1.
+  // Call before serving traffic; not synchronized against Apply().
+  void Load(const GraphDb& graph);
+
+  // The current published view (cheap; never blocks on a writer rebuild).
+  GraphView Acquire() const;
+
+  uint64_t epoch() const;
+
+  struct UpdateResult {
+    uint64_t epoch = 0;       // epoch the batch published
+    size_t nodes_added = 0;
+    size_t edges_added = 0;
+    size_t closure_pairs = 0;  // pairs derived incrementally for the batch
+  };
+
+  // Applies one update batch under the writer mutex and publishes the next
+  // epoch. Ops are validated up front (nothing applied on a malformed op);
+  // a deadline/memory trip mid-batch publishes the prefix applied so far
+  // and returns the error (the epoch in later responses tells the client
+  // what landed). Live label closures are maintained per inserted edge;
+  // a blown delta budget demotes the label (incr.fallbacks) instead of
+  // failing the batch.
+  Result<UpdateResult> Apply(const std::vector<UpdateOp>& ops);
+
+  // Promotes `label` to incrementally maintained, using a closure computed
+  // from `view` (base = that label's edge relation in the view). Dropped
+  // silently when the store has moved past view.epoch — a stale seed must
+  // not overwrite a newer closure. Republishes the view's closure map in
+  // place (same epoch: the graph itself is unchanged).
+  void SeedClosure(const GraphView& view, uint32_t label, Relation base,
+                   Relation closure);
+
+  // Epoch-keyed eval answer cache (kind "eval": cache.eval_hits / _misses /
+  // ... counters). Both return null / pass-through when disabled.
+  std::shared_ptr<const Relation> LookupEval(std::string_view key);
+  std::shared_ptr<const Relation> StoreEval(std::string key, Relation answer);
+
+  // epoch || class || '\0' || query — binds every cached answer to the
+  // graph version that produced it.
+  static std::string EvalCacheKey(uint64_t epoch, std::string_view cls,
+                                  std::string_view query);
+
+ private:
+  using ClosureMap =
+      std::unordered_map<uint32_t, std::shared_ptr<const Relation>>;
+
+  // Rebuilds and swaps in the published view at `epoch_` from the current
+  // master state. Caller holds writer_mu_.
+  void PublishLocked();
+
+  GraphStoreOptions options_;
+
+  std::mutex writer_mu_;  // serializes Load/Apply/SeedClosure
+  GraphDb master_;
+  PerLabelClosure closures_;
+  // Immutable copies of the maintained closures, refreshed per batch for
+  // the labels the batch touched; what PublishLocked hands to new views.
+  ClosureMap closure_images_;
+  uint64_t epoch_ = 0;
+
+  mutable std::mutex view_mu_;  // guards only the view_ pointer swap
+  std::shared_ptr<const GraphView> view_;
+
+  std::optional<cache::LruByteCache<Relation>> eval_cache_;
+};
+
+}  // namespace server
+}  // namespace rq
+
+#endif  // RQ_SERVER_GRAPH_STORE_H_

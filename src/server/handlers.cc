@@ -16,6 +16,8 @@
 #include "crpq/crpq.h"
 #include "datalog/eval.h"
 #include "obs/export.h"
+#include "obs/profile.h"
+#include "obs/subsystems.h"
 #include "pathquery/containment.h"
 #include "pathquery/path_query.h"
 #include "relational/cq.h"
@@ -232,82 +234,166 @@ obs::JsonValue HandleEquivalence(const Request& request,
                            cls + "'");
 }
 
+// The label whose transitive closure answers this query, when the regex is
+// closure-shaped: exactly `a+` over one forward symbol. (`a*` is NOT
+// closure-shaped — it additionally answers every identity pair.)
+std::optional<uint32_t> ClosureShapeLabel(const Regex& regex) {
+  if (regex.kind() != RegexKind::kPlus || regex.children().size() != 1) {
+    return std::nullopt;
+  }
+  const Regex& atom = *regex.children()[0];
+  if (atom.kind() != RegexKind::kAtom || IsInverseSymbol(atom.symbol())) {
+    return std::nullopt;
+  }
+  return SymbolLabel(atom.symbol());
+}
+
 obs::JsonValue HandleEval(const Request& request, const HandlerContext& ctx) {
-  // Inline graphs are parsed per request; otherwise the preloaded one is
-  // shared read-only across workers (alphabet copied before parsing so
-  // query-symbol interning never mutates shared state).
+  // Inline graphs are parsed per request; otherwise the request evaluates
+  // against its pinned GraphView — one immutable graph version for the
+  // request's whole lifetime, shared read-only across workers (alphabet
+  // copied before parsing so query-symbol interning never mutates shared
+  // state).
   std::optional<GraphDb> local_graph;
-  const GraphDb* graph = ctx.graph;
+  const GraphDb* graph = nullptr;
+  bool store_backed = false;
   if (!request.graph.empty()) {
     auto parsed = GraphDb::FromText(request.graph);
     if (!parsed.ok()) return StatusError(request.id, parsed.status());
     local_graph = std::move(parsed).value();
     graph = &*local_graph;
+  } else if (ctx.view.has_graph()) {
+    graph = ctx.view.graph.get();
+    store_backed = true;
   }
   if (graph == nullptr) {
     return ErrorResponse(request.id, "invalid_request",
-                         "no graph: pass a 'graph' field or start the "
-                         "server with --graph");
+                         "no graph: pass a 'graph' field, start the "
+                         "server with --graph, or send an update first");
   }
 
   const std::string& cls = request.cls;
+  if (cls != "path" && cls != "crpq" && cls != "rq" && cls != "datalog") {
+    return ErrorResponse(request.id, "invalid_request",
+                         "unknown eval class '" + cls +
+                             "' (path|crpq|rq|datalog)");
+  }
+
+  // Store-backed answers are cacheable because the key carries the graph
+  // epoch (server/graph_store.h): a mutation publishes a new epoch, so a
+  // stale entry can never be looked up again. Inline-graph answers are
+  // never cached — their graph is not versioned.
+  auto render = [&](const Relation& out) {
+    obs::JsonValue response = OkResponse(request.id);
+    RenderRelation(*graph, out, request.max_tuples, &response);
+    if (store_backed) {
+      response.Set("epoch", obs::JsonValue::Number(ctx.view.epoch));
+    }
+    return response;
+  };
+  std::string cache_key;
+  if (store_backed && ctx.store != nullptr) {
+    cache_key = GraphStore::EvalCacheKey(ctx.view.epoch, cls, request.query);
+    if (std::shared_ptr<const Relation> hit = ctx.store->LookupEval(cache_key);
+        hit != nullptr) {
+      obs::JsonValue response = render(*hit);
+      response.Set("cached", obs::JsonValue::Bool(true));
+      return response;
+    }
+  }
+  // Caches the computed answer (full answers only: a deadline or budget
+  // trip must surface as an error, never persist a partial answer set).
+  auto finish = [&](Relation out) {
+    if (Status s = CheckExecContext(); !s.ok()) {
+      return StatusError(request.id, s);
+    }
+    if (!cache_key.empty()) {
+      std::shared_ptr<const Relation> stored =
+          ctx.store->StoreEval(std::move(cache_key), std::move(out));
+      return render(*stored);
+    }
+    return render(out);
+  };
+
   if (cls == "path") {
     Alphabet alphabet = graph->alphabet();
     auto q = ParsePathQuery(request.query, &alphabet);
     if (!q.ok()) return StatusError(request.id, q.status());
     std::shared_ptr<const GraphSnapshot> snapshot =
-        (!local_graph.has_value() && ctx.snapshot != nullptr)
-            ? ctx.snapshot
-            : graph->Snapshot();
+        store_backed ? ctx.view.snapshot : graph->Snapshot();
+    std::optional<uint32_t> closure_label = ClosureShapeLabel(*q->regex);
+    if (store_backed && closure_label.has_value()) {
+      // Closure-shaped (`a+`) queries are served from the incrementally
+      // maintained per-label closure when the label is live — the answer
+      // update batches kept warm from deltas instead of re-running the
+      // product BFS (relational/incremental.h).
+      if (const Relation* closure = ctx.view.Closure(*closure_label);
+          closure != nullptr) {
+        obs::IncrCounters::Get().closure_evals.Increment();
+        if (auto* profile = obs::QueryProfile::Active()) {
+          profile->AddNote("eval_path", "incremental-closure");
+        }
+        obs::JsonValue response = render(*closure);
+        response.Set("incremental", obs::JsonValue::Bool(true));
+        return response;
+      }
+    }
     Relation out(2);
     for (const auto& [x, y] : EvalPathQuery(*snapshot, *q->regex)) {
       out.Insert({x, y});
     }
     // Path evaluation reports deadline/budget truncation through the
     // installed context, not a Status return — surface it rather than
-    // answering with a silently partial set.
+    // answering with a silently partial set (and never seed or cache a
+    // partial closure).
     if (Status s = CheckExecContext(); !s.ok()) {
       return StatusError(request.id, s);
     }
-    obs::JsonValue response = OkResponse(request.id);
-    RenderRelation(*graph, out, request.max_tuples, &response);
-    return response;
+    if (store_backed && closure_label.has_value() && ctx.store != nullptr) {
+      // First closure-shaped eval of this label: promote it to
+      // incrementally maintained, seeding from this full product-BFS
+      // answer (= the transitive closure of the label's edge relation).
+      Relation base(2);
+      for (const auto& [x, y] :
+           snapshot->SymbolPairs(ForwardSymbolOf(*closure_label))) {
+        base.Insert({x, y});
+      }
+      Relation closure(2);
+      closure.InsertAll(out);
+      ctx.store->SeedClosure(ctx.view, *closure_label, std::move(base),
+                             std::move(closure));
+    }
+    return finish(std::move(out));
   }
   if (cls == "crpq") {
     Alphabet alphabet = graph->alphabet();
     auto q = ParseUc2Rpq(request.query, &alphabet);
     if (!q.ok()) return StatusError(request.id, q.status());
-    auto out = EvalUc2Rpq(*graph, *q);
+    auto out = store_backed ? EvalUc2Rpq(*ctx.view.snapshot, *q)
+                            : EvalUc2Rpq(*graph, *q);
     if (!out.ok()) return StatusError(request.id, out.status());
-    obs::JsonValue response = OkResponse(request.id);
-    RenderRelation(*graph, *out, request.max_tuples, &response);
-    return response;
+    return finish(*std::move(out));
   }
-  if (cls == "rq" || cls == "datalog") {
-    std::optional<Database> local_db;
-    const Database* database = ctx.database;
-    if (local_graph.has_value() || database == nullptr) {
-      local_db = GraphToDatabase(*graph);
-      database = &*local_db;
-    }
-    Result<Relation> out = [&]() -> Result<Relation> {
-      if (cls == "rq") {
-        auto q = ParseRq(request.query);
-        if (!q.ok()) return q.status();
-        return EvalRqQuery(*database, *q);
-      }
-      auto q = ParseDatalog(request.query);
+  // rq / datalog evaluate over the relational image.
+  std::optional<Database> local_db;
+  const Database* database =
+      store_backed ? ctx.view.database.get() : nullptr;
+  if (database == nullptr) {
+    local_db = GraphToDatabase(*graph);
+    database = &*local_db;
+  }
+  Result<Relation> out = [&]() -> Result<Relation> {
+    if (cls == "rq") {
+      auto q = ParseRq(request.query);
       if (!q.ok()) return q.status();
-      return EvalDatalogGoal(*q, *database);
-    }();
-    if (!out.ok()) return StatusError(request.id, out.status());
-    obs::JsonValue response = OkResponse(request.id);
-    RenderRelation(*graph, *out, request.max_tuples, &response);
-    return response;
-  }
-  return ErrorResponse(request.id, "invalid_request",
-                       "unknown eval class '" + cls +
-                           "' (path|crpq|rq|datalog)");
+      return EvalRqQuery(*database, *q);
+    }
+    auto q = ParseDatalog(request.query);
+    if (!q.ok()) return q.status();
+    return EvalDatalogGoal(*q, *database);
+  }();
+  if (!out.ok()) return StatusError(request.id, out.status());
+  return finish(*std::move(out));
 }
 
 obs::JsonValue HandleSleep(const Request& request, const HandlerContext& ctx) {
@@ -351,6 +437,7 @@ obs::JsonValue ExecuteRequest(const Request& request,
     case RequestType::kSleep:
       return HandleSleep(request, ctx);
     case RequestType::kHealth:
+    case RequestType::kUpdate:
       break;  // answered inline by the server's reader thread
   }
   return ErrorResponse(request.id, "internal",

@@ -14,20 +14,25 @@
 #include "graph/snapshot.h"
 #include "obs/json.h"
 #include "relational/relation.h"
+#include "server/graph_store.h"
 #include "server/protocol.h"
 
 namespace rq {
 namespace server {
 
-// Shared read-only state handlers evaluate against. The preloaded graph
-// (rqserved --graph) is never mutated after startup: per-request query
-// parsing interns symbols into a COPY of its alphabet, evaluation runs
-// over the immutable snapshot, so any number of workers may execute
-// concurrently against it.
+// Per-request execution state. `view` is the graph version the request was
+// pinned to at ADMISSION (server/graph_store.h): every component is
+// immutable and shared, so any number of workers evaluate concurrently
+// against their own pinned versions while update batches publish newer
+// ones. Per-request query parsing interns symbols into a COPY of the
+// view's alphabet, so symbol interning never mutates shared state.
 struct HandlerContext {
-  const GraphDb* graph = nullptr;                 // may be null (no --graph)
-  std::shared_ptr<const GraphSnapshot> snapshot;  // frozen at load time
-  const Database* database = nullptr;             // GraphToDatabase(*graph)
+  // Pinned graph version for evals without an inline graph;
+  // view.has_graph() is false when the server has no graph yet.
+  GraphView view;
+  // Epoch-keyed eval cache + closure seeding; null outside a server (e.g.
+  // direct ExecuteRequest calls in tests) disables both.
+  GraphStore* store = nullptr;
   // Gate for the `sleep` request type (a test/bench endpoint that holds a
   // worker for sleep_ms while polling the installed contexts). Off in
   // production so clients cannot park workers at will.

@@ -91,6 +91,37 @@ Status ReadString(const obs::JsonValue& object, const char* key,
   return Status::Ok();
 }
 
+// Strict decode of one element of an update batch's "ops" array.
+Result<UpdateOp> ParseUpdateOp(const obs::JsonValue& value, size_t index) {
+  auto at = [&](const std::string& what) {
+    return what + " (ops[" + std::to_string(index) + "])";
+  };
+  if (!value.is_object()) {
+    return InvalidArgumentError(at("each op must be a JSON object"));
+  }
+  UpdateOp op;
+  std::string kind;
+  RQ_RETURN_IF_ERROR(ReadString(value, "op", &kind));
+  if (kind == "add_node") {
+    op.kind = UpdateOp::Kind::kAddNode;
+    RQ_RETURN_IF_ERROR(ReadString(value, "name", &op.name));
+    return op;
+  }
+  if (kind == "add_edge") {
+    op.kind = UpdateOp::Kind::kAddEdge;
+    RQ_RETURN_IF_ERROR(ReadString(value, "src", &op.src));
+    RQ_RETURN_IF_ERROR(ReadString(value, "label", &op.label));
+    RQ_RETURN_IF_ERROR(ReadString(value, "dst", &op.dst));
+    if (op.src.empty() || op.label.empty() || op.dst.empty()) {
+      return InvalidArgumentError(
+          at("add_edge needs non-empty 'src', 'label', and 'dst'"));
+    }
+    return op;
+  }
+  return InvalidArgumentError(at("op must be 'add_node' or 'add_edge', got '" +
+                                 kind + "'"));
+}
+
 }  // namespace
 
 Status WriteRaw(int fd, std::string_view bytes) {
@@ -149,6 +180,8 @@ const char* RequestTypeName(RequestType type) {
       return "equivalence";
     case RequestType::kEval:
       return "eval";
+    case RequestType::kUpdate:
+      return "update";
     case RequestType::kStats:
       return "stats";
     case RequestType::kHealth:
@@ -176,6 +209,8 @@ Result<Request> ParseRequest(std::string_view text) {
     request.type = RequestType::kEquivalence;
   } else if (name == "eval") {
     request.type = RequestType::kEval;
+  } else if (name == "update") {
+    request.type = RequestType::kUpdate;
   } else if (name == "stats") {
     request.type = RequestType::kStats;
   } else if (name == "health") {
@@ -193,6 +228,21 @@ Result<Request> ParseRequest(std::string_view text) {
   RQ_RETURN_IF_ERROR(ReadString(doc, "q2", &request.q2));
   RQ_RETURN_IF_ERROR(ReadString(doc, "query", &request.query));
   RQ_RETURN_IF_ERROR(ReadString(doc, "graph", &request.graph));
+  if (const obs::JsonValue* ops = doc.Find("ops");
+      ops != nullptr && !ops->is_null()) {
+    if (!ops->is_array()) {
+      return InvalidArgumentError("field 'ops' must be an array");
+    }
+    request.ops.reserve(ops->items().size());
+    for (size_t i = 0; i < ops->items().size(); ++i) {
+      RQ_ASSIGN_OR_RETURN(UpdateOp op, ParseUpdateOp(ops->items()[i], i));
+      request.ops.push_back(std::move(op));
+    }
+  }
+  if (request.type == RequestType::kUpdate && request.ops.empty()) {
+    return InvalidArgumentError(
+        "update requests need a non-empty 'ops' array");
+  }
   RQ_RETURN_IF_ERROR(ReadNonNegativeInt(doc, "timeout_ms",
                                         &request.timeout_ms));
   RQ_RETURN_IF_ERROR(ReadNonNegativeInt(doc, "memory_budget_mb",

@@ -8,8 +8,8 @@
 // ones).
 //
 // Request object:
-//   {"type": "containment" | "equivalence" | "eval" | "stats" | "health"
-//            | "sleep",
+//   {"type": "containment" | "equivalence" | "eval" | "update" | "stats"
+//            | "health" | "sleep",
 //    "id": <any JSON value, echoed>,                        // optional
 //    "class": "...",             // containment: rpq|2rpq|cq|ucq|uc2rpq|
 //                                //              rq|datalog
@@ -22,7 +22,19 @@
 //    "timeout_ms": N,            // optional; clipped to the server cap
 //    "memory_budget_mb": N,      // optional; clipped to the server cap
 //    "max_tuples": N,            // eval: answer-set cap (default 10000)
+//    "ops": [...],               // update: batched mutations (below)
 //    "sleep_ms": N}              // sleep only (test/bench endpoint)
+//
+// Update ops mutate the server's live graph (docs/SERVING.md "Updates");
+// each element of "ops" is one of
+//   {"op": "add_node", "name": "..."}            // name optional
+//   {"op": "add_edge", "src": "...", "label": "...", "dst": "..."}
+// applied in order as ONE batch: the whole batch publishes one new graph
+// epoch, and the response carries {"epoch": E, "nodes_added": N,
+// "edges_added": M, "closure_pairs": P}. Node names are interned on first
+// use (an add_edge implies its endpoints). Updates are answered by the
+// connection's reader thread in arrival order, so a client that pipelines
+// an update and then an eval on the same connection reads its own write.
 //
 // Response object: {"id": ..., "ok": true, ...result fields...} or
 // {"id": ..., "ok": false, "error": "<code>", "message": "..."} with codes
@@ -42,6 +54,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/json.h"
@@ -71,11 +84,22 @@ enum class RequestType {
   kContainment,
   kEquivalence,
   kEval,
+  kUpdate,
   kStats,
   kHealth,
   kSleep,
 };
 const char* RequestTypeName(RequestType type);
+
+// One decoded graph mutation within an update batch.
+struct UpdateOp {
+  enum class Kind { kAddNode, kAddEdge };
+  Kind kind = Kind::kAddNode;
+  std::string name;   // add_node; empty = anonymous node
+  std::string src;    // add_edge endpoints and label (named; interned on
+  std::string label;  // first use)
+  std::string dst;
+};
 
 // A decoded request frame. String fields are empty when absent; numeric
 // fields 0 (= "use the server default").
@@ -87,6 +111,7 @@ struct Request {
   std::string q2;
   std::string query;
   std::string graph;
+  std::vector<UpdateOp> ops;  // update batches
   int64_t timeout_ms = 0;
   int64_t memory_budget_mb = 0;
   int64_t max_tuples = 0;

@@ -18,7 +18,6 @@
 #include "obs/flight_recorder.h"
 #include "obs/prometheus.h"
 #include "obs/subsystems.h"
-#include "rq/eval.h"
 
 namespace rq {
 namespace server {
@@ -54,7 +53,9 @@ QueryServer::Connection::~Connection() {
 }
 
 QueryServer::QueryServer(ServerOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      store_(GraphStoreOptions{options_.incr_delta_budget,
+                               options_.eval_cache_bytes}) {
   if (options_.workers == 0) options_.workers = 1;
 }
 
@@ -63,16 +64,12 @@ QueryServer::~QueryServer() { Stop(); }
 Status QueryServer::Start() {
   RQ_CHECK(state_.load() == State::kIdle);
 
-  // The eval handler state is frozen before any worker exists: one CSR
-  // snapshot and one relational image of the preloaded graph, shared
-  // read-only by every request.
-  handler_ctx_.graph = options_.graph;
-  handler_ctx_.enable_sleep = options_.enable_sleep;
+  // Seed the versioned graph store before any worker exists: epoch 1 is a
+  // frozen copy of the preloaded graph (CSR snapshot + relational image),
+  // shared read-only by every request pinned to it. Update batches publish
+  // later epochs; requests keep the version they were admitted against.
   if (options_.graph != nullptr) {
-    snapshot_storage_ = options_.graph->Snapshot();
-    database_storage_ = GraphToDatabase(*options_.graph);
-    handler_ctx_.snapshot = snapshot_storage_;
-    handler_ctx_.database = &*database_storage_;
+    store_.Load(*options_.graph);
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -400,6 +397,29 @@ void QueryServer::HandleFrames(const ConnPtr& conn) {
       continue;
     }
 
+    // Updates are applied INLINE by this reader (serialized across
+    // connections by the store's writer mutex): a connection's frames are
+    // handled in arrival order, so an eval pipelined after an update on
+    // the same connection is admitted after the new epoch published and
+    // reads its own write. Evals admitted BEFORE this point already
+    // pinned their view and are unaffected.
+    if (request.type == RequestType::kUpdate) {
+      if (state_.load() != State::kServing) {
+        WriteResponse(conn, ErrorResponse(request.id, "draining",
+                                          "server is draining"));
+        continue;
+      }
+      if (!options_.enable_updates) {
+        WriteResponse(conn,
+                      ErrorResponse(request.id, "invalid_request",
+                                    "updates are disabled (rqserved "
+                                    "--read-only)"));
+        continue;
+      }
+      WriteResponse(conn, ExecuteUpdate(request));
+      continue;
+    }
+
     // Admission control, under the queue lock so the draining check and
     // the enqueue are atomic with respect to worker shutdown: once a
     // worker has observed (draining && queue empty) and exited, no reader
@@ -416,7 +436,14 @@ void QueryServer::HandleFrames(const ConnPtr& conn) {
                  server_pot_.total_bytes() > options_.max_inflight_bytes) {
         shed_reason = "in-flight request memory over threshold";
       } else {
-        queue_.push_back(Job{conn, std::move(request), NowNanos()});
+        Job job{conn, std::move(request), GraphView{}, NowNanos()};
+        // Pin the graph version at admission: however long the job waits
+        // behind later updates, it evaluates against this view.
+        if (job.request.type == RequestType::kEval &&
+            job.request.graph.empty()) {
+          job.view = store_.Acquire();
+        }
+        queue_.push_back(std::move(job));
         counters.queue_depth.Set(static_cast<int64_t>(queue_.size()));
       }
     }
@@ -486,7 +513,11 @@ void QueryServer::ExecuteJob(Job& job) {
                          &cancel_);
     ScopedExecContext scoped_exec(&exec_ctx);
     ScopedMemContext scoped_mem(&mem_ctx);
-    response = ExecuteRequest(job.request, handler_ctx_);
+    HandlerContext ctx;
+    ctx.view = std::move(job.view);
+    ctx.store = &store_;
+    ctx.enable_sleep = options_.enable_sleep;
+    response = ExecuteRequest(job.request, ctx);
   }
   // Same precedence rqcheck's exit codes pin down (docs/ROBUSTNESS.md
   // "Which error wins"): when both the deadline and the byte budget
@@ -500,6 +531,52 @@ void QueryServer::ExecuteJob(Job& job) {
   }
   WriteResponse(job.conn, response);
   counters.request_latency_ns.Record(NowNanos() - start_ns);
+}
+
+obs::JsonValue QueryServer::ExecuteUpdate(const Request& request) {
+  auto& counters = obs::ServerCounters::Get();
+  int64_t timeout_ms =
+      ClipToCap(request.timeout_ms, options_.default_timeout_ms,
+                options_.max_timeout_ms);
+  int64_t budget_mb =
+      ClipToCap(request.memory_budget_mb, options_.default_memory_budget_mb,
+                options_.max_memory_budget_mb);
+  uint64_t start_ns = NowNanos();
+  Result<GraphStore::UpdateResult> applied = [&] {
+    // Same resource envelope as worker-side requests: the incremental
+    // closure maintenance inside Apply polls this context, and its
+    // transient charges land in the server-wide pot.
+    MemContext mem_ctx(budget_mb > 0
+                           ? static_cast<uint64_t>(budget_mb) * 1024 * 1024
+                           : 0,
+                       &server_pot_);
+    ExecContext exec_ctx(timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                        : Deadline::Infinite(),
+                         &cancel_);
+    ScopedExecContext scoped_exec(&exec_ctx);
+    ScopedMemContext scoped_mem(&mem_ctx);
+    return store_.Apply(request.ops);
+  }();
+  obs::JsonValue response;
+  if (!applied.ok()) {
+    response = ErrorResponse(request.id, ErrorCodeForStatus(applied.status()),
+                             applied.status().message());
+    response.Set("epoch", obs::JsonValue::Number(store_.epoch()));
+  } else {
+    response = OkResponse(request.id);
+    response.Set("epoch", obs::JsonValue::Number(applied->epoch));
+    response.Set("nodes_added",
+                 obs::JsonValue::Number(
+                     static_cast<uint64_t>(applied->nodes_added)));
+    response.Set("edges_added",
+                 obs::JsonValue::Number(
+                     static_cast<uint64_t>(applied->edges_added)));
+    response.Set("closure_pairs",
+                 obs::JsonValue::Number(
+                     static_cast<uint64_t>(applied->closure_pairs)));
+  }
+  counters.request_latency_ns.Record(NowNanos() - start_ns);
+  return response;
 }
 
 void QueryServer::WriteResponse(const ConnPtr& conn,

@@ -7,12 +7,16 @@
 //   * one accept thread (poll on the listen fd plus a wake pipe, so
 //     BeginDrain interrupts a blocked accept);
 //   * one reader thread per connection, which decodes frames, answers
-//     health inline, and runs ADMISSION CONTROL: a request is either
-//     enqueued on the bounded worker queue or shed with an `overloaded`
-//     response — the queue never grows past max_queue_depth and new work
-//     is refused while in-flight request memory exceeds
-//     max_inflight_bytes, so overload degrades into fast rejections
-//     instead of unbounded buffering;
+//     health inline, applies `update` batches against the versioned graph
+//     store (server/graph_store.h — serialized by the store's writer
+//     mutex, and ordered with this connection's later requests, so a
+//     pipelined update-then-eval reads its own write), and runs ADMISSION
+//     CONTROL: a request is either enqueued on the bounded worker queue —
+//     pinning the graph version it will evaluate against — or shed with
+//     an `overloaded` response; the queue never grows past
+//     max_queue_depth and new work is refused while in-flight request
+//     memory exceeds max_inflight_bytes, so overload degrades into fast
+//     rejections instead of unbounded buffering;
 //   * `workers` worker threads popping the queue. Each request runs under
 //     a fresh ExecContext deadline and MemContext budget derived from the
 //     request's timeout_ms / memory_budget_mb clipped to the server caps;
@@ -48,6 +52,7 @@
 #include "common/status.h"
 #include "graph/graph_db.h"
 #include "relational/relation.h"
+#include "server/graph_store.h"
 #include "server/handlers.h"
 #include "server/protocol.h"
 
@@ -76,9 +81,19 @@ struct ServerOptions {
   int64_t default_memory_budget_mb = 0;
   int64_t max_memory_budget_mb = 0;
 
-  // Preloaded graph for eval requests without an inline graph (not owned;
-  // must outlive the server and never be mutated while it runs).
+  // Preloaded graph for eval requests without an inline graph. COPIED into
+  // the versioned graph store at Start() (epoch 1); the server never reads
+  // it afterwards, and `update` requests mutate the store's copy only.
   const GraphDb* graph = nullptr;
+
+  // Live mutation knobs (server/graph_store.h, docs/SERVING.md "Updates").
+  // enable_updates=false answers every `update` with invalid_request
+  // (rqserved --read-only); the delta budget bounds each insert's
+  // incremental closure product before falling back to re-evaluation; the
+  // cache bytes bound the epoch-keyed eval answer cache (0 disables it).
+  bool enable_updates = true;
+  size_t incr_delta_budget = 1u << 20;
+  size_t eval_cache_bytes = 8u << 20;
 
   // Gate for the `sleep` request type (tests/bench only).
   bool enable_sleep = false;
@@ -124,6 +139,9 @@ class QueryServer {
   size_t queue_depth() const;
   size_t inflight_requests() const { return inflight_.load(); }
   uint64_t inflight_bytes() const { return server_pot_.total_bytes(); }
+  // The versioned graph store backing eval/update requests.
+  GraphStore& graph_store() { return store_; }
+  uint64_t graph_epoch() const { return store_.epoch(); }
 
  private:
   enum class State { kIdle, kServing, kDraining, kStopped };
@@ -139,6 +157,10 @@ class QueryServer {
   struct Job {
     ConnPtr conn;
     Request request;
+    // Graph version pinned at ADMISSION: the request evaluates against
+    // this view no matter how many update batches publish before a worker
+    // picks it up (docs/SERVING.md "Updates").
+    GraphView view;
     uint64_t enqueue_ns = 0;
   };
 
@@ -148,6 +170,9 @@ class QueryServer {
   void HandleFrames(const ConnPtr& conn);
   void WorkerLoop();
   void ExecuteJob(Job& job);
+  // Applies one update batch against the graph store (on the connection
+  // reader thread, so per-connection pipelining reads its own writes).
+  obs::JsonValue ExecuteUpdate(const Request& request);
   void WriteResponse(const ConnPtr& conn, const obs::JsonValue& response);
   obs::JsonValue HealthResponse(const obs::JsonValue& id);
   // Joins reader threads whose connections have closed (called from the
@@ -155,9 +180,7 @@ class QueryServer {
   void ReapFinishedConnections();
 
   ServerOptions options_;
-  HandlerContext handler_ctx_;
-  std::optional<Database> database_storage_;
-  std::shared_ptr<const GraphSnapshot> snapshot_storage_;
+  GraphStore store_;
 
   std::atomic<State> state_{State::kIdle};
   int listen_fd_ = -1;

@@ -93,6 +93,54 @@ TEST(SnapshotConcurrencyTest, ReadersAreImmuneToWriterMutation) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// The aliasing contract in graph/graph_db.h (load-bearing for live
+// mutations, docs/SERVING.md "Updates"): a snapshot shares no storage with
+// its GraphDb, so AddEdge after Snapshot() never invalidates memory a live
+// snapshot reads — even when the writer appends into the very rows the
+// readers iterate and re-snapshots per batch, the way the server's graph
+// store does.
+TEST(SnapshotConcurrencyTest, WriterAppendsToRowsReadersIterate) {
+  GraphDb db = RandomGraph(30, 150, {"a", "b"}, /*seed=*/41);
+  const GraphSnapshotPtr snapshot = db.Snapshot();
+  const Symbol fwd_a = db.alphabet().InternForward("a");
+
+  // Per-row serial ground truth over the frozen snapshot.
+  std::vector<size_t> expected;
+  for (NodeId n = 0; n < snapshot->num_nodes(); ++n) {
+    expected.push_back(snapshot->Successors(n, fwd_a).size());
+  }
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::jthread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (NodeId n = 0; n < snapshot->num_nodes(); ++n) {
+          if (snapshot->Successors(n, fwd_a).size() != expected[n]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // Writer: extend exactly the rows the readers walk, re-snapshotting
+  // once per small batch like GraphStore::Apply does.
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      db.AddEdge(static_cast<NodeId>((round + i) % 30), "a",
+                 static_cast<NodeId>((round * 7 + i) % 30));
+    }
+    GraphSnapshotPtr fresh = db.Snapshot();
+    EXPECT_GT(fresh->Successors(static_cast<NodeId>(round % 30), fwd_a).size(),
+              0u);
+  }
+  stop.store(true);
+  readers.clear();  // join
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(SnapshotConcurrencyTest, ParallelMultiSourceMatchesSerial) {
   GraphDb db = RandomGraph(80, 600, {"a", "b", "c"}, /*seed=*/31);
   auto q = ParsePathQuery("a+ (b | c)*", &db.alphabet());
